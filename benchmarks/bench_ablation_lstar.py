@@ -1,0 +1,52 @@
+"""Ablation — L* (membership queries on words) vs GPS (labels on nodes).
+
+The paper's interaction protocol is inspired by learning with membership
+queries (Angluin).  This bench quantifies the difference between the
+idealised framework and the practical system:
+
+* L* with an exact teacher needs word-level membership and equivalence
+  queries — precise but unanswerable by a non-expert staring at a graph;
+* GPS asks Yes/No questions about *nodes of the actual database* and
+  converges on the instance with a handful of them.
+
+Expected shape: L* needs one to two orders of magnitude more (word-level)
+queries than GPS needs node labels, which is the paper's motivation for
+the node-labelling protocol.
+"""
+
+from repro.graph.datasets import motivating_example
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.learning.angluin import ExactTeacher, SampleTeacher, learn_with_membership_queries, lstar
+from repro.query.evaluation import evaluate
+
+from conftest import write_artifact
+
+GOAL = "(tram + bus)* . cinema"
+
+
+def test_lstar_exact_learning(benchmark, results_dir):
+    result = benchmark(learn_with_membership_queries, GOAL)
+    assert result.query.same_language(GOAL)
+    graph = motivating_example()
+    user = SimulatedUser(graph, GOAL)
+    session = InteractiveSession(graph, user)
+    gps = session.run()
+    comparison = (
+        f"L* membership queries : {result.membership_queries}\n"
+        f"L* equivalence queries: {result.equivalence_queries}\n"
+        f"GPS node labels       : {gps.interactions}\n"
+        f"GPS learned           : {gps.learned_query}\n"
+        f"L* learned            : {result.query}"
+    )
+    write_artifact(results_dir, "ablation_lstar.txt", comparison)
+    assert result.membership_queries > gps.interactions
+    assert evaluate(graph, gps.learned_query) == user.goal_answer
+
+
+def test_lstar_with_bounded_teacher(benchmark):
+    result = benchmark(lstar, SampleTeacher(GOAL, max_length=4))
+    # agrees with the goal on every word the bounded teacher could check
+    exact = ExactTeacher(GOAL)
+    for word in [("cinema",), ("bus", "cinema"), ("tram", "bus", "cinema"), ("bus",)]:
+        assert result.dfa.accepts(word) == exact.membership(word)

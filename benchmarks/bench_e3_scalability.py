@@ -1,0 +1,48 @@
+"""E3 — per-interaction latency as the graph grows.
+
+Measures the time one interaction costs (strategy ranking + neighbourhood
+extraction + propagation + learning) on random graphs of increasing size.
+Expected shape: sub-second per interaction at laptop scale, growing
+roughly linearly with the number of nodes for the bounded-path strategies.
+"""
+
+from repro.experiments.harness import run_e3_scalability
+from repro.graph.generators import random_graph
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+
+from conftest import write_artifact
+
+
+def test_e3_full_table(benchmark, results_dir):
+    table = benchmark.pedantic(
+        run_e3_scalability,
+        kwargs={"node_counts": (100, 200, 400, 800), "interactions": 4},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact(results_dir, "e3.txt", table.render())
+    rows = list(table)
+    assert [row["nodes"] for row in rows] == [100, 200, 400, 800]
+    # per-interaction latency stays interactive (well under a second here)
+    assert all(row["mean_seconds"] < 2.0 for row in rows)
+
+
+def _one_interaction(graph, goal):
+    user = SimulatedUser(graph, goal)
+    session = InteractiveSession(graph, user, max_path_length=3, max_interactions=1)
+    return session.step()
+
+
+def test_e3_single_interaction_small_graph(benchmark):
+    graph = random_graph(100, 300, ("a", "b", "c", "d"), seed=23)
+    record = benchmark(_one_interaction, graph, "(a + b)* . c")
+    assert record.index == 1
+
+
+def test_e3_single_interaction_medium_graph(benchmark):
+    graph = random_graph(400, 1200, ("a", "b", "c", "d"), seed=23)
+    record = benchmark.pedantic(
+        _one_interaction, args=(graph, "(a + b)* . c"), rounds=3, iterations=1
+    )
+    assert record.index == 1

@@ -1,0 +1,36 @@
+"""Figure 1 — the motivating example and its goal-query answer.
+
+Regenerates the answer of ``(tram + bus)* . cinema`` on the geographical
+graph of Figure 1 (must be exactly {N1, N2, N4, N6}) and benchmarks RPQ
+evaluation on the motivating example and on a larger transit city.
+"""
+
+from repro.experiments.figures import figure1
+from repro.graph.datasets import motivating_example, transit_city
+from repro.query.evaluation import evaluate
+from repro.query.rpq import PathQuery
+
+from conftest import write_artifact
+
+GOAL = "(tram + bus)* . cinema"
+
+
+def test_figure1_answer_regeneration(benchmark, results_dir):
+    """Recompute the Figure 1 answer and check it matches the paper."""
+    result = benchmark(figure1)
+    assert result.matches_paper
+    write_artifact(results_dir, "figure1.txt", result.render())
+
+
+def test_figure1_evaluation_on_motivating_example(benchmark):
+    graph = motivating_example()
+    query = PathQuery(GOAL)
+    answer = benchmark(evaluate, graph, query)
+    assert answer == {"N1", "N2", "N4", "N6"}
+
+
+def test_figure1_evaluation_scales_to_transit_city(benchmark):
+    graph = transit_city(300, tram_lines=6, bus_lines=10, line_length=15, seed=3)
+    query = PathQuery(GOAL)
+    answer = benchmark(evaluate, graph, query)
+    assert isinstance(answer, frozenset)

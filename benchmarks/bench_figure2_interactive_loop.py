@@ -1,0 +1,34 @@
+"""Figure 2 — the interactive loop on the motivating example.
+
+Regenerates a full session transcript (simulated user whose goal is the
+paper's query) and benchmarks one complete interactive session.
+"""
+
+from repro.experiments.figures import figure2
+from repro.graph.datasets import motivating_example
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.query.evaluation import evaluate
+
+from conftest import write_artifact
+
+GOAL = "(tram + bus)* . cinema"
+
+
+def _run_session():
+    graph = motivating_example()
+    user = SimulatedUser(graph, GOAL)
+    session = InteractiveSession(graph, user)
+    return graph, user, session.run()
+
+
+def test_figure2_transcript_regeneration(benchmark, results_dir):
+    result = benchmark(figure2)
+    assert result.instance_match
+    write_artifact(results_dir, "figure2.txt", result.render())
+
+
+def test_figure2_full_session(benchmark):
+    graph, user, result = benchmark(_run_session)
+    assert evaluate(graph, result.learned_query) == user.goal_answer
+    assert result.interactions <= 6

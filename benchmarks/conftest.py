@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure or experiment of DESIGN.md /
+EXPERIMENTS.md.  Besides the pytest-benchmark timing, each bench writes
+the regenerated table (or figure rendering) to ``benchmarks/results/`` so
+the artefacts can be inspected and diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where regenerated tables / figures are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: Path, name: str, content: str) -> Path:
+    """Write one regenerated artefact and return its path."""
+    path = results_dir / name
+    path.write_text(content + "\n")
+    return path

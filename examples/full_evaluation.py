@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Full evaluation — regenerate every figure and experiment table.
+
+Runs the Figure 1–3 regenerations plus experiments E1–E5 and the Section 3
+scenario comparison, printing each table and (optionally) archiving them
+under ``results/``.  This is the script behind EXPERIMENTS.md.
+
+Run with::
+
+    python examples/full_evaluation.py                 # quick suite (~1 min)
+    python examples/full_evaluation.py --full          # full suite (several minutes)
+    python examples/full_evaluation.py --save results  # also write tables to disk
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.figures import all_figures
+from repro.experiments.harness import run_everything
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+    save_dir = None
+    if "--save" in sys.argv:
+        index = sys.argv.index("--save")
+        save_dir = Path(sys.argv[index + 1]) if index + 1 < len(sys.argv) else Path("results")
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    print("=== Figures ===")
+    for name, rendering in all_figures().items():
+        print()
+        print(rendering)
+        if save_dir is not None:
+            (save_dir / f"{name}.txt").write_text(rendering + "\n")
+
+    print()
+    print(f"=== Experiments ({'quick' if quick else 'full'} suite) ===")
+    tables = run_everything(quick=quick)
+    for name, table in tables.items():
+        if name.endswith("_detail"):
+            continue  # print summaries; details are archived with --save
+        print()
+        print(table.render())
+    if save_dir is not None:
+        for name, table in tables.items():
+            (save_dir / f"{name}.txt").write_text(table.render() + "\n")
+        print()
+        print(f"all tables written to {save_dir}/")
+
+
+if __name__ == "__main__":
+    main()

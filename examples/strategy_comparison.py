@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Strategy comparison — how much the choice of Υ matters.
+
+Runs the interactive loop under every implemented node-proposal strategy
+(random, random-informative, breadth, degree, most-informative) plus the
+static-labelling baseline, over the standard workload suite, and prints
+the aggregated E1-style table.
+
+Run with::
+
+    python examples/strategy_comparison.py            # quick suite
+    python examples/strategy_comparison.py --full     # every dataset / family
+"""
+
+import sys
+
+from repro.experiments.harness import run_e1_interactions_by_strategy
+from repro.workloads.generator import quick_suite, standard_suite
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    cases = standard_suite(per_family=1, seed=17) if full else quick_suite(seed=17)
+    print(f"running {len(cases)} (dataset, goal-query) cases "
+          f"({'full' if full else 'quick'} suite); this takes a moment...")
+    tables = run_e1_interactions_by_strategy(cases, seed=17)
+    print()
+    print(tables["summary"].render())
+    print()
+    print("detail (one row per case and strategy):")
+    print(tables["detail"].render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline/legacy installs (``pip install -e .`` without network).
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy setuptools code path used when PEP 517 build isolation is not
+available (no network access to fetch build dependencies).
+"""
+
+from setuptools import setup
+
+setup()

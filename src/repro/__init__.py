@@ -1,0 +1,51 @@
+"""GPS — Interactive Path Query Specification on Graph Databases.
+
+A faithful, laptop-scale reproduction of the system demonstrated in
+
+    Angela Bonifati, Radu Ciucanu, Aurélien Lemay.
+    "Interactive Path Query Specification on Graph Databases", EDBT 2015.
+
+The package is organised bottom-up:
+
+* :mod:`repro.graph`       — edge-labelled graph databases, paths, neighbourhoods, datasets;
+* :mod:`repro.regex`       — regular expressions over edge labels (parser / printer);
+* :mod:`repro.automata`    — NFA/DFA toolkit, PTA, RPNI state merging, regex synthesis;
+* :mod:`repro.query`       — regular path queries and their evaluation on graphs;
+* :mod:`repro.learning`    — the two-step learning algorithm, informativeness, pruning;
+* :mod:`repro.interactive` — strategies, the Figure 2 session loop, oracles, scenarios;
+* :mod:`repro.workloads`   — goal-query workloads and experiment cases;
+* :mod:`repro.experiments` — figure regeneration and the E1–E5 evaluation harness.
+
+Quickstart::
+
+    from repro.graph.datasets import motivating_example
+    from repro.interactive import SimulatedUser, InteractiveSession
+
+    graph = motivating_example()
+    user = SimulatedUser(graph, "(tram + bus)* . cinema")
+    session = InteractiveSession(graph, user)
+    result = session.run()
+    print(result.learned_query)          # a query equivalent on the instance
+"""
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.rpq import PathQuery
+from repro.query.evaluation import evaluate
+from repro.learning.learner import PathQueryLearner, learn_query
+from repro.learning.examples import ExampleSet
+from repro.interactive.session import InteractiveSession
+from repro.interactive.oracle import SimulatedUser
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledGraph",
+    "PathQuery",
+    "evaluate",
+    "PathQueryLearner",
+    "learn_query",
+    "ExampleSet",
+    "InteractiveSession",
+    "SimulatedUser",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Subset construction: NFA → DFA.
+
+The produced DFA is *partial* (no explicit sink) and trimmed to reachable
+subset-states.  States are renumbered ``0..n-1`` in BFS discovery order so
+determinisation is deterministic and results are comparable across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Union
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.regex.ast import Regex
+
+
+def nfa_to_dfa(nfa: NFA) -> DFA:
+    """Determinise ``nfa`` via the subset construction."""
+    alphabet = sorted(nfa.alphabet())
+    start = nfa.epsilon_closure(nfa.initial_states)
+    index_of: Dict[FrozenSet, int] = {start: 0}
+    dfa = DFA(0)
+    dfa.declare_alphabet(alphabet)
+    if any(nfa.is_accepting(state) for state in start):
+        dfa.set_accepting(0)
+    queue: deque = deque([start])
+    while queue:
+        subset = queue.popleft()
+        source_index = index_of[subset]
+        for symbol in alphabet:
+            target_subset = nfa.step(subset, symbol)
+            if not target_subset:
+                continue
+            if target_subset not in index_of:
+                index_of[target_subset] = len(index_of)
+                dfa.add_state(index_of[target_subset])
+                if any(nfa.is_accepting(state) for state in target_subset):
+                    dfa.set_accepting(index_of[target_subset])
+                queue.append(target_subset)
+            dfa.add_transition(source_index, symbol, index_of[target_subset])
+    return dfa
+
+
+def regex_to_dfa(expression: Union[str, Regex]) -> DFA:
+    """Convenience: parse / build the NFA and determinise in one call."""
+    from repro.automata.thompson import regex_to_nfa
+
+    return nfa_to_dfa(regex_to_nfa(expression))

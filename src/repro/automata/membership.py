@@ -1,0 +1,49 @@
+"""Membership-query helpers.
+
+The interactive framework is an instance of Angluin-style *learning with
+membership queries*: the user answers whether a node (and, after zooming,
+a path) belongs to the goal query.  This module provides small utilities
+shared by the learner and the simulated user for answering membership
+questions about words and bounded path languages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+from repro.automata.dfa import DFA
+
+Word = Tuple[str, ...]
+
+
+def accepts_any(dfa: DFA, words: Iterable[Sequence[str]]) -> bool:
+    """True when ``dfa`` accepts at least one of ``words``."""
+    return any(dfa.accepts(word) for word in words)
+
+
+def accepts_all(dfa: DFA, words: Iterable[Sequence[str]]) -> bool:
+    """True when ``dfa`` accepts every word of ``words``."""
+    return all(dfa.accepts(word) for word in words)
+
+
+def accepted_subset(dfa: DFA, words: Iterable[Sequence[str]]) -> Set[Word]:
+    """The subset of ``words`` accepted by ``dfa`` (as tuples)."""
+    return {tuple(word) for word in words if dfa.accepts(word)}
+
+
+def rejected_subset(dfa: DFA, words: Iterable[Sequence[str]]) -> Set[Word]:
+    """The subset of ``words`` rejected by ``dfa`` (as tuples)."""
+    return {tuple(word) for word in words if not dfa.accepts(word)}
+
+
+def classify(dfa: DFA, words: Iterable[Sequence[str]]) -> Tuple[Set[Word], Set[Word]]:
+    """Split ``words`` into (accepted, rejected) sets in one pass."""
+    accepted: Set[Word] = set()
+    rejected: Set[Word] = set()
+    for word in words:
+        key = tuple(word)
+        if dfa.accepts(key):
+            accepted.add(key)
+        else:
+            rejected.add(key)
+    return accepted, rejected

@@ -1,0 +1,114 @@
+"""DFA minimisation (Hopcroft's partition-refinement algorithm).
+
+Minimisation is used to canonicalise learned queries (two hypotheses are
+the same query iff their minimal DFAs are isomorphic) and to keep the
+automata produced by repeated unions and products small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.automata.dfa import DFA, SINK, State
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Return the minimal DFA equivalent to ``dfa``.
+
+    The input is completed over its own alphabet, Hopcroft-refined, and
+    the resulting automaton is trimmed (the sink class, if unreachable or
+    non-accepting-only, disappears again) and relabelled canonically.
+    """
+    if dfa.is_empty():
+        # canonical empty-language automaton: one non-accepting state
+        empty = DFA(0)
+        empty.declare_alphabet(dfa.alphabet())
+        return empty
+    total = dfa.trim().completed()
+    alphabet = sorted(total.alphabet())
+    states = list(total.states)
+    accepting = set(total.accepting_states)
+    rejecting = set(states) - accepting
+
+    # initial partition
+    partition: List[Set[State]] = [block for block in (accepting, rejecting) if block]
+    worklist: List[Tuple[FrozenSet[State], str]] = [
+        (frozenset(block), symbol) for block in partition for symbol in alphabet
+    ]
+
+    # reverse transition index: symbol -> target -> set of sources
+    reverse: Dict[str, Dict[State, Set[State]]] = {symbol: {} for symbol in alphabet}
+    for source, symbol, target in total.transitions():
+        reverse[symbol].setdefault(target, set()).add(source)
+
+    while worklist:
+        splitter, symbol = worklist.pop()
+        # states with a `symbol` transition into the splitter
+        movers: Set[State] = set()
+        for target in splitter:
+            movers.update(reverse[symbol].get(target, ()))
+        if not movers:
+            continue
+        next_partition: List[Set[State]] = []
+        for block in partition:
+            inside = block & movers
+            outside = block - movers
+            if inside and outside:
+                next_partition.append(inside)
+                next_partition.append(outside)
+                smaller = inside if len(inside) <= len(outside) else outside
+                for refinement_symbol in alphabet:
+                    worklist.append((frozenset(smaller), refinement_symbol))
+            else:
+                next_partition.append(block)
+        partition = next_partition
+
+    # build the quotient automaton
+    block_of: Dict[State, int] = {}
+    for block_index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_index
+
+    quotient = DFA(block_of[total.initial_state])
+    quotient.declare_alphabet(alphabet)
+    for block_index in range(len(partition)):
+        quotient.add_state(block_index)
+    quotient.set_initial(block_of[total.initial_state])
+    for block_index, block in enumerate(partition):
+        representative = next(iter(block))
+        if total.is_accepting(representative):
+            quotient.set_accepting(block_index)
+        for symbol in alphabet:
+            target = total.target(representative, symbol)
+            if target is not None:
+                quotient.add_transition(block_index, symbol, block_of[target])
+
+    # drop the dead (sink) class when it cannot accept, then relabel
+    trimmed = _drop_dead_states(quotient)
+    return trimmed.relabeled()
+
+
+def _drop_dead_states(dfa: DFA) -> DFA:
+    """Remove states from which no accepting state is reachable."""
+    productive = dfa.productive_states()
+    if dfa.initial_state not in productive:
+        empty = DFA(0)
+        empty.declare_alphabet(dfa.alphabet())
+        return empty
+    pruned = DFA(dfa.initial_state)
+    pruned.declare_alphabet(dfa.alphabet())
+    for state in productive:
+        pruned.add_state(state)
+    pruned.set_initial(dfa.initial_state)
+    for state in productive:
+        if dfa.is_accepting(state):
+            pruned.set_accepting(state)
+        for symbol, target in dfa.outgoing(state).items():
+            if target in productive:
+                pruned.add_transition(state, symbol, target)
+    return pruned.trim()
+
+
+def is_minimal(dfa: DFA) -> bool:
+    """True when ``dfa`` already has the minimal number of states."""
+    return minimize(dfa).state_count() == dfa.trim().state_count()

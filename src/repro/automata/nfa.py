@@ -1,0 +1,220 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+The learning pipeline moves between three automaton representations:
+regular expressions (user-facing), NFAs (Thompson construction, unions of
+sample words) and DFAs (evaluation, minimisation, equivalence).  The NFA
+here keeps transitions in a nested dictionary ``state -> symbol -> set of
+states`` with ``None`` reserved for epsilon moves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import InvalidStateError
+
+State = Hashable
+Symbol = Optional[str]  # None = epsilon
+EPSILON: Symbol = None
+
+
+class NFA:
+    """A nondeterministic finite automaton over edge labels.
+
+    States are arbitrary hashable values; fresh states created by library
+    code are integers drawn from an internal counter.
+    """
+
+    def __init__(self):
+        self._states: Set[State] = set()
+        self._initial: Set[State] = set()
+        self._accepting: Set[State] = set()
+        self._transitions: Dict[State, Dict[Symbol, Set[State]]] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_state(self) -> State:
+        """Create, register and return a fresh integer state."""
+        while True:
+            state = next(self._counter)
+            if state not in self._states:
+                self.add_state(state)
+                return state
+
+    def add_state(self, state: State) -> State:
+        """Register ``state`` (idempotent) and return it."""
+        if state not in self._states:
+            self._states.add(state)
+            self._transitions[state] = {}
+        return state
+
+    def set_initial(self, state: State) -> None:
+        """Mark ``state`` as an initial state."""
+        self._require(state)
+        self._initial.add(state)
+
+    def set_accepting(self, state: State, accepting: bool = True) -> None:
+        """Mark or unmark ``state`` as accepting."""
+        self._require(state)
+        if accepting:
+            self._accepting.add(state)
+        else:
+            self._accepting.discard(state)
+
+    def add_transition(self, source: State, symbol: Symbol, target: State) -> None:
+        """Add a transition (``symbol=None`` for an epsilon move)."""
+        self._require(source)
+        self._require(target)
+        self._transitions[source].setdefault(symbol, set()).add(target)
+
+    def _require(self, state: State) -> None:
+        if state not in self._states:
+            raise InvalidStateError(state)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> FrozenSet[State]:
+        """All registered states."""
+        return frozenset(self._states)
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        """The set of initial states."""
+        return frozenset(self._initial)
+
+    @property
+    def accepting_states(self) -> FrozenSet[State]:
+        """The set of accepting states."""
+        return frozenset(self._accepting)
+
+    def is_accepting(self, state: State) -> bool:
+        """True when ``state`` is accepting."""
+        return state in self._accepting
+
+    def alphabet(self) -> FrozenSet[str]:
+        """Symbols used on non-epsilon transitions."""
+        symbols: Set[str] = set()
+        for moves in self._transitions.values():
+            for symbol in moves:
+                if symbol is not None:
+                    symbols.add(symbol)
+        return frozenset(symbols)
+
+    def transitions(self) -> Iterator[Tuple[State, Symbol, State]]:
+        """Iterate over all transitions as ``(source, symbol, target)``."""
+        for source, moves in self._transitions.items():
+            for symbol, targets in moves.items():
+                for target in targets:
+                    yield (source, symbol, target)
+
+    def targets(self, state: State, symbol: Symbol) -> FrozenSet[State]:
+        """States reachable from ``state`` via one ``symbol`` transition."""
+        self._require(state)
+        return frozenset(self._transitions[state].get(symbol, ()))
+
+    def state_count(self) -> int:
+        """Number of states."""
+        return len(self._states)
+
+    def transition_count(self) -> int:
+        """Number of transitions."""
+        return sum(len(targets) for moves in self._transitions.values() for targets in moves.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<NFA {self.state_count()} states, {self.transition_count()} transitions, "
+            f"{len(self._accepting)} accepting>"
+        )
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """The epsilon closure of ``states``."""
+        closure: Set[State] = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for target in self._transitions.get(state, {}).get(EPSILON, ()):
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: str) -> FrozenSet[State]:
+        """One symbol step (epsilon closure applied afterwards)."""
+        moved: Set[State] = set()
+        for state in states:
+            moved.update(self._transitions.get(state, {}).get(symbol, ()))
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """True when the automaton accepts ``word``."""
+        current = self.epsilon_closure(self._initial)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return any(state in self._accepting for state in current)
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from the initial states (epsilon moves included)."""
+        seen: Set[State] = set(self.epsilon_closure(self._initial))
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for symbol, targets in self._transitions.get(state, {}).items():
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+        return frozenset(seen)
+
+    def copy(self) -> "NFA":
+        """Return an independent copy."""
+        clone = NFA()
+        for state in self._states:
+            clone.add_state(state)
+        for state in self._initial:
+            clone.set_initial(state)
+        for state in self._accepting:
+            clone.set_accepting(state)
+        for source, symbol, target in self.transitions():
+            clone.add_transition(source, symbol, target)
+        return clone
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_word(cls, word: Sequence[str]) -> "NFA":
+        """Automaton accepting exactly ``word``."""
+        nfa = cls()
+        previous = nfa.new_state()
+        nfa.set_initial(previous)
+        for symbol in word:
+            state = nfa.new_state()
+            nfa.add_transition(previous, symbol, state)
+            previous = state
+        nfa.set_accepting(previous)
+        return nfa
+
+    @classmethod
+    def from_words(cls, words: Iterable[Sequence[str]]) -> "NFA":
+        """Automaton accepting exactly the given finite set of words."""
+        nfa = cls()
+        start = nfa.new_state()
+        nfa.set_initial(start)
+        for word in words:
+            previous = start
+            for symbol in word:
+                state = nfa.new_state()
+                nfa.add_transition(previous, symbol, state)
+                previous = state
+            nfa.set_accepting(previous)
+        return nfa

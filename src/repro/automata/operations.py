@@ -1,0 +1,121 @@
+"""Boolean operations on automata: union, intersection, difference, product.
+
+These are used by the learner (does the hypothesis accept a word of some
+negative node's language?), by the consistency checker, and by the
+instance-level query comparison in :mod:`repro.query.containment`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Tuple
+
+from repro.automata.dfa import DFA, State
+from repro.automata.nfa import EPSILON, NFA
+
+
+def union_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA accepting the union of the two languages.
+
+    States of the operands are tagged with 0 / 1 to avoid collisions.
+    """
+    result = NFA()
+    start = result.new_state()
+    result.set_initial(start)
+    for tag, operand in ((0, first), (1, second)):
+        for state in operand.states:
+            result.add_state((tag, state))
+        for state in operand.initial_states:
+            result.add_transition(start, EPSILON, (tag, state))
+        for state in operand.accepting_states:
+            result.set_accepting((tag, state))
+        for source, symbol, target in operand.transitions():
+            result.add_transition((tag, source), symbol, (tag, target))
+    return result
+
+
+def concat_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA accepting the concatenation of the two languages."""
+    result = NFA()
+    for tag, operand in ((0, first), (1, second)):
+        for state in operand.states:
+            result.add_state((tag, state))
+        for source, symbol, target in operand.transitions():
+            result.add_transition((tag, source), symbol, (tag, target))
+    for state in first.initial_states:
+        result.set_initial((0, state))
+    for accepting in first.accepting_states:
+        for initial in second.initial_states:
+            result.add_transition((0, accepting), EPSILON, (1, initial))
+    for state in second.accepting_states:
+        result.set_accepting((1, state))
+    return result
+
+
+def _product(first: DFA, second: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
+    """Generic product construction over completed operands."""
+    alphabet = sorted(first.alphabet() | second.alphabet())
+    left = first.completed(alphabet)
+    right = second.completed(alphabet)
+    start = (left.initial_state, right.initial_state)
+    index_of: Dict[Tuple[State, State], int] = {start: 0}
+    product = DFA(0)
+    product.declare_alphabet(alphabet)
+    if accept(left.is_accepting(start[0]), right.is_accepting(start[1])):
+        product.set_accepting(0)
+    queue: deque = deque([start])
+    while queue:
+        pair = queue.popleft()
+        source_index = index_of[pair]
+        for symbol in alphabet:
+            left_target = left.target(pair[0], symbol)
+            right_target = right.target(pair[1], symbol)
+            if left_target is None or right_target is None:
+                continue
+            target_pair = (left_target, right_target)
+            if target_pair not in index_of:
+                index_of[target_pair] = len(index_of)
+                product.add_state(index_of[target_pair])
+                if accept(left.is_accepting(left_target), right.is_accepting(right_target)):
+                    product.set_accepting(index_of[target_pair])
+                queue.append(target_pair)
+            product.add_transition(source_index, symbol, index_of[target_pair])
+    return product
+
+
+def intersect_dfa(first: DFA, second: DFA) -> DFA:
+    """DFA for the intersection of the two languages."""
+    return _product(first, second, lambda a, b: a and b)
+
+
+def union_dfa(first: DFA, second: DFA) -> DFA:
+    """DFA for the union of the two languages."""
+    return _product(first, second, lambda a, b: a or b)
+
+
+def difference_dfa(first: DFA, second: DFA) -> DFA:
+    """DFA for ``L(first) \\ L(second)``."""
+    return _product(first, second, lambda a, b: a and not b)
+
+
+def symmetric_difference_dfa(first: DFA, second: DFA) -> DFA:
+    """DFA for the symmetric difference of the two languages."""
+    return _product(first, second, lambda a, b: a != b)
+
+
+def intersects(first: DFA, second: DFA) -> bool:
+    """True when the two languages share at least one word."""
+    return not intersect_dfa(first, second).is_empty()
+
+
+def dfa_to_nfa(dfa: DFA) -> NFA:
+    """View a DFA as an NFA (used to feed DFAs into NFA-level combinators)."""
+    nfa = NFA()
+    for state in dfa.states:
+        nfa.add_state(state)
+    nfa.set_initial(dfa.initial_state)
+    for state in dfa.accepting_states:
+        nfa.set_accepting(state)
+    for source, symbol, target in dfa.transitions():
+        nfa.add_transition(source, symbol, target)
+    return nfa

@@ -1,0 +1,226 @@
+"""Prefix-tree acceptor (PTA) and the user-facing prefix tree of paths.
+
+Two closely related structures live here:
+
+* :class:`PrefixTreeAcceptor` — the automaton-theoretic PTA built from the
+  positive sample words; it is the starting point of the state-merging
+  generalisation (step (ii) of the learning algorithm).
+* :class:`PathPrefixTree` — the prefix tree of the *paths of a node* shown
+  to the user for validation (Figure 3(c)); it stores, per tree node, the
+  word prefix and whether some graph path realises it, plus a highlighted
+  candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.automata.dfa import DFA
+
+Word = Tuple[str, ...]
+
+
+class PrefixTreeAcceptor:
+    """The prefix-tree acceptor of a finite set of words.
+
+    States are the prefixes of the sample words (the empty prefix is the
+    initial state); a state is accepting iff its prefix is a sample word.
+    The PTA accepts exactly the sample.
+    """
+
+    def __init__(self, words: Iterable[Sequence[str]] = ()):
+        self._children: Dict[Word, Dict[str, Word]] = {(): {}}
+        self._accepting: set = set()
+        for word in words:
+            self.add_word(word)
+
+    def add_word(self, word: Sequence[str]) -> None:
+        """Insert ``word`` into the acceptor."""
+        prefix: Word = ()
+        for symbol in word:
+            extended = prefix + (symbol,)
+            self._children.setdefault(prefix, {})[symbol] = extended
+            self._children.setdefault(extended, {})
+            prefix = extended
+        self._accepting.add(prefix)
+
+    @property
+    def states(self) -> List[Word]:
+        """All prefixes, sorted by length then lexicographically (BFS order)."""
+        return sorted(self._children, key=lambda prefix: (len(prefix), prefix))
+
+    @property
+    def accepting(self) -> frozenset:
+        """The accepting prefixes (the sample words)."""
+        return frozenset(self._accepting)
+
+    def children(self, prefix: Word) -> Dict[str, Word]:
+        """Outgoing transitions of a prefix state."""
+        return dict(self._children.get(prefix, {}))
+
+    def state_count(self) -> int:
+        """Number of states (prefixes)."""
+        return len(self._children)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """True when ``word`` is one of the sample words."""
+        return tuple(word) in self._accepting
+
+    def to_dfa(self) -> DFA:
+        """Convert to a :class:`~repro.automata.dfa.DFA` with integer states."""
+        ordering = self.states
+        index_of = {prefix: index for index, prefix in enumerate(ordering)}
+        dfa = DFA(0)
+        for index in range(len(ordering)):
+            dfa.add_state(index)
+        dfa.set_initial(index_of[()])
+        for prefix in ordering:
+            if prefix in self._accepting:
+                dfa.set_accepting(index_of[prefix])
+            for symbol, child in self._children[prefix].items():
+                dfa.add_transition(index_of[prefix], symbol, index_of[child])
+        return dfa
+
+
+def build_pta(words: Iterable[Sequence[str]]) -> DFA:
+    """Build the PTA of ``words`` directly as a DFA (convenience)."""
+    return PrefixTreeAcceptor(words).to_dfa()
+
+
+@dataclass
+class PathTreeNode:
+    """One node of the user-facing prefix tree of paths."""
+
+    prefix: Word
+    children: Dict[str, "PathTreeNode"] = field(default_factory=dict)
+    #: graph nodes reachable from the root by spelling ``prefix``
+    endpoints: Tuple = ()
+    #: True when this prefix is proposed to the user as the candidate path
+    highlighted: bool = False
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root (= length of the prefix)."""
+        return len(self.prefix)
+
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+
+class PathPrefixTree:
+    """Prefix tree of the bounded-length paths of a graph node (Figure 3(c)).
+
+    Built by :func:`build_path_prefix_tree`; rendered by
+    :mod:`repro.interactive.visualization`; the user validates either the
+    highlighted candidate or any other word present in the tree.
+    """
+
+    def __init__(self, origin, root: PathTreeNode):
+        self.origin = origin
+        self.root = root
+
+    def words(self) -> List[Word]:
+        """All non-empty words present in the tree (pre-order)."""
+        collected: List[Word] = []
+
+        def visit(node: PathTreeNode) -> None:
+            for symbol in sorted(node.children):
+                child = node.children[symbol]
+                collected.append(child.prefix)
+                visit(child)
+
+        visit(self.root)
+        return collected
+
+    def leaves(self) -> List[Word]:
+        """Words that are maximal in the tree (no extension present)."""
+        collected: List[Word] = []
+
+        def visit(node: PathTreeNode) -> None:
+            if node.is_leaf() and node.prefix:
+                collected.append(node.prefix)
+            for symbol in sorted(node.children):
+                visit(node.children[symbol])
+
+        visit(self.root)
+        return collected
+
+    def contains(self, word: Sequence[str]) -> bool:
+        """True when ``word`` labels a root-to-node path of the tree."""
+        node = self.root
+        for symbol in word:
+            if symbol not in node.children:
+                return False
+            node = node.children[symbol]
+        return True
+
+    def highlighted_word(self) -> Optional[Word]:
+        """The currently highlighted candidate word, if any."""
+        result: List[Word] = []
+
+        def visit(node: PathTreeNode) -> None:
+            if node.highlighted and node.prefix:
+                result.append(node.prefix)
+            for child in node.children.values():
+                visit(child)
+
+        visit(self.root)
+        return result[0] if result else None
+
+    def highlight(self, word: Sequence[str]) -> bool:
+        """Move the highlight to ``word``; returns False when absent from the tree."""
+        if not self.contains(word):
+            return False
+
+        def clear(node: PathTreeNode) -> None:
+            node.highlighted = False
+            for child in node.children.values():
+                clear(child)
+
+        clear(self.root)
+        node = self.root
+        for symbol in word:
+            node = node.children[symbol]
+        node.highlighted = True
+        return True
+
+    def size(self) -> int:
+        """Number of tree nodes (root included)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+
+def build_path_prefix_tree(
+    words_with_endpoints: Dict[Word, Tuple],
+    origin,
+    *,
+    highlight: Optional[Word] = None,
+) -> PathPrefixTree:
+    """Build a :class:`PathPrefixTree` from a word -> endpoints mapping.
+
+    ``words_with_endpoints`` maps each word (of the node's bounded path
+    language) to the tuple of graph nodes reachable by spelling it from
+    ``origin``.  Intermediate prefixes missing from the mapping are created
+    with empty endpoint tuples.
+    """
+    root = PathTreeNode(prefix=())
+    for word in sorted(words_with_endpoints):
+        node = root
+        for position, symbol in enumerate(word, start=1):
+            prefix = word[:position]
+            if symbol not in node.children:
+                node.children[symbol] = PathTreeNode(prefix=prefix)
+            node = node.children[symbol]
+            if prefix in words_with_endpoints:
+                node.endpoints = tuple(words_with_endpoints[prefix])
+    tree = PathPrefixTree(origin, root)
+    if highlight is not None:
+        tree.highlight(highlight)
+    return tree

@@ -1,0 +1,103 @@
+"""Automaton → regular expression synthesis (state elimination).
+
+The interactive system presents the learned query back to the user as a
+regular expression in the paper's syntax (``(tram + bus)* . cinema``), so
+the DFA produced by the state-merging generaliser has to be converted back
+to an expression.  We use the classic state-elimination (Brzozowski &
+McCluskey) construction over a generalised NFA whose transition labels are
+regular expressions, eliminating low-connectivity states first to keep the
+output small, followed by the smart constructors of
+:mod:`repro.regex.ast` for local simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.automata.dfa import DFA
+from repro.regex.ast import EMPTY, EPSILON, Regex, Symbol
+
+State = Hashable
+_INITIAL = "__init__"
+_FINAL = "__final__"
+
+
+def _edge_union(table: Dict[Tuple[State, State], Regex], source: State, target: State, expr: Regex) -> None:
+    key = (source, target)
+    existing = table.get(key, EMPTY)
+    table[key] = existing.union(expr)
+
+
+def dfa_to_regex(dfa: DFA, *, simplify_output: bool = True) -> Regex:
+    """Return a regular expression for the language of ``dfa``.
+
+    The empty language yields the :data:`~repro.regex.ast.EMPTY` constant.
+    The state-elimination output is post-processed by
+    :func:`repro.regex.simplify.simplify` unless ``simplify_output`` is
+    False (the raw form is occasionally useful in tests).
+    """
+    trimmed = dfa.trim()
+    if trimmed.is_empty():
+        return EMPTY
+
+    # Generalised NFA: expression-labelled edges plus fresh initial / final.
+    table: Dict[Tuple[State, State], Regex] = {}
+    states: List[State] = sorted(trimmed.states, key=str)
+    _edge_union(table, _INITIAL, trimmed.initial_state, EPSILON)
+    for state in trimmed.accepting_states:
+        _edge_union(table, state, _FINAL, EPSILON)
+    for source, symbol, target in trimmed.transitions():
+        _edge_union(table, source, target, Symbol(symbol))
+
+    def degree(state: State) -> int:
+        return sum(1 for (source, target) in table if source == state or target == state)
+
+    # Eliminate internal states, lowest-connectivity first (smaller output).
+    remaining = list(states)
+    while remaining:
+        remaining.sort(key=lambda state: (degree(state), str(state)))
+        victim = remaining.pop(0)
+        incoming = [
+            (source, expr)
+            for (source, target), expr in table.items()
+            if target == victim and source != victim
+        ]
+        outgoing = [
+            (target, expr)
+            for (source, target), expr in table.items()
+            if source == victim and target != victim
+        ]
+        loop = table.get((victim, victim), EMPTY)
+        loop_star = loop.star() if not isinstance(loop, type(EMPTY)) or loop != EMPTY else EPSILON
+        for source, incoming_expr in incoming:
+            for target, outgoing_expr in outgoing:
+                bridged = incoming_expr.concat(loop_star).concat(outgoing_expr)
+                _edge_union(table, source, target, bridged)
+        # drop every edge touching the victim
+        table = {
+            key: expr
+            for key, expr in table.items()
+            if victim not in key
+        }
+
+    synthesized = table.get((_INITIAL, _FINAL), EMPTY)
+    if simplify_output:
+        from repro.regex.simplify import simplify
+
+        return simplify(synthesized)
+    return synthesized
+
+
+def dfa_to_regex_string(dfa: DFA) -> str:
+    """Convenience: synthesise and render the expression."""
+    from repro.regex.printer import to_string
+
+    return to_string(dfa_to_regex(dfa))
+
+
+def roundtrip_minimal_dfa(expression) -> DFA:
+    """Parse an expression, build its minimal DFA (used in property tests)."""
+    from repro.automata.determinize import regex_to_dfa
+    from repro.automata.minimize import minimize
+
+    return minimize(regex_to_dfa(expression))

@@ -1,0 +1,198 @@
+"""State-merging generalisation (RPNI-style) of a prefix-tree acceptor.
+
+Step (ii) of the paper's learning algorithm: *"construct an automaton
+recognizing precisely the paths found at the previous step and generalize
+it by state merges while no negative example is covered."*
+
+The generaliser starts from the PTA of the positive words and repeatedly
+tries to merge a "blue" frontier state into a "red" consolidated state
+(the evidence-driven order of RPNI).  A merge is kept only when the
+resulting quotient automaton still satisfies a caller-provided
+*compatibility* predicate; the paper's instantiation of that predicate is
+"the hypothesis does not cover any negative node", i.e. it accepts no word
+of any negative node's (bounded) path language.
+
+Two public entry points:
+
+* :func:`rpni` — classic RPNI against an explicit set of negative words;
+* :func:`generalize_pta` — RPNI with an arbitrary compatibility callback
+  (used by :mod:`repro.learning.learner` with graph-level negatives).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.dfa import DFA
+from repro.automata.prefix_tree import build_pta
+
+Word = Tuple[str, ...]
+Compatibility = Callable[[DFA], bool]
+
+
+class _Partition:
+    """Union-find over PTA states with deterministic representative choice.
+
+    The representative of a block is its smallest member (PTA states are
+    integers in BFS order), which keeps the merge order — and therefore
+    the learned automaton — deterministic across runs.
+    """
+
+    def __init__(self, states: Iterable[int]):
+        self._parent: Dict[int, int] = {state: state for state in states}
+
+    def find(self, state: int) -> int:
+        root = state
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[state] != root:
+            self._parent[state], state = root, self._parent[state]
+        return root
+
+    def union(self, first: int, second: int) -> int:
+        """Merge the blocks of ``first`` and ``second``; return the representative."""
+        first_root, second_root = self.find(first), self.find(second)
+        if first_root == second_root:
+            return first_root
+        keep, drop = (first_root, second_root) if first_root < second_root else (second_root, first_root)
+        self._parent[drop] = keep
+        return keep
+
+    def copy(self) -> "_Partition":
+        clone = _Partition(())
+        clone._parent = dict(self._parent)
+        return clone
+
+    def blocks(self) -> Dict[int, List[int]]:
+        """Mapping representative -> sorted members."""
+        grouped: Dict[int, List[int]] = {}
+        for state in self._parent:
+            grouped.setdefault(self.find(state), []).append(state)
+        for members in grouped.values():
+            members.sort()
+        return grouped
+
+
+def _quotient(pta: DFA, partition: _Partition) -> DFA:
+    """Build the quotient DFA of ``pta`` under ``partition``.
+
+    Assumes the partition has already been folded to determinism.
+    """
+    quotient = DFA(partition.find(pta.initial_state))
+    for representative in partition.blocks():
+        quotient.add_state(representative)
+    quotient.set_initial(partition.find(pta.initial_state))
+    quotient.declare_alphabet(pta.alphabet())
+    for source, symbol, target in pta.transitions():
+        quotient.add_transition(partition.find(source), symbol, partition.find(target))
+    for state in pta.accepting_states:
+        quotient.set_accepting(partition.find(state))
+    return quotient
+
+
+def _merge_and_fold(pta: DFA, partition: _Partition, red: int, blue: int) -> Optional[_Partition]:
+    """Merge ``blue`` into ``red`` and fold until deterministic.
+
+    Returns the folded partition, or ``None`` when folding would have to
+    merge a state with itself in an inconsistent way (cannot happen with
+    plain determinism folding, so ``None`` is reserved for future
+    extensions such as negative-state PTAs).
+    """
+    candidate = partition.copy()
+    worklist: List[Tuple[int, int]] = [(red, blue)]
+    while worklist:
+        first, second = worklist.pop()
+        first_root, second_root = candidate.find(first), candidate.find(second)
+        if first_root == second_root:
+            continue
+        candidate.union(first_root, second_root)
+        merged_root = candidate.find(first_root)
+        # collect the outgoing transitions of every member of the merged block
+        outgoing: Dict[str, int] = {}
+        for representative, members in candidate.blocks().items():
+            if representative != merged_root:
+                continue
+            for member in members:
+                for symbol, target in pta.outgoing(member).items():
+                    target_root = candidate.find(target)
+                    if symbol in outgoing and candidate.find(outgoing[symbol]) != target_root:
+                        worklist.append((outgoing[symbol], target_root))
+                    else:
+                        outgoing[symbol] = target_root
+    return candidate
+
+
+def generalize_pta(
+    positive_words: Iterable[Sequence[str]],
+    compatible: Compatibility,
+    *,
+    max_merges: Optional[int] = None,
+) -> DFA:
+    """Generalise the PTA of ``positive_words`` by state merging.
+
+    ``compatible`` receives a candidate quotient DFA and must return True
+    when the candidate is acceptable (e.g. covers no negative example).
+    The PTA itself must be compatible — callers are expected to have
+    chosen consistent positive words beforehand.
+
+    ``max_merges`` optionally caps the number of accepted merges (used by
+    ablation benchmarks to study partially generalised hypotheses).
+    """
+    words = [tuple(word) for word in positive_words]
+    pta = build_pta(words)
+    partition = _Partition(pta.states)
+    red: List[int] = [pta.initial_state]
+    merges_done = 0
+
+    def blue_states() -> List[int]:
+        frontier: Set[int] = set()
+        red_roots = {partition.find(state) for state in red}
+        current = _quotient(pta, partition)
+        for red_root in red_roots:
+            for _, target in sorted(current.outgoing(red_root).items()):
+                if target not in red_roots:
+                    frontier.add(target)
+        return sorted(frontier)
+
+    while True:
+        frontier = blue_states()
+        if not frontier:
+            break
+        blue = frontier[0]
+        merged = False
+        if max_merges is None or merges_done < max_merges:
+            for red_state in sorted({partition.find(state) for state in red}):
+                candidate = _merge_and_fold(pta, partition, red_state, blue)
+                if candidate is None:
+                    continue
+                if compatible(_quotient(pta, candidate)):
+                    partition = candidate
+                    merges_done += 1
+                    merged = True
+                    break
+        if not merged:
+            red.append(blue)
+    return _quotient(pta, partition).trim().relabeled()
+
+
+def rpni(
+    positive_words: Iterable[Sequence[str]],
+    negative_words: Iterable[Sequence[str]],
+    *,
+    max_merges: Optional[int] = None,
+) -> DFA:
+    """Classic RPNI: generalise positives while rejecting every negative word.
+
+    Raises :class:`ValueError` when the samples overlap (no consistent
+    automaton exists).
+    """
+    positives = [tuple(word) for word in positive_words]
+    negatives = {tuple(word) for word in negative_words}
+    overlap = set(positives) & negatives
+    if overlap:
+        raise ValueError(f"samples are inconsistent; words in both sets: {sorted(overlap)}")
+
+    def compatible(candidate: DFA) -> bool:
+        return not any(candidate.accepts(word) for word in negatives)
+
+    return generalize_pta(positives, compatible, max_merges=max_merges)

@@ -1,0 +1,93 @@
+"""Thompson construction: regular expression AST → NFA.
+
+Each AST node contributes a small NFA fragment with a single entry and a
+single exit state; fragments are glued with epsilon transitions.  The
+resulting automaton has a number of states linear in the size of the
+expression.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union as RegexUnion,
+)
+from repro.regex.parser import parse
+from repro.automata.nfa import EPSILON, NFA, State
+
+
+def _build(nfa: NFA, expr: Regex) -> Tuple[State, State]:
+    """Add the fragment for ``expr`` to ``nfa`` and return ``(entry, exit)``."""
+    if isinstance(expr, Empty):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        # no transition between entry and exit: the fragment accepts nothing
+        return entry, exit_
+    if isinstance(expr, Epsilon):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        nfa.add_transition(entry, EPSILON, exit_)
+        return entry, exit_
+    if isinstance(expr, Symbol):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        nfa.add_transition(entry, expr.label, exit_)
+        return entry, exit_
+    if isinstance(expr, Concat):
+        left_entry, left_exit = _build(nfa, expr.left)
+        right_entry, right_exit = _build(nfa, expr.right)
+        nfa.add_transition(left_exit, EPSILON, right_entry)
+        return left_entry, right_exit
+    if isinstance(expr, RegexUnion):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        left_entry, left_exit = _build(nfa, expr.left)
+        right_entry, right_exit = _build(nfa, expr.right)
+        nfa.add_transition(entry, EPSILON, left_entry)
+        nfa.add_transition(entry, EPSILON, right_entry)
+        nfa.add_transition(left_exit, EPSILON, exit_)
+        nfa.add_transition(right_exit, EPSILON, exit_)
+        return entry, exit_
+    if isinstance(expr, Star):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        inner_entry, inner_exit = _build(nfa, expr.inner)
+        nfa.add_transition(entry, EPSILON, inner_entry)
+        nfa.add_transition(entry, EPSILON, exit_)
+        nfa.add_transition(inner_exit, EPSILON, inner_entry)
+        nfa.add_transition(inner_exit, EPSILON, exit_)
+        return entry, exit_
+    if isinstance(expr, Plus):
+        # e+ == e . e*
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        inner_entry, inner_exit = _build(nfa, expr.inner)
+        nfa.add_transition(entry, EPSILON, inner_entry)
+        nfa.add_transition(inner_exit, EPSILON, inner_entry)
+        nfa.add_transition(inner_exit, EPSILON, exit_)
+        return entry, exit_
+    if isinstance(expr, Optional_):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        inner_entry, inner_exit = _build(nfa, expr.inner)
+        nfa.add_transition(entry, EPSILON, inner_entry)
+        nfa.add_transition(entry, EPSILON, exit_)
+        nfa.add_transition(inner_exit, EPSILON, exit_)
+        return entry, exit_
+    raise TypeError(f"unknown regex node: {type(expr).__name__}")
+
+
+def regex_to_nfa(expression: Union[str, Regex]) -> NFA:
+    """Build an NFA accepting the language of ``expression``.
+
+    ``expression`` may be a string (parsed with the library's parser) or
+    an already-built AST.
+    """
+    expr = parse(expression)
+    nfa = NFA()
+    entry, exit_ = _build(nfa, expr)
+    nfa.set_initial(entry)
+    nfa.set_accepting(exit_)
+    return nfa

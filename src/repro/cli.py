@@ -1,0 +1,207 @@
+"""Command-line interface to the GPS reproduction.
+
+Four sub-commands cover the typical workflows without writing Python::
+
+    python -m repro.cli evaluate --graph city.json --query "(tram + bus)* . cinema"
+    python -m repro.cli learn    --graph city.json --positive N2 N6 --negative N5
+    python -m repro.cli simulate --dataset figure-1 --goal "(tram + bus)* . cinema"
+    python -m repro.cli figures
+    python -m repro.cli datasets
+
+* ``evaluate`` — run a path query on a graph (JSON or TSV edge list) and
+  print the selected nodes (optionally with a witness path each);
+* ``learn`` — one-shot learning from explicit positive / negative nodes;
+* ``simulate`` — run the full interactive loop with a simulated user whose
+  goal query is given, and print the session transcript;
+* ``figures`` — regenerate the paper's figures;
+* ``datasets`` — list the built-in dataset generators with their statistics.
+
+The CLI is intentionally thin: every sub-command maps onto one documented
+library call, so scripting against the library directly is always an
+option.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.exceptions import GPSError
+from repro.graph import io as graph_io
+from repro.graph.datasets import dataset_catalog, list_datasets
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.statistics import compute_statistics
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.interactive.strategies import STRATEGY_REGISTRY, make_strategy
+from repro.interactive.transcript import record_session
+from repro.learning.learner import learn_query
+from repro.query.evaluation import evaluate, witness_path
+from repro.query.rpq import PathQuery
+
+
+def _load_graph(path: Optional[str], dataset: Optional[str]) -> LabeledGraph:
+    """Load a graph from ``--graph`` (JSON / TSV by extension) or ``--dataset``."""
+    if (path is None) == (dataset is None):
+        raise SystemExit("exactly one of --graph and --dataset is required")
+    if dataset is not None:
+        catalog = dataset_catalog()
+        if dataset not in catalog:
+            raise SystemExit(f"unknown dataset {dataset!r}; available: {', '.join(list_datasets())}")
+        return catalog[dataset]
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SystemExit(f"graph file not found: {file_path}")
+    if file_path.suffix.lower() == ".json":
+        return graph_io.load_json(file_path)
+    return graph_io.load_edge_list(file_path)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", help="path to a graph file (.json or tab-separated edge list)")
+    parser.add_argument(
+        "--dataset", help=f"name of a built-in dataset ({', '.join(list_datasets())})"
+    )
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.dataset)
+    query = PathQuery(args.query)
+    answer = sorted(evaluate(graph, query), key=str)
+    print(f"query   : {query}")
+    print(f"answer  : {len(answer)} node(s)")
+    for node in answer:
+        if args.witness:
+            print(f"  {node}  via {witness_path(graph, query, node)}")
+        else:
+            print(f"  {node}")
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.dataset)
+    positive = {node: None for node in args.positive}
+    learned = learn_query(
+        graph,
+        positive=positive,
+        negative=list(args.negative),
+        max_path_length=args.max_path_length,
+    )
+    answer = sorted(evaluate(graph, learned), key=str)
+    print(f"learned query : {learned}")
+    print(f"selects       : {', '.join(str(node) for node in answer) or '(nothing)'}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.dataset)
+    user = SimulatedUser(graph, args.goal)
+    strategy = make_strategy(args.strategy, seed=args.seed, max_path_length=args.max_path_length)
+    session = InteractiveSession(
+        graph,
+        user,
+        strategy=strategy,
+        path_validation=not args.no_validation,
+        max_path_length=args.max_path_length,
+        max_interactions=args.max_interactions,
+    )
+    result = session.run()
+    print(f"goal query      : {args.goal}")
+    print(f"strategy        : {args.strategy}")
+    print(f"interactions    : {result.interactions}")
+    print(f"halted by       : {result.halted_by}")
+    print(f"learned query   : {result.learned_query}")
+    learned_answer = sorted(evaluate(graph, result.learned_query), key=str) if result.learned_query else []
+    print(f"learned answer  : {', '.join(str(node) for node in learned_answer) or '(nothing)'}")
+    print(f"goal answer     : {', '.join(str(node) for node in sorted(user.goal_answer, key=str))}")
+    print("transcript:")
+    for record in result.records:
+        validated = ".".join(record.validated_word) if record.validated_word else "-"
+        print(
+            f"  #{record.index} {record.node} -> {'+' if record.positive else '-'}"
+            f" (zooms={record.zooms}, validated={validated})"
+        )
+    if args.save_transcript:
+        transcript = record_session(result, graph_name=graph.name)
+        transcript.save(args.save_transcript)
+        print(f"transcript saved to {args.save_transcript}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import all_figures
+
+    for name, rendering in all_figures().items():
+        print(f"===== {name} =====")
+        print(rendering)
+        print()
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name, graph in dataset_catalog().items():
+        stats = compute_statistics(graph).as_dict()
+        print(f"{name:16s} {stats}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPS — interactive path query specification on graph databases",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a path query on a graph")
+    _add_graph_arguments(evaluate_parser)
+    evaluate_parser.add_argument("--query", required=True, help="regular path query, e.g. '(tram + bus)* . cinema'")
+    evaluate_parser.add_argument("--witness", action="store_true", help="also print a witness path per selected node")
+    evaluate_parser.set_defaults(handler=_cmd_evaluate)
+
+    learn_parser = subparsers.add_parser("learn", help="learn a query from node examples")
+    _add_graph_arguments(learn_parser)
+    learn_parser.add_argument("--positive", nargs="+", required=True, help="positive example nodes")
+    learn_parser.add_argument("--negative", nargs="*", default=[], help="negative example nodes")
+    learn_parser.add_argument("--max-path-length", type=int, default=6)
+    learn_parser.set_defaults(handler=_cmd_learn)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run the interactive loop with a simulated user"
+    )
+    _add_graph_arguments(simulate_parser)
+    simulate_parser.add_argument("--goal", required=True, help="the simulated user's goal query")
+    simulate_parser.add_argument(
+        "--strategy", default="most-informative", choices=sorted(STRATEGY_REGISTRY)
+    )
+    simulate_parser.add_argument("--no-validation", action="store_true", help="disable path validation")
+    simulate_parser.add_argument("--max-interactions", type=int, default=50)
+    simulate_parser.add_argument("--max-path-length", type=int, default=6)
+    simulate_parser.add_argument("--seed", type=int, default=None)
+    simulate_parser.add_argument("--save-transcript", help="write the session transcript to this JSON file")
+    simulate_parser.set_defaults(handler=_cmd_simulate)
+
+    figures_parser = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures_parser.set_defaults(handler=_cmd_figures)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list the built-in datasets")
+    datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except GPSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

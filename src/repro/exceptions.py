@@ -1,0 +1,127 @@
+"""Exception hierarchy for the GPS reproduction.
+
+All library errors derive from :class:`GPSError` so applications can catch
+one base class.  Sub-classes are grouped by subsystem (graph, regex,
+automata, learning, interactive session).
+"""
+
+from __future__ import annotations
+
+
+class GPSError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(GPSError):
+    """Base class for graph-database errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a node identifier is not present in the graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node not found in graph: {node!r}")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when a requested edge does not exist."""
+
+    def __init__(self, source, label, target):
+        super().__init__(f"edge not found: {source!r} -[{label}]-> {target!r}")
+        self.source = source
+        self.label = label
+        self.target = target
+
+
+class DuplicateNodeError(GraphError):
+    """Raised when adding a node identifier that already exists (strict mode)."""
+
+    def __init__(self, node):
+        super().__init__(f"node already exists: {node!r}")
+        self.node = node
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing a serialised graph fails."""
+
+
+class RegexError(GPSError):
+    """Base class for regular-expression errors."""
+
+
+class RegexSyntaxError(RegexError):
+    """Raised when a regular expression cannot be parsed.
+
+    Carries the offending expression and the position of the error so a
+    front-end can point at the problem.
+    """
+
+    def __init__(self, message, expression=None, position=None):
+        detail = message
+        if expression is not None and position is not None:
+            detail = f"{message} (in {expression!r} at position {position})"
+        super().__init__(detail)
+        self.expression = expression
+        self.position = position
+
+
+class AutomatonError(GPSError):
+    """Base class for automata errors."""
+
+
+class InvalidStateError(AutomatonError):
+    """Raised when referring to a state that does not belong to the automaton."""
+
+    def __init__(self, state):
+        super().__init__(f"state not in automaton: {state!r}")
+        self.state = state
+
+
+class NotDeterministicError(AutomatonError):
+    """Raised when a DFA-only operation receives a nondeterministic automaton."""
+
+
+class LearningError(GPSError):
+    """Base class for learning-engine errors."""
+
+
+class InconsistentExamplesError(LearningError):
+    """Raised when the example set admits no consistent query.
+
+    This happens for instance when the same node is labelled both positive
+    and negative, or when a positive node has no path that avoids the
+    negative nodes' path languages.
+    """
+
+    def __init__(self, message, conflicting=None):
+        super().__init__(message)
+        self.conflicting = tuple(conflicting) if conflicting is not None else ()
+
+
+class NoConsistentPathError(LearningError):
+    """Raised when a positive node has no path uncovered by negative examples."""
+
+    def __init__(self, node, max_length=None):
+        detail = f"no consistent path for positive node {node!r}"
+        if max_length is not None:
+            detail += f" (searched up to length {max_length})"
+        super().__init__(detail)
+        self.node = node
+        self.max_length = max_length
+
+
+class SessionError(GPSError):
+    """Base class for interactive-session errors."""
+
+
+class SessionFinishedError(SessionError):
+    """Raised when interacting with a session that has already halted."""
+
+
+class NoCandidateNodeError(SessionError):
+    """Raised when a strategy cannot propose any informative node."""
+
+
+class OracleError(GPSError):
+    """Raised when a simulated user cannot answer a request."""

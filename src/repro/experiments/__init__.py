@@ -1,0 +1,45 @@
+"""Experiment harness: figure regeneration and evaluation experiments E1–E5."""
+
+from repro.experiments.metrics import AGGREGATORS, ResultTable, fraction_true
+from repro.experiments.figures import (
+    FIGURE1_QUERY,
+    Figure1Result,
+    Figure2Result,
+    Figure3Result,
+    all_figures,
+    figure1,
+    figure2,
+    figure3,
+)
+from repro.experiments.harness import (
+    E1_STRATEGIES,
+    run_e1_interactions_by_strategy,
+    run_e2_pruning,
+    run_e3_scalability,
+    run_e4_path_validation,
+    run_e5_learner_cost,
+    run_everything,
+    run_scenario_comparison,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "ResultTable",
+    "fraction_true",
+    "FIGURE1_QUERY",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure3Result",
+    "all_figures",
+    "figure1",
+    "figure2",
+    "figure3",
+    "E1_STRATEGIES",
+    "run_e1_interactions_by_strategy",
+    "run_e2_pruning",
+    "run_e3_scalability",
+    "run_e4_path_validation",
+    "run_e5_learner_cost",
+    "run_everything",
+    "run_scenario_comparison",
+]

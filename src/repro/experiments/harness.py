@@ -1,0 +1,326 @@
+"""Experiment harness: the evaluation-style experiments E1–E5 of DESIGN.md.
+
+Each ``run_e*`` function executes one experiment over a workload suite and
+returns a :class:`~repro.experiments.metrics.ResultTable` (plus, where
+useful, an aggregated companion table).  The benchmark scripts under
+``benchmarks/`` call these functions and print the tables; EXPERIMENTS.md
+records representative outputs and compares their shape with the paper's
+claims.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.metrics import AGGREGATORS, ResultTable, fraction_true
+from repro.graph.generators import random_graph
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.scenarios import (
+    run_all_scenarios,
+    run_interactive_with_validation,
+    run_interactive_without_validation,
+    run_static_labeling,
+)
+from repro.interactive.session import InteractiveSession
+from repro.interactive.strategies import make_strategy
+from repro.learning.examples import ExampleSet
+from repro.learning.informativeness import pruned_nodes, pruning_fraction
+from repro.learning.learner import PathQueryLearner
+from repro.automata.state_merging import rpni
+from repro.query.evaluation import evaluate
+from repro.query.rpq import PathQuery
+from repro.workloads.generator import WorkloadCase, quick_suite, standard_suite
+
+#: Strategies compared in E1 (ordered from least to most informed).
+E1_STRATEGIES: Sequence[str] = ("random", "random-informative", "breadth", "degree", "most-informative")
+
+
+# ----------------------------------------------------------------------
+# E1 — interactions to convergence, per strategy (and vs static labelling)
+# ----------------------------------------------------------------------
+def run_e1_interactions_by_strategy(
+    cases: Optional[List[WorkloadCase]] = None,
+    *,
+    strategies: Sequence[str] = E1_STRATEGIES,
+    max_interactions: int = 60,
+    max_path_length: int = 4,
+    seed: int = 17,
+) -> Dict[str, ResultTable]:
+    """E1: number of user interactions needed to reach the goal answer.
+
+    For every (dataset, goal) case we run the interactive loop once per
+    strategy, plus the static-labelling baseline, and count the labelling
+    interactions until the hypothesis returns the user's intended answer
+    set (or the budget runs out).
+    """
+    cases = cases if cases is not None else quick_suite(seed)
+    table = ResultTable("E1 — interactions to reach the goal answer")
+    for case in cases:
+        static = run_static_labeling(
+            case.graph, case.goal.query, seed=seed, max_path_length=max_path_length,
+            label_budget=max_interactions,
+        )
+        table.add(
+            dataset=case.dataset,
+            family=case.goal.family,
+            goal=case.goal.expression,
+            strategy="static",
+            interactions=static.interactions,
+            reached=static.metrics.get("f1", 0.0) == 1.0,
+            f1=round(static.metrics.get("f1", 0.0), 3),
+        )
+        for strategy_name in strategies:
+            strategy = make_strategy(strategy_name, seed=seed, max_path_length=max_path_length)
+            report = run_interactive_with_validation(
+                case.graph,
+                case.goal.query,
+                strategy=strategy,
+                max_interactions=max_interactions,
+                max_path_length=max_path_length,
+            )
+            table.add(
+                dataset=case.dataset,
+                family=case.goal.family,
+                goal=case.goal.expression,
+                strategy=strategy_name,
+                interactions=report.interactions,
+                reached=report.metrics.get("f1", 0.0) == 1.0,
+                f1=round(report.metrics.get("f1", 0.0), 3),
+            )
+    summary = table.group_by(
+        ["strategy"],
+        {"interactions": mean, "reached": fraction_true, "f1": mean},
+    )
+    return {"detail": table, "summary": summary}
+
+
+# ----------------------------------------------------------------------
+# E2 — pruning effectiveness after each interaction
+# ----------------------------------------------------------------------
+def run_e2_pruning(
+    cases: Optional[List[WorkloadCase]] = None,
+    *,
+    max_interactions: int = 25,
+    max_path_length: int = 4,
+    seed: int = 19,
+) -> Dict[str, ResultTable]:
+    """E2: fraction of nodes the user never has to label, per interaction.
+
+    After each interaction the session propagates implied labels and prunes
+    uninformative nodes; the *saved fraction* reported here is the share of
+    the not-yet-user-labelled nodes whose label is already settled (either
+    propagated automatically or pruned as uninformative), i.e. questions the
+    user will never be asked.
+    """
+    cases = cases if cases is not None else quick_suite(seed)
+    table = ResultTable("E2 — pruning / propagation of uninformative nodes per interaction")
+    for case in cases:
+        user = SimulatedUser(case.graph, case.goal.query)
+        session = InteractiveSession(
+            case.graph,
+            user,
+            max_path_length=max_path_length,
+            max_interactions=max_interactions,
+        )
+        node_count = case.graph.node_count
+        while not session.should_halt():
+            record = session.step()
+            user_labeled = len(session.examples.user_positive_nodes) + len(
+                session.examples.user_negative_nodes
+            )
+            still_pruned = len(
+                pruned_nodes(case.graph, session.examples, max_length=max_path_length)
+            )
+            propagated = len(session.examples.labeled_nodes) - user_labeled
+            settled = propagated + still_pruned
+            remaining_pool = max(node_count - user_labeled, 1)
+            table.add(
+                dataset=case.dataset,
+                goal=case.goal.expression,
+                interaction=record.index,
+                user_labeled=user_labeled,
+                propagated=propagated,
+                saved_fraction=round(settled / remaining_pool, 3),
+                informative_remaining=record.informative_remaining,
+            )
+    summary = table.group_by(
+        ["interaction"], {"saved_fraction": mean, "informative_remaining": mean, "propagated": mean}
+    )
+    return {"detail": table, "summary": summary}
+
+
+# ----------------------------------------------------------------------
+# E3 — per-interaction latency as the graph grows
+# ----------------------------------------------------------------------
+def run_e3_scalability(
+    *,
+    node_counts: Sequence[int] = (100, 200, 400, 800),
+    edge_factor: int = 3,
+    alphabet_size: int = 4,
+    max_path_length: int = 3,
+    interactions: int = 5,
+    seed: int = 23,
+) -> ResultTable:
+    """E3: strategy + learning time per interaction on growing random graphs."""
+    table = ResultTable("E3 — per-interaction latency vs graph size")
+    alphabet = [chr(ord("a") + index) for index in range(alphabet_size)]
+    for node_count in node_counts:
+        graph = random_graph(
+            node_count, node_count * edge_factor, alphabet, seed=seed, name=f"random-{node_count}"
+        )
+        goal = PathQuery(f"({alphabet[0]} + {alphabet[1]})* . {alphabet[2]}")
+        if not evaluate(graph, goal):
+            goal = PathQuery(alphabet[0])
+        user = SimulatedUser(graph, goal)
+        session = InteractiveSession(
+            graph,
+            user,
+            max_path_length=max_path_length,
+            max_interactions=interactions,
+        )
+        durations: List[float] = []
+        performed = 0
+        while performed < interactions and not session.should_halt():
+            record = session.step()
+            durations.append(record.duration_seconds)
+            performed += 1
+        table.add(
+            nodes=node_count,
+            edges=graph.edge_count,
+            interactions=performed,
+            mean_seconds=round(mean(durations), 4) if durations else 0.0,
+            max_seconds=round(max(durations), 4) if durations else 0.0,
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# E4 — effect of path validation on learned-query quality
+# ----------------------------------------------------------------------
+def run_e4_path_validation(
+    cases: Optional[List[WorkloadCase]] = None,
+    *,
+    max_interactions: int = 40,
+    max_path_length: int = 4,
+    seed: int = 29,
+) -> Dict[str, ResultTable]:
+    """E4: with vs without path validation (exact recovery and instance F1)."""
+    cases = cases if cases is not None else quick_suite(seed)
+    table = ResultTable("E4 — path validation vs no validation")
+    for case in cases:
+        without = run_interactive_without_validation(
+            case.graph, case.goal.query, max_interactions=max_interactions, max_path_length=max_path_length
+        )
+        with_validation = run_interactive_with_validation(
+            case.graph, case.goal.query, max_interactions=max_interactions, max_path_length=max_path_length
+        )
+        for variant, report in (("no-validation", without), ("validation", with_validation)):
+            table.add(
+                dataset=case.dataset,
+                family=case.goal.family,
+                goal=case.goal.expression,
+                variant=variant,
+                interactions=report.interactions,
+                exact_goal=report.exact_goal,
+                f1=round(report.metrics.get("f1", 0.0), 3),
+                learned=str(report.learned_query),
+            )
+    summary = table.group_by(
+        ["variant"], {"exact_goal": fraction_true, "f1": mean, "interactions": mean}
+    )
+    return {"detail": table, "summary": summary}
+
+
+# ----------------------------------------------------------------------
+# E5 — learner core cost (PTA + state merging)
+# ----------------------------------------------------------------------
+def run_e5_learner_cost(
+    *,
+    sample_sizes: Sequence[int] = (5, 10, 20, 40),
+    word_length: int = 5,
+    alphabet_size: int = 3,
+    seed: int = 31,
+) -> ResultTable:
+    """E5: RPNI generalisation time / output size vs number of sample words."""
+    import random as _random
+
+    table = ResultTable("E5 — learner cost vs sample size")
+    alphabet = [chr(ord("a") + index) for index in range(alphabet_size)]
+    rng = _random.Random(seed)
+    for size in sample_sizes:
+        positives = [
+            tuple(rng.choice(alphabet) for _ in range(rng.randint(1, word_length)))
+            for _ in range(size)
+        ]
+        negatives = []
+        while len(negatives) < size:
+            word = tuple(rng.choice(alphabet) for _ in range(rng.randint(1, word_length)))
+            if word not in positives:
+                negatives.append(word)
+        started = time.perf_counter()
+        learned = rpni(positives, negatives)
+        elapsed = time.perf_counter() - started
+        table.add(
+            positive_words=size,
+            negative_words=len(negatives),
+            pta_states=sum(len(word) for word in set(positives)) + 1,
+            learned_states=learned.state_count(),
+            seconds=round(elapsed, 4),
+            all_positives_accepted=all(learned.accepts(word) for word in positives),
+            all_negatives_rejected=not any(learned.accepts(word) for word in negatives),
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# The three demonstration scenarios side by side (Section 3)
+# ----------------------------------------------------------------------
+def run_scenario_comparison(
+    cases: Optional[List[WorkloadCase]] = None,
+    *,
+    max_interactions: int = 40,
+    max_path_length: int = 4,
+    seed: int = 37,
+) -> Dict[str, ResultTable]:
+    """Section 3 comparison: static vs interactive vs interactive+validation."""
+    cases = cases if cases is not None else quick_suite(seed)
+    table = ResultTable("Demonstration scenarios — Section 3 comparison")
+    for case in cases:
+        reports = run_all_scenarios(
+            case.graph,
+            case.goal.query,
+            max_path_length=max_path_length,
+            seed=seed,
+            max_interactions=max_interactions,
+        )
+        for name, report in reports.items():
+            row = {"dataset": case.dataset, "goal": case.goal.expression}
+            row.update(report.summary_row())
+            table.add(**row)
+    summary = table.group_by(
+        ["scenario"], {"interactions": mean, "instance_f1": mean, "exact_goal": fraction_true}
+    )
+    return {"detail": table, "summary": summary}
+
+
+def run_everything(*, quick: bool = True, seed: int = 41) -> Dict[str, ResultTable]:
+    """Run every experiment (quick suite by default); returns all tables by name.
+
+    This is what ``examples/full_evaluation.py`` and the EXPERIMENTS.md
+    generation use.
+    """
+    cases = quick_suite(seed) if quick else standard_suite(seed=seed)
+    tables: Dict[str, ResultTable] = {}
+    e1 = run_e1_interactions_by_strategy(cases, seed=seed)
+    tables["e1_detail"], tables["e1_summary"] = e1["detail"], e1["summary"]
+    e2 = run_e2_pruning(cases, seed=seed)
+    tables["e2_detail"], tables["e2_summary"] = e2["detail"], e2["summary"]
+    tables["e3"] = run_e3_scalability(node_counts=(100, 200, 400) if quick else (100, 200, 400, 800, 1600))
+    e4 = run_e4_path_validation(cases, seed=seed)
+    tables["e4_detail"], tables["e4_summary"] = e4["detail"], e4["summary"]
+    tables["e5"] = run_e5_learner_cost()
+    scenarios = run_scenario_comparison(cases, seed=seed)
+    tables["scenarios_detail"], tables["scenarios_summary"] = scenarios["detail"], scenarios["summary"]
+    return tables

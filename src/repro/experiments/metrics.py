@@ -1,0 +1,124 @@
+"""Result tables and aggregation helpers for the experiment harness.
+
+Experiments produce lists of flat dictionaries (rows).  :class:`ResultTable`
+renders them as aligned text tables (what the benchmark scripts print and
+what EXPERIMENTS.md records) and offers simple group-by aggregation, which
+is all the reproduction needs — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import mean, median
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+Row = Dict[str, object]
+
+
+class ResultTable:
+    """An ordered collection of rows with aligned-text rendering."""
+
+    def __init__(self, title: str, rows: Optional[Iterable[Row]] = None):
+        self.title = title
+        self.rows: List[Row] = list(rows or [])
+
+    def add(self, **row: object) -> None:
+        """Append a row."""
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Append several rows."""
+        self.rows.extend(rows)
+
+    def columns(self) -> List[str]:
+        """Column names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (markdown-ish pipes)."""
+        columns = self.columns()
+        if not columns:
+            return f"== {self.title} ==\n(empty)"
+        formatted: List[List[str]] = [[_format_cell(row.get(column, "")) for column in columns] for row in self.rows]
+        widths = [
+            max(len(column), *(len(line[index]) for line in formatted)) if formatted else len(column)
+            for index, column in enumerate(columns)
+        ]
+        header = " | ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+        separator = "-+-".join("-" * width for width in widths)
+        body = [
+            " | ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+            for line in formatted
+        ]
+        return "\n".join([f"== {self.title} ==", header, separator, *body])
+
+    def to_json(self) -> str:
+        """JSON rendering (used to archive experiment outputs)."""
+        return json.dumps({"title": self.title, "rows": self.rows}, indent=2, default=str)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the JSON rendering to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregations: Dict[str, Callable[[List[float]], float]],
+    ) -> "ResultTable":
+        """Group rows by ``keys`` and aggregate numeric columns.
+
+        ``aggregations`` maps column name -> reducer (e.g. ``mean``).
+        """
+        grouped: Dict[tuple, List[Row]] = {}
+        for row in self.rows:
+            group_key = tuple(row.get(key) for key in keys)
+            grouped.setdefault(group_key, []).append(row)
+        result = ResultTable(f"{self.title} (grouped by {', '.join(keys)})")
+        for group_key, rows in grouped.items():
+            aggregated: Row = dict(zip(keys, group_key))
+            aggregated["count"] = len(rows)
+            for column, reducer in aggregations.items():
+                values = [float(row[column]) for row in rows if _is_number(row.get(column))]
+                aggregated[column] = round(reducer(values), 4) if values else None
+            result.add(**aggregated)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def _is_number(value: object) -> bool:
+    if isinstance(value, bool):
+        return True
+    return isinstance(value, (int, float))
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def fraction_true(values: List[float]) -> float:
+    """Reducer: fraction of truthy values (for boolean columns like ``exact_goal``)."""
+    if not values:
+        return 0.0
+    return sum(1.0 for value in values if value) / len(values)
+
+
+#: Reducers re-exported for convenience in benchmark scripts.
+AGGREGATORS: Dict[str, Callable[[List[float]], float]] = {
+    "mean": mean,
+    "median": median,
+    "min": min,
+    "max": max,
+    "fraction_true": fraction_true,
+}

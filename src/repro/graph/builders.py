@@ -1,0 +1,120 @@
+"""Builders and interop helpers for :class:`~repro.graph.labeled_graph.LabeledGraph`.
+
+Besides the plain edge-list constructor on the graph class itself, this
+module provides
+
+* a fluent :class:`GraphBuilder` used by the examples and tests,
+* conversion to / from ``networkx`` MultiDiGraphs (optional dependency;
+  only imported on demand), and
+* a triple-pattern constructor for RDF-flavoured inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.labeled_graph import Edge, LabeledGraph, Label, Node
+
+
+class GraphBuilder:
+    """Fluent builder: ``GraphBuilder().edge("a", "x", "b").edge(...).build()``.
+
+    The builder exists for readability in tests and examples; it simply
+    accumulates edges and node attributes and materialises a
+    :class:`LabeledGraph` at the end.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self._name = name
+        self._edges: List[Edge] = []
+        self._nodes: Dict[Node, dict] = {}
+
+    def node(self, node: Node, **attrs) -> "GraphBuilder":
+        """Declare a node (optionally with attributes)."""
+        self._nodes.setdefault(node, {}).update(attrs)
+        return self
+
+    def edge(self, source: Node, label: Label, target: Node) -> "GraphBuilder":
+        """Add one labelled edge."""
+        self._edges.append((source, label, target))
+        return self
+
+    def path(self, start: Node, *steps: Tuple[Label, Node]) -> "GraphBuilder":
+        """Add a whole path: ``path("a", ("x", "b"), ("y", "c"))``."""
+        current = start
+        for label, node in steps:
+            self.edge(current, label, node)
+            current = node
+        return self
+
+    def chain(self, nodes: Sequence[Node], label: Label) -> "GraphBuilder":
+        """Add edges ``nodes[i] -[label]-> nodes[i+1]`` for the whole sequence."""
+        for source, target in zip(nodes, nodes[1:]):
+            self.edge(source, label, target)
+        return self
+
+    def build(self) -> LabeledGraph:
+        """Materialise the graph."""
+        graph = LabeledGraph(self._name)
+        for node, attrs in self._nodes.items():
+            graph.add_node(node, **attrs)
+        graph.add_edges(self._edges)
+        return graph
+
+
+def from_triples(triples: Iterable[Tuple[Node, Label, Node]], name: str = "graph") -> LabeledGraph:
+    """Build a graph from subject / predicate / object triples (RDF style)."""
+    return LabeledGraph.from_edges(triples, name=name)
+
+
+def to_networkx(graph: LabeledGraph):
+    """Convert to a ``networkx.MultiDiGraph`` (requires networkx).
+
+    Edge labels are stored under the ``label`` attribute; node attributes
+    are copied verbatim.
+    """
+    import networkx as nx
+
+    result = nx.MultiDiGraph(name=graph.name)
+    for node in graph.nodes():
+        result.add_node(node, **graph.node_attributes(node))
+    for source, label, target in graph.edges():
+        result.add_edge(source, target, label=label)
+    return result
+
+
+def from_networkx(nx_graph, *, label_attribute: str = "label", default_label: str = "edge") -> LabeledGraph:
+    """Convert a networkx (multi)digraph into a :class:`LabeledGraph`.
+
+    The edge label is read from ``label_attribute``; edges without it get
+    ``default_label``.
+    """
+    graph = LabeledGraph(getattr(nx_graph, "name", None) or "graph")
+    for node, attrs in nx_graph.nodes(data=True):
+        graph.add_node(node, **attrs)
+    for source, target, attrs in nx_graph.edges(data=True):
+        graph.add_edge(source, attrs.get(label_attribute, default_label), target)
+    return graph
+
+
+def merge_graphs(graphs: Sequence[LabeledGraph], name: Optional[str] = None) -> LabeledGraph:
+    """Union of several graphs (nodes identified by equality of identifiers)."""
+    merged = LabeledGraph(name or "+".join(graph.name for graph in graphs) or "merged")
+    for graph in graphs:
+        for node in graph.nodes():
+            merged.add_node(node, **graph.node_attributes(node))
+        merged.add_edges(graph.edges())
+    return merged
+
+
+def relabel_nodes(graph: LabeledGraph, mapping: Dict[Node, Node], name: Optional[str] = None) -> LabeledGraph:
+    """Return a copy of ``graph`` with node identifiers replaced via ``mapping``.
+
+    Identifiers absent from ``mapping`` are kept as-is.
+    """
+    renamed = LabeledGraph(name or graph.name)
+    for node in graph.nodes():
+        renamed.add_node(mapping.get(node, node), **graph.node_attributes(node))
+    for source, label, target in graph.edges():
+        renamed.add_edge(mapping.get(source, source), label, mapping.get(target, target))
+    return renamed

@@ -1,0 +1,230 @@
+"""Synthetic graph generators.
+
+The evaluation of the companion paper runs on synthetic and biological
+graphs.  We provide deterministic (seeded) generators covering the graph
+shapes used throughout the experiments:
+
+* uniformly random edge-labelled graphs (Erdős–Rényi style),
+* scale-free graphs (preferential attachment) with labelled edges,
+* layered DAGs (useful for path-heavy workloads),
+* grid / lattice graphs (geography-like),
+* chain and cycle graphs (worst cases for path enumeration).
+
+Every generator takes an explicit ``seed`` so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.graph.labeled_graph import LabeledGraph
+
+DEFAULT_ALPHABET: Sequence[str] = ("a", "b", "c", "d")
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def random_graph(
+    node_count: int,
+    edge_count: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    *,
+    seed: Optional[int] = None,
+    name: str = "random",
+) -> LabeledGraph:
+    """Uniformly random edge-labelled directed graph.
+
+    ``edge_count`` distinct ``(source, label, target)`` triples are drawn
+    uniformly (self-loops allowed, as in RDF-style data).  When the
+    requested number of edges exceeds the number of possible triples the
+    generator silently saturates.
+    """
+    if node_count <= 0:
+        raise ValueError("node_count must be positive")
+    if edge_count < 0:
+        raise ValueError("edge_count must be non-negative")
+    if not alphabet:
+        raise ValueError("alphabet must not be empty")
+    rng = _rng(seed)
+    graph = LabeledGraph(name)
+    nodes = [f"n{index}" for index in range(node_count)]
+    graph.add_nodes(nodes)
+    possible = node_count * node_count * len(alphabet)
+    target_edges = min(edge_count, possible)
+    attempts = 0
+    max_attempts = max(20 * target_edges, 1000)
+    while graph.edge_count < target_edges and attempts < max_attempts:
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        label = rng.choice(list(alphabet))
+        graph.add_edge(source, label, target)
+        attempts += 1
+    return graph
+
+
+def scale_free_graph(
+    node_count: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    *,
+    edges_per_node: int = 2,
+    seed: Optional[int] = None,
+    name: str = "scale-free",
+) -> LabeledGraph:
+    """Preferential-attachment graph with labelled edges.
+
+    Each new node attaches ``edges_per_node`` outgoing edges whose targets
+    are chosen proportionally to the current in-degree (plus one), which
+    yields the hub-dominated degree distribution typical of biological and
+    social networks.
+    """
+    if node_count <= 0:
+        raise ValueError("node_count must be positive")
+    if edges_per_node <= 0:
+        raise ValueError("edges_per_node must be positive")
+    rng = _rng(seed)
+    graph = LabeledGraph(name)
+    nodes = [f"n{index}" for index in range(node_count)]
+    graph.add_nodes(nodes)
+    # weights[i] = in-degree(nodes[i]) + 1; updated incrementally
+    weights: List[int] = [1] * node_count
+    for index in range(1, node_count):
+        source = nodes[index]
+        candidates = list(range(index))
+        candidate_weights = [weights[target] for target in candidates]
+        for _ in range(min(edges_per_node, index)):
+            target_index = rng.choices(candidates, weights=candidate_weights, k=1)[0]
+            label = rng.choice(list(alphabet))
+            graph.add_edge(source, label, nodes[target_index])
+            weights[target_index] += 1
+    return graph
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    *,
+    edge_probability: float = 0.5,
+    seed: Optional[int] = None,
+    name: str = "layered-dag",
+) -> LabeledGraph:
+    """Layered DAG: nodes arranged in ``layers`` layers of ``width`` nodes.
+
+    Edges only go from layer ``i`` to layer ``i + 1``; each possible edge is
+    added with ``edge_probability`` and gets a random label.  Every node of
+    a non-final layer is guaranteed at least one outgoing edge so that all
+    nodes have non-trivial path languages.
+    """
+    if layers <= 0 or width <= 0:
+        raise ValueError("layers and width must be positive")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be within [0, 1]")
+    rng = _rng(seed)
+    graph = LabeledGraph(name)
+    grid = [[f"L{layer}_{slot}" for slot in range(width)] for layer in range(layers)]
+    for row in grid:
+        graph.add_nodes(row)
+    for layer in range(layers - 1):
+        for source in grid[layer]:
+            added = False
+            for target in grid[layer + 1]:
+                if rng.random() < edge_probability:
+                    graph.add_edge(source, rng.choice(list(alphabet)), target)
+                    added = True
+            if not added:
+                target = rng.choice(grid[layer + 1])
+                graph.add_edge(source, rng.choice(list(alphabet)), target)
+    return graph
+
+
+def grid_graph(
+    rows: int,
+    columns: int,
+    *,
+    horizontal_label: str = "east",
+    vertical_label: str = "south",
+    bidirectional: bool = True,
+    name: str = "grid",
+) -> LabeledGraph:
+    """Rectangular lattice, the simplest geography-like graph.
+
+    Horizontal edges carry ``horizontal_label`` and vertical edges
+    ``vertical_label``; with ``bidirectional`` the reverse edges carry the
+    same labels (public transport usually runs both ways).
+    """
+    if rows <= 0 or columns <= 0:
+        raise ValueError("rows and columns must be positive")
+    graph = LabeledGraph(name)
+    for row in range(rows):
+        for column in range(columns):
+            graph.add_node(f"g{row}_{column}", row=row, column=column)
+    for row in range(rows):
+        for column in range(columns):
+            node = f"g{row}_{column}"
+            if column + 1 < columns:
+                east = f"g{row}_{column + 1}"
+                graph.add_edge(node, horizontal_label, east)
+                if bidirectional:
+                    graph.add_edge(east, horizontal_label, node)
+            if row + 1 < rows:
+                south = f"g{row + 1}_{column}"
+                graph.add_edge(node, vertical_label, south)
+                if bidirectional:
+                    graph.add_edge(south, vertical_label, node)
+    return graph
+
+
+def chain_graph(length: int, label: str = "next", *, name: str = "chain") -> LabeledGraph:
+    """A simple directed chain ``c0 -> c1 -> ... -> c{length}``."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    graph = LabeledGraph(name)
+    graph.add_node("c0")
+    for index in range(length):
+        graph.add_edge(f"c{index}", label, f"c{index + 1}")
+    return graph
+
+
+def cycle_graph(length: int, label: str = "next", *, name: str = "cycle") -> LabeledGraph:
+    """A directed cycle of ``length`` nodes (worst case for naive path enumeration)."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    graph = LabeledGraph(name)
+    for index in range(length):
+        graph.add_edge(f"c{index}", label, f"c{(index + 1) % length}")
+    return graph
+
+
+def star_graph(
+    branch_count: int,
+    labels: Sequence[str] = DEFAULT_ALPHABET,
+    *,
+    depth: int = 1,
+    seed: Optional[int] = None,
+    name: str = "star",
+) -> LabeledGraph:
+    """A star / shallow tree rooted at ``hub`` with ``branch_count`` branches.
+
+    Branches have ``depth`` edges each, with labels drawn round-robin (or
+    randomly when a seed is supplied).  Useful for prefix-tree tests.
+    """
+    if branch_count <= 0 or depth <= 0:
+        raise ValueError("branch_count and depth must be positive")
+    rng = _rng(seed) if seed is not None else None
+    graph = LabeledGraph(name)
+    graph.add_node("hub")
+    label_list = list(labels)
+    for branch in range(branch_count):
+        previous = "hub"
+        for level in range(depth):
+            node = f"b{branch}_{level}"
+            if rng is None:
+                label = label_list[(branch + level) % len(label_list)]
+            else:
+                label = rng.choice(label_list)
+            graph.add_edge(previous, label, node)
+            previous = node
+    return graph

@@ -1,0 +1,91 @@
+"""Serialisation of labelled graphs.
+
+Two formats are supported:
+
+* a JSON document (``{"name": ..., "nodes": [...], "edges": [...]}``) used
+  for saving / loading experiment inputs, and
+* a simple line-oriented edge-list text format (``source<TAB>label<TAB>target``)
+  convenient for interchange with external tools.
+
+Both round-trip every graph produced by this library (node attributes are
+preserved by the JSON format only).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphFormatError
+from repro.graph.labeled_graph import LabeledGraph
+
+PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: LabeledGraph) -> dict:
+    """Return a JSON-serialisable dictionary describing ``graph``."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"id": node, "attrs": graph.node_attributes(node)} for node in sorted(graph.nodes(), key=str)
+        ],
+        "edges": [list(edge) for edge in graph.to_edge_list()],
+    }
+
+
+def graph_from_dict(payload: dict) -> LabeledGraph:
+    """Rebuild a graph from the dictionary produced by :func:`graph_to_dict`."""
+    if not isinstance(payload, dict):
+        raise GraphFormatError(f"expected a dict, got {type(payload).__name__}")
+    if "edges" not in payload or "nodes" not in payload:
+        raise GraphFormatError("graph dict must contain 'nodes' and 'edges'")
+    graph = LabeledGraph(payload.get("name", "graph"))
+    for entry in payload["nodes"]:
+        if isinstance(entry, dict):
+            graph.add_node(entry["id"], **entry.get("attrs", {}))
+        else:
+            graph.add_node(entry)
+    for edge in payload["edges"]:
+        if len(edge) != 3:
+            raise GraphFormatError(f"edge must have 3 components, got {edge!r}")
+        source, label, target = edge
+        graph.add_edge(source, label, target)
+    return graph
+
+
+def save_json(graph: LabeledGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> LabeledGraph:
+    """Load a graph previously written by :func:`save_json`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise GraphFormatError(f"invalid JSON in {path}: {error}") from error
+    return graph_from_dict(payload)
+
+
+def save_edge_list(graph: LabeledGraph, path: PathLike, *, separator: str = "\t") -> None:
+    """Write ``graph`` as a ``source<sep>label<sep>target`` text file."""
+    lines = [separator.join(str(part) for part in edge) for edge in graph.to_edge_list()]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_edge_list(path: PathLike, *, separator: str = "\t", name: str = "graph") -> LabeledGraph:
+    """Load a graph from an edge-list text file."""
+    graph = LabeledGraph(name)
+    for line_number, raw_line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(separator)
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"line {line_number}: expected 3 {separator!r}-separated fields, got {len(parts)}"
+            )
+        source, label, target = parts
+        graph.add_edge(source, label, target)
+    return graph

@@ -1,0 +1,315 @@
+"""Edge-labelled directed multigraph — the graph-database model of the paper.
+
+The paper models a graph database as a finite, directed graph whose edges
+carry labels drawn from a finite alphabet (e.g. ``tram``, ``bus``,
+``cinema``).  Nodes are opaque identifiers (hashable values); parallel
+edges with distinct labels are allowed, and the same (source, label,
+target) triple is stored only once (the semantics of regular path queries
+never depend on edge multiplicity).
+
+:class:`LabeledGraph` is a plain-Python adjacency-indexed structure.  It
+is deliberately dependency-free because it sits on the hot path of every
+algorithm in the library (path enumeration, neighbourhood extraction,
+product-automaton evaluation, informativeness computation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import DuplicateNodeError, EdgeNotFoundError, NodeNotFoundError
+
+Node = Hashable
+Label = str
+Edge = Tuple[Node, Label, Node]
+
+
+class LabeledGraph:
+    """A directed graph with labelled edges.
+
+    Nodes may carry an optional attribute dictionary (used by the dataset
+    generators to store, for instance, whether a node is a neighbourhood,
+    a cinema or a restaurant); the query semantics ignore attributes.
+
+    The structure maintains both forward and backward adjacency indexes so
+    that neighbourhood extraction (which is symmetric) and query
+    evaluation (which is forward-only) are both efficient.
+    """
+
+    __slots__ = ("_succ", "_pred", "_node_attrs", "_labels", "_edge_count", "name")
+
+    def __init__(self, name: str = "graph"):
+        #: forward adjacency: node -> label -> set of successors
+        self._succ: Dict[Node, Dict[Label, Set[Node]]] = {}
+        #: backward adjacency: node -> label -> set of predecessors
+        self._pred: Dict[Node, Dict[Label, Set[Node]]] = {}
+        self._node_attrs: Dict[Node, dict] = {}
+        self._labels: Dict[Label, int] = {}
+        self._edge_count = 0
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, *, strict: bool = False, **attrs) -> Node:
+        """Add ``node`` to the graph and return it.
+
+        Adding an existing node is a no-op (its attributes are updated)
+        unless ``strict`` is true, in which case :class:`DuplicateNodeError`
+        is raised.
+        """
+        if node in self._succ:
+            if strict:
+                raise DuplicateNodeError(node)
+            if attrs:
+                self._node_attrs.setdefault(node, {}).update(attrs)
+            return node
+        self._succ[node] = {}
+        self._pred[node] = {}
+        if attrs:
+            self._node_attrs[node] = dict(attrs)
+        return node
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node of ``nodes`` (existing nodes are left untouched)."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, source: Node, label: Label, target: Node) -> Edge:
+        """Add the edge ``source -[label]-> target`` and return the triple.
+
+        Missing endpoints are created automatically.  Re-adding an existing
+        edge is a no-op.
+        """
+        self.add_node(source)
+        self.add_node(target)
+        targets = self._succ[source].setdefault(label, set())
+        if target in targets:
+            return (source, label, target)
+        targets.add(target)
+        self._pred[target].setdefault(label, set()).add(source)
+        self._labels[label] = self._labels.get(label, 0) + 1
+        self._edge_count += 1
+        return (source, label, target)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add every ``(source, label, target)`` triple of ``edges``."""
+        for source, label, target in edges:
+            self.add_edge(source, label, target)
+
+    def remove_edge(self, source: Node, label: Label, target: Node) -> None:
+        """Remove an edge; raise :class:`EdgeNotFoundError` if absent."""
+        try:
+            targets = self._succ[source][label]
+            targets.remove(target)
+        except KeyError:
+            raise EdgeNotFoundError(source, label, target) from None
+        if not targets:
+            del self._succ[source][label]
+        sources = self._pred[target][label]
+        sources.remove(source)
+        if not sources:
+            del self._pred[target][label]
+        self._labels[label] -= 1
+        if self._labels[label] == 0:
+            del self._labels[label]
+        self._edge_count -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        self._require(node)
+        for label, targets in list(self._succ[node].items()):
+            for target in list(targets):
+                self.remove_edge(node, label, target)
+        for label, sources in list(self._pred[node].items()):
+            for source in list(sources):
+                self.remove_edge(source, label, node)
+        del self._succ[node]
+        del self._pred[node]
+        self._node_attrs.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def _require(self, node: Node) -> None:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LabeledGraph {self.name!r}: {self.node_count} nodes, "
+            f"{self.edge_count} edges, {len(self._labels)} labels>"
+        )
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct labelled edges."""
+        return self._edge_count
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(source, label, target)`` triples."""
+        for source, by_label in self._succ.items():
+            for label, targets in by_label.items():
+                for target in targets:
+                    yield (source, label, target)
+
+    def has_edge(self, source: Node, label: Label, target: Node) -> bool:
+        """Return True when the edge ``source -[label]-> target`` exists."""
+        return (
+            source in self._succ
+            and label in self._succ[source]
+            and target in self._succ[source][label]
+        )
+
+    def alphabet(self) -> FrozenSet[Label]:
+        """The set of edge labels used in the graph."""
+        return frozenset(self._labels)
+
+    def label_counts(self) -> Dict[Label, int]:
+        """Return a mapping label -> number of edges carrying it."""
+        return dict(self._labels)
+
+    def node_attributes(self, node: Node) -> dict:
+        """Return the attribute dictionary of ``node`` (possibly empty)."""
+        self._require(node)
+        return dict(self._node_attrs.get(node, {}))
+
+    def set_node_attributes(self, node: Node, **attrs) -> None:
+        """Update the attribute dictionary of ``node``."""
+        self._require(node)
+        self._node_attrs.setdefault(node, {}).update(attrs)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_edges(self, node: Node) -> Iterator[Tuple[Label, Node]]:
+        """Iterate over the outgoing ``(label, target)`` pairs of ``node``."""
+        self._require(node)
+        for label, targets in self._succ[node].items():
+            for target in targets:
+                yield (label, target)
+
+    def in_edges(self, node: Node) -> Iterator[Tuple[Label, Node]]:
+        """Iterate over the incoming ``(label, source)`` pairs of ``node``."""
+        self._require(node)
+        for label, sources in self._pred[node].items():
+            for source in sources:
+                yield (label, source)
+
+    def successors(self, node: Node, label: Optional[Label] = None) -> Set[Node]:
+        """Return the successors of ``node`` (optionally via ``label`` only)."""
+        self._require(node)
+        if label is not None:
+            return set(self._succ[node].get(label, ()))
+        result: Set[Node] = set()
+        for targets in self._succ[node].values():
+            result.update(targets)
+        return result
+
+    def predecessors(self, node: Node, label: Optional[Label] = None) -> Set[Node]:
+        """Return the predecessors of ``node`` (optionally via ``label`` only)."""
+        self._require(node)
+        if label is not None:
+            return set(self._pred[node].get(label, ()))
+        result: Set[Node] = set()
+        for sources in self._pred[node].values():
+            result.update(sources)
+        return result
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
+        self._require(node)
+        return sum(len(targets) for targets in self._succ[node].values())
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
+        self._require(node)
+        return sum(len(sources) for sources in self._pred[node].values())
+
+    def degree(self, node: Node) -> int:
+        """Total degree (in + out) of ``node``."""
+        return self.in_degree(node) + self.out_degree(node)
+
+    def out_labels(self, node: Node) -> Set[Label]:
+        """The set of labels on outgoing edges of ``node``."""
+        self._require(node)
+        return set(self._succ[node])
+
+    # ------------------------------------------------------------------
+    # copies / views
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "LabeledGraph":
+        """Return an independent copy of the graph."""
+        clone = LabeledGraph(name or self.name)
+        for node in self._succ:
+            clone.add_node(node, **self._node_attrs.get(node, {}))
+        clone.add_edges(self.edges())
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node], name: Optional[str] = None) -> "LabeledGraph":
+        """Return the subgraph induced by ``nodes``.
+
+        Unknown nodes in ``nodes`` are ignored, so callers can pass
+        speculative node sets (e.g. a neighbourhood frontier) without
+        pre-filtering.
+        """
+        keep = {node for node in nodes if node in self._succ}
+        sub = LabeledGraph(name or f"{self.name}-sub")
+        for node in keep:
+            sub.add_node(node, **self._node_attrs.get(node, {}))
+        for node in keep:
+            for label, targets in self._succ[node].items():
+                for target in targets:
+                    if target in keep:
+                        sub.add_edge(node, label, target)
+        return sub
+
+    def reverse(self, name: Optional[str] = None) -> "LabeledGraph":
+        """Return a copy with every edge direction flipped."""
+        rev = LabeledGraph(name or f"{self.name}-reversed")
+        for node in self._succ:
+            rev.add_node(node, **self._node_attrs.get(node, {}))
+        for source, label, target in self.edges():
+            rev.add_edge(target, label, source)
+        return rev
+
+    # ------------------------------------------------------------------
+    # equality (structural)
+    # ------------------------------------------------------------------
+    def structurally_equal(self, other: "LabeledGraph") -> bool:
+        """True when both graphs have the same node set and edge set."""
+        if set(self.nodes()) != set(other.nodes()):
+            return False
+        return set(self.edges()) == set(other.edges())
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], name: str = "graph") -> "LabeledGraph":
+        """Build a graph from an iterable of ``(source, label, target)`` triples."""
+        graph = cls(name)
+        graph.add_edges(edges)
+        return graph
+
+    def to_edge_list(self) -> List[Edge]:
+        """Return a sorted list of all edges (stable across runs)."""
+        return sorted(self.edges(), key=lambda edge: (str(edge[0]), edge[1], str(edge[2])))

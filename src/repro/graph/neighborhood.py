@@ -1,0 +1,208 @@
+"""Neighbourhood extraction — the "zoom" primitive of the interactive scenario.
+
+When GPS proposes a node to the user it does not show the whole graph:
+it shows the *neighbourhood* of the node, i.e. the subgraph induced by all
+nodes and edges at distance at most ``k`` from it (initially ``k = 2``,
+Figure 3(a)).  The user may *zoom out*, which increases ``k`` by one
+(Figure 3(b)); the newly revealed nodes and edges are highlighted.
+
+The neighbourhood also records its *frontier*: the nodes of the fragment
+that still have edges leaving the fragment.  The front-end renders those
+as ``...`` continuations, exactly as in the figures of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.labeled_graph import Edge, LabeledGraph, Node
+
+
+@dataclass(frozen=True)
+class Neighborhood:
+    """A bounded fragment of the graph centred on a node.
+
+    Attributes
+    ----------
+    center:
+        The node the fragment is centred on (the node proposed to the user).
+    radius:
+        The distance bound used to build the fragment.
+    graph:
+        The induced subgraph (a :class:`LabeledGraph`).
+    distances:
+        Mapping node -> distance from the centre (ignoring edge direction).
+    frontier:
+        Nodes of the fragment that have at least one edge (in either
+        direction) to a node outside the fragment; rendered as ``...``.
+    """
+
+    center: Node
+    radius: int
+    graph: LabeledGraph
+    distances: Dict[Node, int] = field(compare=False)
+    frontier: FrozenSet[Node] = frozenset()
+
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        """The node set of the fragment."""
+        return frozenset(self.graph.nodes())
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The edge set of the fragment."""
+        return frozenset(self.graph.edges())
+
+    def contains(self, node: Node) -> bool:
+        """True when ``node`` belongs to the fragment."""
+        return node in self.graph
+
+
+@dataclass(frozen=True)
+class NeighborhoodDelta:
+    """The difference between two nested neighbourhoods (zoom out).
+
+    The front-end highlights ``new_nodes`` and ``new_edges`` (drawn in blue
+    in Figure 3(b) of the paper).
+    """
+
+    previous: Neighborhood
+    current: Neighborhood
+    new_nodes: FrozenSet[Node]
+    new_edges: FrozenSet[Edge]
+
+    @property
+    def grew(self) -> bool:
+        """True when zooming out actually revealed something new."""
+        return bool(self.new_nodes or self.new_edges)
+
+
+def extract_neighborhood(
+    graph: LabeledGraph,
+    center: Node,
+    radius: int,
+    *,
+    directed: bool = False,
+) -> Neighborhood:
+    """Build the neighbourhood of ``center`` at distance at most ``radius``.
+
+    By default distance is measured ignoring edge direction (as in the
+    paper's figures, where incoming and outgoing context both help the
+    user decide); pass ``directed=True`` to only follow outgoing edges.
+    """
+    if center not in graph:
+        raise NodeNotFoundError(center)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+
+    distances: Dict[Node, int] = {center: 0}
+    frontier: Set[Node] = {center}
+    for step in range(1, radius + 1):
+        next_frontier: Set[Node] = set()
+        for node in frontier:
+            neighbors: Set[Node] = set(graph.successors(node))
+            if not directed:
+                neighbors |= graph.predecessors(node)
+            for other in neighbors:
+                if other not in distances:
+                    distances[other] = step
+                    next_frontier.add(other)
+        frontier = next_frontier
+        if not frontier:
+            break
+
+    fragment = graph.subgraph(distances, name=f"{graph.name}:N({center},{radius})")
+
+    boundary: Set[Node] = set()
+    for node in fragment.nodes():
+        outside_out = any(target not in distances for target in graph.successors(node))
+        outside_in = False
+        if not directed:
+            outside_in = any(source not in distances for source in graph.predecessors(node))
+        if outside_out or outside_in:
+            boundary.add(node)
+
+    return Neighborhood(
+        center=center,
+        radius=radius,
+        graph=fragment,
+        distances=distances,
+        frontier=frozenset(boundary),
+    )
+
+
+def zoom_out(
+    graph: LabeledGraph,
+    neighborhood: Neighborhood,
+    *,
+    step: int = 1,
+    directed: bool = False,
+) -> NeighborhoodDelta:
+    """Grow a neighbourhood by ``step`` and report what became visible.
+
+    Returns a :class:`NeighborhoodDelta` whose ``current`` field is the
+    enlarged neighbourhood and whose ``new_nodes`` / ``new_edges`` are the
+    elements absent from the previous fragment (the blue elements of
+    Figure 3(b)).
+    """
+    if step < 1:
+        raise ValueError(f"zoom step must be positive, got {step}")
+    enlarged = extract_neighborhood(
+        graph, neighborhood.center, neighborhood.radius + step, directed=directed
+    )
+    new_nodes = enlarged.nodes - neighborhood.nodes
+    new_edges = enlarged.edges - neighborhood.edges
+    return NeighborhoodDelta(
+        previous=neighborhood,
+        current=enlarged,
+        new_nodes=frozenset(new_nodes),
+        new_edges=frozenset(new_edges),
+    )
+
+
+def neighborhood_chain(
+    graph: LabeledGraph,
+    center: Node,
+    radii: Tuple[int, ...] = (2, 3),
+    *,
+    directed: bool = False,
+) -> Tuple[Neighborhood, ...]:
+    """Convenience: build neighbourhoods of ``center`` at each radius in ``radii``.
+
+    Used by the figure-reproduction harness to produce the Figure 3(a)
+    and 3(b) fragments in one call.
+    """
+    if center not in graph:
+        raise NodeNotFoundError(center)
+    return tuple(
+        extract_neighborhood(graph, center, radius, directed=directed) for radius in radii
+    )
+
+
+def eccentricity_bound(graph: LabeledGraph, center: Node, *, directed: bool = False) -> int:
+    """Smallest radius whose neighbourhood covers every node reachable from ``center``.
+
+    Zooming out beyond this radius never reveals anything new, so the
+    interactive session uses it to disable the zoom action.
+    """
+    if center not in graph:
+        raise NodeNotFoundError(center)
+    distances: Dict[Node, int] = {center: 0}
+    frontier: Set[Node] = {center}
+    radius = 0
+    while frontier:
+        next_frontier: Set[Node] = set()
+        for node in frontier:
+            neighbors: Set[Node] = set(graph.successors(node))
+            if not directed:
+                neighbors |= graph.predecessors(node)
+            for other in neighbors:
+                if other not in distances:
+                    distances[other] = radius + 1
+                    next_frontier.add(other)
+        if next_frontier:
+            radius += 1
+        frontier = next_frontier
+    return radius

@@ -1,0 +1,267 @@
+"""Path enumeration on edge-labelled graphs.
+
+The learning algorithm of the paper works on *paths*: a path of a node
+``v`` is a sequence of edges starting at ``v``; its *word* is the sequence
+of labels along the edges.  The interactive scenario needs to
+
+* enumerate all words of bounded length starting at a node (to build the
+  prefix tree of Figure 3(c)),
+* find the shortest word of a node that is not covered by any negative
+  node (step (i) of the learning algorithm), and
+* test whether a given word can be spelled starting from a node.
+
+Paths here are *simple in labels only* — node repetition is allowed, as
+in the paper, because regular path queries quantify over arbitrary paths
+(e.g. ``(tram+bus)*`` may revisit a neighbourhood).  To keep enumeration
+finite we always bound the length.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.labeled_graph import LabeledGraph, Label, Node
+
+Word = Tuple[Label, ...]
+
+
+class Path:
+    """A concrete path: an anchored sequence of ``(label, node)`` steps.
+
+    ``Path(start, steps)`` represents ``start -[l1]-> n1 -[l2]-> n2 ...``
+    where ``steps = [(l1, n1), (l2, n2), ...]``.  The empty path of a node
+    has no steps and the empty word.
+    """
+
+    __slots__ = ("start", "steps")
+
+    def __init__(self, start: Node, steps: Sequence[Tuple[Label, Node]] = ()):
+        self.start = start
+        self.steps: Tuple[Tuple[Label, Node], ...] = tuple(steps)
+
+    @property
+    def word(self) -> Word:
+        """The label word spelled by the path."""
+        return tuple(label for label, _ in self.steps)
+
+    @property
+    def end(self) -> Node:
+        """The final node of the path (the start node for the empty path)."""
+        return self.steps[-1][1] if self.steps else self.start
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes along the path, start included."""
+        return (self.start,) + tuple(node for _, node in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.start == other.start and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.steps))
+
+    def __repr__(self) -> str:
+        if not self.steps:
+            return f"Path({self.start!r}, <empty>)"
+        rendered = str(self.start)
+        for label, node in self.steps:
+            rendered += f" -[{label}]-> {node}"
+        return f"Path({rendered})"
+
+    def extend(self, label: Label, node: Node) -> "Path":
+        """Return a new path with one extra step appended."""
+        return Path(self.start, self.steps + ((label, node),))
+
+
+def iter_paths(
+    graph: LabeledGraph,
+    start: Node,
+    max_length: int,
+    *,
+    include_empty: bool = False,
+) -> Iterator[Path]:
+    """Enumerate paths starting at ``start`` with at most ``max_length`` edges.
+
+    Enumeration is breadth-first, so shorter paths are produced before
+    longer ones; among paths of equal length the order follows the sorted
+    order of ``(label, target)`` pairs, which makes the output
+    deterministic.
+    """
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    root = Path(start)
+    if include_empty:
+        yield root
+    queue: deque[Path] = deque([root])
+    while queue:
+        path = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for label, target in sorted(graph.out_edges(path.end), key=lambda step: (step[0], str(step[1]))):
+            extended = path.extend(label, target)
+            yield extended
+            queue.append(extended)
+
+
+def words_from(
+    graph: LabeledGraph,
+    start: Node,
+    max_length: int,
+    *,
+    include_empty: bool = False,
+) -> Set[Word]:
+    """Return the set of distinct words of length ≤ ``max_length`` from ``start``.
+
+    Distinct paths may spell the same word; the word set is what the
+    learning algorithm and the informativeness computation reason about.
+    A breadth-first traversal over *sets of frontier nodes per word* keeps
+    the cost proportional to the number of distinct words rather than the
+    (potentially exponential) number of paths.
+    """
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    words: Set[Word] = set()
+    if include_empty:
+        words.add(())
+    # frontier maps a word to the set of nodes reachable by spelling it
+    frontier: Dict[Word, Set[Node]] = {(): {start}}
+    for _ in range(max_length):
+        next_frontier: Dict[Word, Set[Node]] = {}
+        for word, nodes in frontier.items():
+            for node in nodes:
+                for label, target in graph.out_edges(node):
+                    extended = word + (label,)
+                    next_frontier.setdefault(extended, set()).add(target)
+        if not next_frontier:
+            break
+        words.update(next_frontier)
+        frontier = next_frontier
+    return words
+
+
+def has_word(graph: LabeledGraph, start: Node, word: Sequence[Label]) -> bool:
+    """Return True when ``word`` can be spelled along some path from ``start``."""
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    current: Set[Node] = {start}
+    for label in word:
+        following: Set[Node] = set()
+        for node in current:
+            following.update(graph.successors(node, label))
+        if not following:
+            return False
+        current = following
+    return True
+
+
+def paths_spelling(
+    graph: LabeledGraph, start: Node, word: Sequence[Label]
+) -> List[Path]:
+    """Return every path from ``start`` spelling exactly ``word``."""
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    partial: List[Path] = [Path(start)]
+    for label in word:
+        extended: List[Path] = []
+        for path in partial:
+            for target in sorted(graph.successors(path.end, label), key=str):
+                extended.append(path.extend(label, target))
+        if not extended:
+            return []
+        partial = extended
+    return partial
+
+
+def shortest_words(
+    graph: LabeledGraph,
+    start: Node,
+    max_length: int,
+    *,
+    excluded: Optional[Iterable[Word]] = None,
+    limit: Optional[int] = None,
+) -> List[Word]:
+    """Return the shortest distinct words from ``start`` not in ``excluded``.
+
+    Words are produced in order of increasing length (ties broken
+    lexicographically) which is exactly the preference order used by the
+    learning algorithm when it picks a candidate path for a positive node.
+    ``limit`` truncates the result once that many words have been found.
+    """
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    banned: Set[Word] = set(excluded) if excluded is not None else set()
+    found: List[Word] = []
+    frontier: Dict[Word, Set[Node]] = {(): {start}}
+    for _ in range(max_length):
+        next_frontier: Dict[Word, Set[Node]] = {}
+        for word, nodes in frontier.items():
+            for node in nodes:
+                for label, target in graph.out_edges(node):
+                    extended = word + (label,)
+                    next_frontier.setdefault(extended, set()).add(target)
+        if not next_frontier:
+            break
+        for word in sorted(next_frontier):
+            if word not in banned:
+                found.append(word)
+                if limit is not None and len(found) >= limit:
+                    return found
+        frontier = next_frontier
+    return found
+
+
+def word_count_by_length(
+    graph: LabeledGraph, start: Node, max_length: int
+) -> Dict[int, int]:
+    """Return a mapping ``length -> number of distinct words`` from ``start``.
+
+    This is the quantity used by the *most informative paths* strategy:
+    nodes with many short distinct words uncovered by negatives are good
+    candidates to show the user.
+    """
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    counts: Dict[int, int] = {}
+    frontier: Dict[Word, Set[Node]] = {(): {start}}
+    for length in range(1, max_length + 1):
+        next_frontier: Dict[Word, Set[Node]] = {}
+        for word, nodes in frontier.items():
+            for node in nodes:
+                for label, target in graph.out_edges(node):
+                    extended = word + (label,)
+                    next_frontier.setdefault(extended, set()).add(target)
+        if not next_frontier:
+            break
+        counts[length] = len(next_frontier)
+        frontier = next_frontier
+    return counts
+
+
+def reachable_nodes(graph: LabeledGraph, start: Node, max_distance: Optional[int] = None) -> Set[Node]:
+    """Return all nodes reachable from ``start`` following edge directions.
+
+    ``max_distance`` bounds the number of hops; ``None`` means unbounded.
+    The start node itself is always included.
+    """
+    if start not in graph:
+        raise NodeNotFoundError(start)
+    seen: Set[Node] = {start}
+    frontier: Set[Node] = {start}
+    distance = 0
+    while frontier and (max_distance is None or distance < max_distance):
+        next_frontier: Set[Node] = set()
+        for node in frontier:
+            for _, target in graph.out_edges(node):
+                if target not in seen:
+                    seen.add(target)
+                    next_frontier.add(target)
+        frontier = next_frontier
+        distance += 1
+    return seen

@@ -1,0 +1,85 @@
+"""Interactive query specification: strategies, sessions, oracles, scenarios."""
+
+from repro.interactive.strategies import (
+    STRATEGY_REGISTRY,
+    BreadthStrategy,
+    DegreeStrategy,
+    MostInformativePathsStrategy,
+    RandomInformativeStrategy,
+    RandomStrategy,
+    Strategy,
+    make_strategy,
+)
+from repro.interactive.halt import (
+    AllOf,
+    AnyOf,
+    GoalQueryReached,
+    HaltCondition,
+    HaltContext,
+    MaxInteractions,
+    NoInformativeNodeLeft,
+    UserSatisfied,
+    default_halt_condition,
+)
+from repro.interactive.oracle import NoisyUser, SimulatedUser
+from repro.interactive.session import (
+    DEFAULT_INITIAL_RADIUS,
+    DEFAULT_MAX_RADIUS,
+    InteractionRecord,
+    InteractiveSession,
+    SessionResult,
+)
+from repro.interactive.scenarios import (
+    ScenarioReport,
+    run_all_scenarios,
+    run_interactive_with_validation,
+    run_interactive_without_validation,
+    run_static_labeling,
+)
+from repro.interactive.console import ConsoleUser, TranscriptUser
+from repro.interactive.transcript import (
+    SessionTranscript,
+    TranscriptEntry,
+    record_session,
+    replay_transcript,
+)
+from repro.interactive import visualization
+
+__all__ = [
+    "STRATEGY_REGISTRY",
+    "BreadthStrategy",
+    "DegreeStrategy",
+    "MostInformativePathsStrategy",
+    "RandomInformativeStrategy",
+    "RandomStrategy",
+    "Strategy",
+    "make_strategy",
+    "AllOf",
+    "AnyOf",
+    "GoalQueryReached",
+    "HaltCondition",
+    "HaltContext",
+    "MaxInteractions",
+    "NoInformativeNodeLeft",
+    "UserSatisfied",
+    "default_halt_condition",
+    "NoisyUser",
+    "SimulatedUser",
+    "DEFAULT_INITIAL_RADIUS",
+    "DEFAULT_MAX_RADIUS",
+    "InteractionRecord",
+    "InteractiveSession",
+    "SessionResult",
+    "ScenarioReport",
+    "run_all_scenarios",
+    "run_interactive_with_validation",
+    "run_interactive_without_validation",
+    "run_static_labeling",
+    "ConsoleUser",
+    "TranscriptUser",
+    "SessionTranscript",
+    "TranscriptEntry",
+    "record_session",
+    "replay_transcript",
+    "visualization",
+]

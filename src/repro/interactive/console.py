@@ -1,0 +1,144 @@
+"""A minimal console front-end for GPS.
+
+The demo paper's GUI asks a human attendee the three kinds of question
+(label a node, zoom out, validate a path).  :class:`ConsoleUser` adapts a
+terminal user to the same oracle protocol the
+:class:`~repro.interactive.session.InteractiveSession` expects, so the
+full interactive system can be driven from a shell::
+
+    python -m repro.interactive.console        # runs on the Figure 1 graph
+
+:class:`TranscriptUser` replays a scripted sequence of answers — handy for
+tests of the console pathway and for reproducible walkthroughs in the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.automata.prefix_tree import PathPrefixTree
+from repro.exceptions import OracleError
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.graph.neighborhood import Neighborhood
+from repro.interactive.visualization import render_neighborhood_text, render_prefix_tree_text
+from repro.learning.examples import Word
+
+
+class ConsoleUser:
+    """Oracle protocol implementation backed by ``input()`` / ``print()``.
+
+    ``input_fn`` and ``output_fn`` are injectable for testing.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        *,
+        input_fn: Callable[[str], str] = input,
+        output_fn: Callable[[str], None] = print,
+    ):
+        self.graph = graph
+        self._input = input_fn
+        self._output = output_fn
+        self._pending_neighborhood: Optional[Neighborhood] = None
+
+    # -- oracle protocol ----------------------------------------------------
+    def wants_zoom(self, node: Node, neighborhood: Neighborhood) -> bool:
+        self._output(render_neighborhood_text(neighborhood))
+        answer = self._ask(f"zoom out around {node}? [y/N] ")
+        return answer.strip().lower().startswith("y")
+
+    def label(self, node: Node) -> bool:
+        while True:
+            answer = self._ask(f"is {node} part of your intended result? [y/n] ").strip().lower()
+            if answer.startswith("y"):
+                return True
+            if answer.startswith("n"):
+                return False
+            self._output("please answer 'y' or 'n'")
+
+    def validate_path(self, node: Node, tree: PathPrefixTree) -> Optional[Word]:
+        self._output(render_prefix_tree_text(tree))
+        highlighted = tree.highlighted_word()
+        prompt = "validate the highlighted path (enter), type another path as dot-separated labels, or 'skip': "
+        while True:
+            answer = self._ask(prompt).strip()
+            if not answer:
+                return highlighted
+            if answer.lower() == "skip":
+                return None
+            word = tuple(part for part in answer.split(".") if part)
+            if tree.contains(word):
+                return word
+            self._output(f"'{answer}' is not a path of the tree, try again")
+
+    # -- helpers --------------------------------------------------------
+    def _ask(self, prompt: str) -> str:
+        try:
+            return self._input(prompt)
+        except EOFError as error:
+            raise OracleError("console input closed") from error
+
+
+class TranscriptUser:
+    """Replays scripted answers; raises when the script runs out.
+
+    The script is a sequence of items, consumed in order:
+
+    * ``("label", node, True/False)``
+    * ``("zoom", node, True/False)``
+    * ``("validate", node, word_or_None)``
+
+    The node component is checked against the session's actual question so
+    transcripts fail loudly when the strategy changes.
+    """
+
+    def __init__(self, script: Iterable[Tuple]):
+        self._script: Iterator[Tuple] = iter(list(script))
+        self.consumed: List[Tuple] = []
+
+    def _next(self, expected_kind: str, node: Node) -> Tuple:
+        try:
+            item = next(self._script)
+        except StopIteration:
+            raise OracleError(
+                f"transcript exhausted while answering {expected_kind!r} for {node!r}"
+            ) from None
+        kind, scripted_node = item[0], item[1]
+        if kind != expected_kind or scripted_node != node:
+            raise OracleError(
+                f"transcript mismatch: expected {expected_kind!r} for {node!r}, "
+                f"script has {kind!r} for {scripted_node!r}"
+            )
+        self.consumed.append(item)
+        return item
+
+    def wants_zoom(self, node: Node, neighborhood: Neighborhood) -> bool:
+        return bool(self._next("zoom", node)[2])
+
+    def label(self, node: Node) -> bool:
+        return bool(self._next("label", node)[2])
+
+    def validate_path(self, node: Node, tree: PathPrefixTree) -> Optional[Word]:
+        answer = self._next("validate", node)[2]
+        return tuple(answer) if answer is not None else None
+
+
+def run_console_demo(graph: Optional[LabeledGraph] = None) -> None:  # pragma: no cover - interactive
+    """Entry point: run the full interactive loop on a console."""
+    from repro.graph.datasets import motivating_example
+    from repro.interactive.session import InteractiveSession
+
+    graph = graph or motivating_example()
+    user = ConsoleUser(graph)
+    session = InteractiveSession(graph, user, max_interactions=20)
+    result = session.run()
+    if result.learned_query is None:
+        print("no query could be learned")
+    else:
+        print(f"learned query: {result.learned_query}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_console_demo()

@@ -1,0 +1,158 @@
+"""Simulated users (oracles).
+
+The demo lets EDBT attendees answer the interactive questions; for an
+offline, repeatable evaluation we replace the human with a
+:class:`SimulatedUser` that holds a hidden *goal query* and answers
+exactly the questions the GPS front-end would ask a person:
+
+* ``label(node)`` — "Yes/No": is the node part of the intended result?
+  Answered by evaluating the goal query on the graph.
+* ``wants_zoom(node, neighborhood)`` — would the user zoom out before
+  answering?  The simulated user zooms while the currently visible
+  fragment contains no witness path for her decision (positive nodes) or
+  until a configurable patience runs out (negative nodes), mirroring how a
+  person keeps zooming until she can see why a node is (not) interesting.
+* ``validate_path(node, tree)`` — given the prefix tree of candidate
+  words, confirm the highlighted one or pick the word that the goal query
+  accepts (the user corrects the system, Figure 3(c)).
+
+A :class:`NoisyUser` wrapper flips labels with a configurable probability
+to study robustness (used by an ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.automata.prefix_tree import PathPrefixTree
+from repro.exceptions import OracleError
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.graph.neighborhood import Neighborhood
+from repro.query.evaluation import evaluate, witness_path
+from repro.query.rpq import PathQuery
+from repro.regex.ast import Regex
+
+Word = Tuple[str, ...]
+
+
+class SimulatedUser:
+    """An oracle answering interactive questions according to a goal query."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        goal: Union[str, Regex, PathQuery],
+        *,
+        zoom_patience: int = 2,
+    ):
+        self.graph = graph
+        self.goal = goal if isinstance(goal, PathQuery) else PathQuery(goal)
+        self.zoom_patience = zoom_patience
+        self._answer = frozenset(evaluate(graph, self.goal))
+        #: statistics the experiment harness reads back
+        self.labels_answered = 0
+        self.zooms_requested = 0
+        self.paths_validated = 0
+        self.paths_corrected = 0
+
+    # ------------------------------------------------------------------
+    # the three question types
+    # ------------------------------------------------------------------
+    @property
+    def goal_answer(self) -> frozenset:
+        """The set of nodes the user ultimately wants."""
+        return self._answer
+
+    def label(self, node: Node) -> bool:
+        """Positive / negative answer for ``node``."""
+        if node not in self.graph:
+            raise OracleError(f"asked to label unknown node {node!r}")
+        self.labels_answered += 1
+        return node in self._answer
+
+    def wants_zoom(self, node: Node, neighborhood: Neighborhood) -> bool:
+        """Whether the user asks to zoom out before labelling ``node``.
+
+        For a positive node the user zooms until the visible fragment
+        contains a full witness path of the goal query; for a negative node
+        she zooms at most ``zoom_patience`` times (modelling "I looked
+        around a bit and found nothing of interest").
+        """
+        if node in self._answer:
+            witness = witness_path(self.graph, self.goal, node)
+            if witness is None:
+                return False
+            visible = all(step_node in neighborhood.graph for step_node in witness.nodes)
+            if not visible and neighborhood.radius < len(witness) :
+                self.zooms_requested += 1
+                return True
+            return False
+        if neighborhood.radius < self.zoom_patience:
+            self.zooms_requested += 1
+            return True
+        return False
+
+    def validate_path(self, node: Node, tree: PathPrefixTree) -> Optional[Word]:
+        """Pick the path of interest in the prefix tree (Figure 3(c)).
+
+        Returns the highlighted word when the goal query accepts it,
+        otherwise the shortest word of the tree accepted by the goal query;
+        ``None`` when no word of the tree is accepted (the session will
+        then fall back to the shortest uncovered word).
+        """
+        self.paths_validated += 1
+        highlighted = tree.highlighted_word()
+        if highlighted is not None and self.goal.accepts_word(highlighted):
+            return highlighted
+        accepted = [word for word in tree.words() if self.goal.accepts_word(word)]
+        if not accepted:
+            return None
+        accepted.sort(key=lambda word: (len(word), word))
+        self.paths_corrected += 1
+        return accepted[0]
+
+    def satisfied_with(self, hypothesis: PathQuery) -> bool:
+        """Instance-level satisfaction: the hypothesis returns her answer set."""
+        return frozenset(evaluate(self.graph, hypothesis)) == self._answer
+
+    def statistics(self) -> dict:
+        """Interaction counters (for experiment reports)."""
+        return {
+            "labels": self.labels_answered,
+            "zooms": self.zooms_requested,
+            "validations": self.paths_validated,
+            "corrections": self.paths_corrected,
+        }
+
+
+class NoisyUser(SimulatedUser):
+    """A simulated user that flips node labels with probability ``noise``.
+
+    Path validation stays faithful (the user sees the paths in front of
+    her); only the quick Yes/No node answers are noisy.  Used to study how
+    the learner degrades with labelling mistakes.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        goal: Union[str, Regex, PathQuery],
+        *,
+        noise: float = 0.1,
+        seed: Optional[int] = None,
+        zoom_patience: int = 2,
+    ):
+        super().__init__(graph, goal, zoom_patience=zoom_patience)
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be within [0, 1]")
+        self.noise = noise
+        self._rng = random.Random(seed)
+        self.flipped_labels = 0
+
+    def label(self, node: Node) -> bool:
+        truthful = super().label(node)
+        if self._rng.random() < self.noise:
+            self.flipped_labels += 1
+            return not truthful
+        return truthful

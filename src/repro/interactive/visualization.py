@@ -1,0 +1,182 @@
+"""Rendering of neighbourhoods and prefix trees.
+
+The demo's GUI draws small graph fragments and prefix trees; here we emit
+the same artefacts as text (for the console front-end and the examples)
+and as Graphviz DOT (for anyone who wants pictures).  The renderers
+reproduce the visual conventions of Figure 3:
+
+* nodes on the fragment's frontier are suffixed with `` ...`` (parts of
+  the graph exist beyond the fragment);
+* when rendering a zoom-out delta, newly revealed nodes and edges are
+  marked (``[new]`` in text, coloured blue in DOT);
+* in the prefix tree, the highlighted candidate path is marked with ``>>``
+  (text) or drawn bold (DOT).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.automata.prefix_tree import PathPrefixTree, PathTreeNode
+from repro.graph.labeled_graph import Edge, LabeledGraph, Node
+from repro.graph.neighborhood import Neighborhood, NeighborhoodDelta
+
+
+# ----------------------------------------------------------------------
+# text rendering
+# ----------------------------------------------------------------------
+def render_neighborhood_text(
+    neighborhood: Neighborhood,
+    *,
+    new_nodes: Optional[Set[Node]] = None,
+    new_edges: Optional[Set[Edge]] = None,
+    labels: Optional[dict] = None,
+) -> str:
+    """Multi-line text rendering of a neighbourhood fragment.
+
+    ``new_nodes`` / ``new_edges`` mark zoom-out additions; ``labels`` maps
+    nodes to ``'+'`` / ``'-'`` marks for already-labelled examples.
+    """
+    new_nodes = new_nodes or set()
+    new_edges = new_edges or set()
+    labels = labels or {}
+    lines: List[str] = [
+        f"neighborhood of {neighborhood.center} (radius {neighborhood.radius})"
+    ]
+    for node in sorted(neighborhood.graph.nodes(), key=str):
+        marks = []
+        if node == neighborhood.center:
+            marks.append("*")
+        if node in labels:
+            marks.append(labels[node])
+        if node in new_nodes:
+            marks.append("[new]")
+        if node in neighborhood.frontier:
+            marks.append("...")
+        suffix = (" " + " ".join(marks)) if marks else ""
+        lines.append(f"  node {node}{suffix}")
+    for edge in sorted(neighborhood.graph.edges(), key=lambda item: (str(item[0]), item[1], str(item[2]))):
+        source, label, target = edge
+        marker = " [new]" if edge in new_edges else ""
+        lines.append(f"  {source} -[{label}]-> {target}{marker}")
+    return "\n".join(lines)
+
+
+def render_zoom_text(delta: NeighborhoodDelta, *, labels: Optional[dict] = None) -> str:
+    """Render the enlarged neighbourhood of a zoom-out, new elements marked."""
+    return render_neighborhood_text(
+        delta.current,
+        new_nodes=set(delta.new_nodes),
+        new_edges=set(delta.new_edges),
+        labels=labels,
+    )
+
+
+def render_prefix_tree_text(tree: PathPrefixTree) -> str:
+    """ASCII rendering of the Figure 3(c) prefix tree.
+
+    Each line shows one label step; the highlighted candidate path's final
+    step is prefixed with ``>>``.
+    """
+    lines: List[str] = [f"paths of {tree.origin}"]
+
+    def visit(node: PathTreeNode, depth: int) -> None:
+        for symbol in sorted(node.children):
+            child = node.children[symbol]
+            marker = ">> " if child.highlighted else "   "
+            endpoint = f"  -> {', '.join(str(end) for end in child.endpoints)}" if child.endpoints else ""
+            lines.append(f"{marker}{'  ' * depth}{symbol}{endpoint}")
+            visit(child, depth + 1)
+
+    visit(tree.root, 0)
+    return "\n".join(lines)
+
+
+def render_query_answer_text(graph: LabeledGraph, answer: Iterable[Node]) -> str:
+    """One-line rendering of a query answer set."""
+    nodes = sorted(answer, key=str)
+    return f"{len(nodes)} node(s): " + ", ".join(str(node) for node in nodes)
+
+
+# ----------------------------------------------------------------------
+# DOT rendering
+# ----------------------------------------------------------------------
+def _dot_escape(value) -> str:
+    return str(value).replace('"', '\\"')
+
+
+def render_graph_dot(
+    graph: LabeledGraph,
+    *,
+    highlight_nodes: Optional[Set[Node]] = None,
+    highlight_edges: Optional[Set[Edge]] = None,
+    frontier: Optional[Set[Node]] = None,
+    name: str = "G",
+) -> str:
+    """Graphviz DOT for a graph fragment (highlights drawn in blue)."""
+    highlight_nodes = highlight_nodes or set()
+    highlight_edges = highlight_edges or set()
+    frontier = frontier or set()
+    lines = [f'digraph "{_dot_escape(name)}" {{', "  rankdir=LR;", "  node [shape=ellipse];"]
+    for node in sorted(graph.nodes(), key=str):
+        attrs = []
+        if node in highlight_nodes:
+            attrs.append("color=blue")
+            attrs.append("fontcolor=blue")
+        label = f"{node} ..." if node in frontier else str(node)
+        attrs.append(f'label="{_dot_escape(label)}"')
+        lines.append(f'  "{_dot_escape(node)}" [{", ".join(attrs)}];')
+    for edge in sorted(graph.edges(), key=lambda item: (str(item[0]), item[1], str(item[2]))):
+        source, label, target = edge
+        attrs = [f'label="{_dot_escape(label)}"']
+        if edge in highlight_edges:
+            attrs.append("color=blue")
+            attrs.append("fontcolor=blue")
+        lines.append(f'  "{_dot_escape(source)}" -> "{_dot_escape(target)}" [{", ".join(attrs)}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_neighborhood_dot(neighborhood: Neighborhood, *, name: Optional[str] = None) -> str:
+    """DOT rendering of a neighbourhood (frontier nodes get ``...`` labels)."""
+    return render_graph_dot(
+        neighborhood.graph,
+        frontier=set(neighborhood.frontier),
+        name=name or f"N({neighborhood.center},{neighborhood.radius})",
+    )
+
+
+def render_zoom_dot(delta: NeighborhoodDelta, *, name: Optional[str] = None) -> str:
+    """DOT rendering of a zoom-out, newly revealed elements in blue (Figure 3(b))."""
+    return render_graph_dot(
+        delta.current.graph,
+        highlight_nodes=set(delta.new_nodes),
+        highlight_edges=set(delta.new_edges),
+        frontier=set(delta.current.frontier),
+        name=name or f"zoom({delta.current.center},{delta.current.radius})",
+    )
+
+
+def render_prefix_tree_dot(tree: PathPrefixTree, *, name: Optional[str] = None) -> str:
+    """DOT rendering of the prefix tree; the highlighted path is bold."""
+    lines = [f'digraph "{_dot_escape(name or f"paths({tree.origin})")}" {{', "  rankdir=LR;"]
+
+    def node_id(prefix: Tuple[str, ...]) -> str:
+        return "root" if not prefix else "_".join(prefix)
+
+    def visit(node: PathTreeNode) -> None:
+        shape = "doublecircle" if node.highlighted else "circle"
+        label = str(tree.origin) if not node.prefix else node.prefix[-1]
+        lines.append(f'  "{node_id(node.prefix)}" [label="{_dot_escape(label)}", shape={shape}];')
+        for symbol in sorted(node.children):
+            child = node.children[symbol]
+            style = "bold" if child.highlighted else "solid"
+            lines.append(
+                f'  "{node_id(node.prefix)}" -> "{node_id(child.prefix)}" '
+                f'[label="{_dot_escape(symbol)}", style={style}];'
+            )
+            visit(child)
+
+    visit(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Angluin's L* — learning with membership and equivalence queries.
+
+The interactive scenario of the paper "is inspired by the well-known
+framework of learning with membership queries [Angluin 1988]".  This
+module implements the classic L* algorithm as the reference point of that
+framework: a learner that asks a *teacher*
+
+* **membership queries** — "is this word in the goal language?", and
+* **equivalence queries** — "is this hypothesis the goal language?
+  If not, give me a counter-example word";
+
+and is guaranteed to converge to the minimal DFA of the goal language.
+
+Two teachers are provided:
+
+* :class:`ExactTeacher` — answers from a known goal query / DFA
+  (equivalence answered exactly, used in experiments and tests);
+* :class:`SampleTeacher` — answers equivalence queries only up to a
+  bounded word length (what a user inspecting query answers on a finite
+  instance could realistically provide), which models the gap between the
+  idealised framework and the paper's practical node-labelling protocol.
+
+The module exists as an optional extension / baseline: it quantifies how
+many *word-level* questions exact learning needs, compared with the
+node-labelling interactions GPS uses (see
+``benchmarks/bench_ablation_lstar.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple, Union
+
+from repro.automata.dfa import DFA
+from repro.automata.equivalence import counterexample as dfa_counterexample
+from repro.query.rpq import PathQuery
+from repro.regex.ast import Regex
+
+Word = Tuple[str, ...]
+
+
+class Teacher(Protocol):
+    """The oracle interface L* interacts with."""
+
+    alphabet: Tuple[str, ...]
+
+    def membership(self, word: Sequence[str]) -> bool:
+        """Is ``word`` in the goal language?"""
+        ...
+
+    def equivalence(self, hypothesis: DFA) -> Optional[Word]:
+        """``None`` when the hypothesis is correct, else a counter-example word."""
+        ...
+
+
+class ExactTeacher:
+    """Teacher backed by a known goal query (answers both query types exactly)."""
+
+    def __init__(self, goal: Union[str, Regex, PathQuery, DFA], alphabet: Optional[Iterable[str]] = None):
+        if isinstance(goal, DFA):
+            self._dfa = goal
+            inferred = goal.alphabet()
+        else:
+            query = goal if isinstance(goal, PathQuery) else PathQuery(goal)
+            self._dfa = query.dfa
+            inferred = query.alphabet()
+        self.alphabet = tuple(sorted(set(alphabet) if alphabet is not None else inferred))
+        self.membership_queries = 0
+        self.equivalence_queries = 0
+
+    def membership(self, word: Sequence[str]) -> bool:
+        self.membership_queries += 1
+        return self._dfa.accepts(word)
+
+    def equivalence(self, hypothesis: DFA) -> Optional[Word]:
+        self.equivalence_queries += 1
+        return dfa_counterexample(hypothesis, self._dfa)
+
+
+class SampleTeacher(ExactTeacher):
+    """Teacher whose equivalence answers only consider words up to a length bound.
+
+    This models a user who can only inspect the answers of the hypothesis
+    on a finite instance: hypotheses that differ from the goal only on
+    words longer than ``max_length`` are declared "good enough".
+    """
+
+    def __init__(
+        self,
+        goal: Union[str, Regex, PathQuery, DFA],
+        *,
+        max_length: int = 4,
+        alphabet: Optional[Iterable[str]] = None,
+    ):
+        super().__init__(goal, alphabet=alphabet)
+        self.max_length = max_length
+
+    def equivalence(self, hypothesis: DFA) -> Optional[Word]:
+        self.equivalence_queries += 1
+        witness = dfa_counterexample(hypothesis, self._dfa)
+        if witness is None or len(witness) > self.max_length:
+            return None
+        return witness
+
+
+@dataclass
+class LStarResult:
+    """Outcome of an L* run."""
+
+    dfa: DFA
+    query: PathQuery
+    membership_queries: int
+    equivalence_queries: int
+    rounds: int
+
+
+class _ObservationTable:
+    """The classic (S, E, T) observation table."""
+
+    def __init__(self, alphabet: Sequence[str], teacher: Teacher):
+        self.alphabet = tuple(alphabet)
+        self.teacher = teacher
+        self.prefixes: List[Word] = [()]          # S, in insertion order
+        self.suffixes: List[Word] = [()]          # E
+        self.entries: Dict[Word, bool] = {}       # T over (prefix + suffix)
+
+    # -- bookkeeping ---------------------------------------------------
+    def _lookup(self, word: Word) -> bool:
+        if word not in self.entries:
+            self.entries[word] = self.teacher.membership(word)
+        return self.entries[word]
+
+    def row(self, prefix: Word) -> Tuple[bool, ...]:
+        return tuple(self._lookup(prefix + suffix) for suffix in self.suffixes)
+
+    def _boundary(self) -> List[Word]:
+        """S·Σ \\ S — the one-symbol extensions of the prefixes."""
+        known = set(self.prefixes)
+        extensions: List[Word] = []
+        for prefix in self.prefixes:
+            for symbol in self.alphabet:
+                extended = prefix + (symbol,)
+                if extended not in known:
+                    extensions.append(extended)
+        return extensions
+
+    # -- closedness / consistency ---------------------------------------
+    def close(self) -> None:
+        """Add boundary rows that have no matching prefix row (until closed)."""
+        changed = True
+        while changed:
+            changed = False
+            prefix_rows = {self.row(prefix) for prefix in self.prefixes}
+            for extension in self._boundary():
+                if self.row(extension) not in prefix_rows:
+                    self.prefixes.append(extension)
+                    changed = True
+                    break
+
+    def make_consistent(self) -> bool:
+        """Add a distinguishing suffix when two equal rows diverge after a symbol.
+
+        Returns True when a suffix was added (the table must be re-closed).
+        """
+        for first_index, first in enumerate(self.prefixes):
+            for second in self.prefixes[first_index + 1 :]:
+                if self.row(first) != self.row(second):
+                    continue
+                for symbol in self.alphabet:
+                    for suffix_index, suffix in enumerate(self.suffixes):
+                        left = self._lookup(first + (symbol,) + suffix)
+                        right = self._lookup(second + (symbol,) + suffix)
+                        if left != right:
+                            self.suffixes.append((symbol,) + suffix)
+                            return True
+        return False
+
+    # -- hypothesis construction ----------------------------------------
+    def to_dfa(self) -> DFA:
+        representatives: Dict[Tuple[bool, ...], Word] = {}
+        for prefix in self.prefixes:
+            representatives.setdefault(self.row(prefix), prefix)
+        index_of = {row: index for index, row in enumerate(representatives)}
+
+        dfa = DFA(index_of[self.row(())])
+        dfa.declare_alphabet(self.alphabet)
+        for row, index in index_of.items():
+            dfa.add_state(index)
+        dfa.set_initial(index_of[self.row(())])
+        for row, representative in representatives.items():
+            state = index_of[row]
+            if self._lookup(representative):
+                dfa.set_accepting(state)
+            for symbol in self.alphabet:
+                target_row = self.row(representative + (symbol,))
+                if target_row in index_of:
+                    dfa.add_transition(state, symbol, index_of[target_row])
+        return dfa
+
+    def add_counterexample(self, word: Word) -> None:
+        """Add every prefix of the counter-example to S (Angluin's original rule)."""
+        for cut in range(1, len(word) + 1):
+            prefix = word[:cut]
+            if prefix not in self.prefixes:
+                self.prefixes.append(prefix)
+
+
+def lstar(teacher: Teacher, *, max_rounds: int = 200) -> LStarResult:
+    """Run L* against ``teacher`` and return the learned minimal DFA.
+
+    ``max_rounds`` bounds the number of equivalence queries (a safety valve
+    for bounded teachers that keep producing counter-examples).
+    """
+    if not teacher.alphabet:
+        raise ValueError("the teacher must expose a non-empty alphabet")
+    table = _ObservationTable(teacher.alphabet, teacher)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        table.close()
+        while table.make_consistent():
+            table.close()
+        hypothesis = table.to_dfa()
+        witness = teacher.equivalence(hypothesis)
+        if witness is None:
+            membership = getattr(teacher, "membership_queries", len(table.entries))
+            equivalence = getattr(teacher, "equivalence_queries", rounds)
+            return LStarResult(
+                dfa=hypothesis,
+                query=PathQuery.from_dfa(hypothesis),
+                membership_queries=membership,
+                equivalence_queries=equivalence,
+                rounds=rounds,
+            )
+        table.add_counterexample(tuple(witness))
+    raise RuntimeError(f"L* did not converge within {max_rounds} equivalence queries")
+
+
+def learn_with_membership_queries(
+    goal: Union[str, Regex, PathQuery],
+    *,
+    alphabet: Optional[Iterable[str]] = None,
+) -> LStarResult:
+    """Convenience wrapper: learn ``goal`` exactly with an :class:`ExactTeacher`."""
+    return lstar(ExactTeacher(goal, alphabet=alphabet))

@@ -1,0 +1,166 @@
+"""Informativeness of nodes and pruning of uninformative ones.
+
+"After each interaction, the system prunes the uninformative nodes i.e.,
+those that do not add any information about the user's goal query."
+
+Under the paper's semantics a node is **uninformative** when its label can
+already be deduced from the current examples, so asking the user about it
+would waste an interaction:
+
+* every word of the node (up to the exploration bound) is covered by a
+  negative node — no consistent query may select it, so its label is
+  forced to negative (it brings no new constraint either way); or
+* the node can spell one of the *validated* positive words — every query
+  consistent with the validated paths necessarily selects it, so its
+  label is forced to positive.
+
+Nodes that are already labelled are trivially uninformative.  The
+remaining nodes are *informative*; the strategies in
+:mod:`repro.interactive.strategies` only ever propose informative nodes,
+and rank them by an informativeness score: the number of short uncovered
+words the node has (nodes with many uncovered short paths constrain the
+learner the most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.graph.paths import words_from
+from repro.learning.examples import ExampleSet, Word
+from repro.learning.path_selection import covered_words
+
+
+@dataclass(frozen=True)
+class NodeStatus:
+    """Classification of one node with respect to the current examples."""
+
+    node: Node
+    labeled: bool
+    implied_positive: bool
+    implied_negative: bool
+    uncovered_word_count: int
+    shortest_uncovered_length: Optional[int]
+
+    @property
+    def informative(self) -> bool:
+        """True when asking the user about this node could add information."""
+        return not (self.labeled or self.implied_positive or self.implied_negative)
+
+    @property
+    def score(self) -> Tuple[int, int]:
+        """Ranking key used by the most-informative strategy.
+
+        Higher is better: many uncovered words, and short ones first (the
+        second component is negated length so that shorter is larger).
+        """
+        shortest = self.shortest_uncovered_length
+        return (self.uncovered_word_count, -(shortest if shortest is not None else 1 << 30))
+
+
+def classify_node(
+    graph: LabeledGraph,
+    node: Node,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+    banned: Optional[Set[Word]] = None,
+    validated: Optional[Set[Word]] = None,
+) -> NodeStatus:
+    """Compute the :class:`NodeStatus` of ``node``.
+
+    ``banned`` (words covered by negatives) and ``validated`` (validated
+    positive words) can be precomputed by the caller when classifying many
+    nodes against the same example set.
+    """
+    if banned is None:
+        banned = covered_words(graph, examples.negative_nodes, max_length)
+    if validated is None:
+        validated = set(examples.validated_words().values())
+
+    labeled = node in examples.labeled_nodes
+    own_words = words_from(graph, node, max_length)
+    uncovered = [word for word in own_words if word not in banned]
+    implied_positive = not labeled and any(word in validated for word in own_words)
+    implied_negative = not labeled and not implied_positive and not uncovered
+    shortest = min((len(word) for word in uncovered), default=None)
+    return NodeStatus(
+        node=node,
+        labeled=labeled,
+        implied_positive=implied_positive,
+        implied_negative=implied_negative,
+        uncovered_word_count=len(uncovered),
+        shortest_uncovered_length=shortest,
+    )
+
+
+def classify_all(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+    candidates: Optional[Iterable[Node]] = None,
+) -> Dict[Node, NodeStatus]:
+    """Classify every node (or just ``candidates``) in one pass."""
+    banned = covered_words(graph, examples.negative_nodes, max_length)
+    validated = set(examples.validated_words().values())
+    pool = candidates if candidates is not None else graph.nodes()
+    return {
+        node: classify_node(
+            graph, node, examples, max_length=max_length, banned=banned, validated=validated
+        )
+        for node in pool
+    }
+
+
+def informative_nodes(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+    candidates: Optional[Iterable[Node]] = None,
+) -> List[Node]:
+    """The informative nodes, sorted by decreasing informativeness score.
+
+    Ties are broken by node identifier so the ordering is deterministic.
+    """
+    statuses = classify_all(graph, examples, max_length=max_length, candidates=candidates)
+    ranked = [status for status in statuses.values() if status.informative]
+    ranked.sort(key=lambda status: (status.score, str(status.node)), reverse=False)
+    ranked.sort(key=lambda status: status.score, reverse=True)
+    return [status.node for status in ranked]
+
+
+def pruned_nodes(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+) -> FrozenSet[Node]:
+    """Unlabelled nodes whose label is already implied (the pruned set).
+
+    The size of this set after each interaction is the quantity tracked by
+    experiment E2 (pruning effectiveness).
+    """
+    statuses = classify_all(graph, examples, max_length=max_length)
+    return frozenset(
+        node
+        for node, status in statuses.items()
+        if not status.labeled and (status.implied_positive or status.implied_negative)
+    )
+
+
+def pruning_fraction(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+) -> float:
+    """Fraction of unlabelled nodes that are pruned (0.0 when all nodes are labelled)."""
+    unlabeled = [node for node in graph.nodes() if node not in examples.labeled_nodes]
+    if not unlabeled:
+        return 0.0
+    pruned = pruned_nodes(graph, examples, max_length=max_length)
+    return len(pruned) / len(unlabeled)

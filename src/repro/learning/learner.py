@@ -1,0 +1,165 @@
+"""The two-step learning algorithm (Section 2 of the paper).
+
+Given a graph and a set of positive / negative node examples (plus, when
+available, the validated path of each positive node):
+
+(i)  for each positive example, find a path (word) that is not covered by
+     any negative example — the validated word when the user confirmed
+     one, otherwise the shortest uncovered word;
+(ii) construct an automaton recognising precisely those words (a prefix
+     tree acceptor) and generalise it by state merges while no negative
+     example is covered — i.e. while the hypothesis selects no negative
+     node of the graph.
+
+The result is wrapped as a :class:`~repro.query.rpq.PathQuery` whose
+regular expression is synthesised from the learned DFA.
+
+:class:`PathQueryLearner` keeps the graph and options; :func:`learn_query`
+is a functional convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+from repro.automata.state_merging import generalize_pta
+from repro.exceptions import InconsistentExamplesError, NoConsistentPathError
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.learning.consistency import ConsistencyReport, check_consistency
+from repro.learning.examples import ExampleSet, Word
+from repro.learning.path_selection import select_path
+from repro.query.evaluation import selects
+from repro.query.rpq import PathQuery
+
+#: Default bound on the length of candidate paths considered in step (i).
+DEFAULT_MAX_PATH_LENGTH = 6
+
+
+@dataclass
+class LearningOutcome:
+    """Everything the learner produced for one example set."""
+
+    query: PathQuery
+    dfa: DFA
+    sample_words: Tuple[Word, ...]
+    consistency: ConsistencyReport
+    merges_allowed: bool = True
+
+    @property
+    def consistent(self) -> bool:
+        """True when the learned query is consistent with the examples."""
+        return self.consistency.consistent
+
+
+class PathQueryLearner:
+    """Learns a path query consistent with node examples on a fixed graph."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        *,
+        max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
+        generalize: bool = True,
+    ):
+        self.graph = graph
+        self.max_path_length = max_path_length
+        #: when False the learner returns the ungeneralised disjunction of
+        #: sample words (used by ablation experiments)
+        self.generalize = generalize
+
+    # ------------------------------------------------------------------
+    # step (i): choose one uncovered word per positive node
+    # ------------------------------------------------------------------
+    def select_sample_words(self, examples: ExampleSet) -> Dict[Node, Word]:
+        """Pick the sample word of every positive node.
+
+        Validated words are honoured verbatim; for the remaining positive
+        nodes the shortest uncovered word is selected.  Raises
+        :class:`InconsistentExamplesError` when some positive node has no
+        uncovered word at all (no consistent query exists within the
+        length bound).
+        """
+        chosen: Dict[Node, Word] = {}
+        negatives = examples.negative_nodes
+        for node in sorted(examples.positive_nodes, key=str):
+            validated = examples.validated_word(node)
+            if validated is not None:
+                chosen[node] = validated
+                continue
+            try:
+                chosen[node] = select_path(
+                    self.graph, node, negatives, max_length=self.max_path_length
+                )
+            except NoConsistentPathError as error:
+                raise InconsistentExamplesError(
+                    f"positive node {node!r} has no path uncovered by the negative examples "
+                    f"(searched up to length {self.max_path_length})",
+                    conflicting=[node],
+                ) from error
+        return chosen
+
+    # ------------------------------------------------------------------
+    # step (ii): PTA + state-merging generalisation
+    # ------------------------------------------------------------------
+    def _compatible(self, examples: ExampleSet):
+        """Compatibility predicate: the hypothesis must select no negative node."""
+        negatives = sorted(examples.negative_nodes, key=str)
+        graph = self.graph
+
+        def check(candidate: DFA) -> bool:
+            return not any(selects(graph, candidate, node) for node in negatives)
+
+        return check
+
+    def learn(self, examples: ExampleSet) -> LearningOutcome:
+        """Run both steps and return the learned query with diagnostics.
+
+        With an empty positive set the learner returns the empty query
+        (selects nothing), which is trivially consistent with any set of
+        negative-only examples.
+        """
+        sample_words = self.select_sample_words(examples)
+        words = tuple(sorted(set(sample_words.values()), key=lambda word: (len(word), word)))
+
+        if not words:
+            dfa = DFA(0)  # empty language
+            query = PathQuery.from_dfa(dfa, name="empty")
+            report = check_consistency(self.graph, query, examples)
+            return LearningOutcome(query, query.dfa, words, report, self.generalize)
+
+        if self.generalize:
+            learned = generalize_pta(words, self._compatible(examples))
+        else:
+            from repro.automata.prefix_tree import build_pta
+
+            learned = build_pta(words)
+        learned = minimize(learned)
+        query = PathQuery.from_dfa(learned)
+        report = check_consistency(self.graph, query, examples)
+        return LearningOutcome(query, learned, words, report, self.generalize)
+
+
+def learn_query(
+    graph: LabeledGraph,
+    positive: Dict[Node, Optional[Word]] = None,
+    negative: Optional[List[Node]] = None,
+    *,
+    max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
+    generalize: bool = True,
+) -> PathQuery:
+    """Functional one-shot API: learn a query from plain positive / negative lists.
+
+    ``positive`` maps positive nodes to an optional validated word (pass
+    ``None`` values when no path was validated); ``negative`` lists the
+    negative nodes.
+    """
+    examples = ExampleSet()
+    for node, word in (positive or {}).items():
+        examples.add_positive(node, validated_word=word)
+    for node in negative or []:
+        examples.add_negative(node)
+    learner = PathQueryLearner(graph, max_path_length=max_path_length, generalize=generalize)
+    return learner.learn(examples).query

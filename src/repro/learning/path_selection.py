@@ -1,0 +1,170 @@
+"""Step (i) of the learning algorithm: choosing a path per positive node.
+
+For each positive example the learner needs "a path that is not covered by
+any negative" — a word the positive node can spell but **no** negative
+node can.  (If a negative node could spell it too, any query accepting the
+word would select that negative node and become inconsistent.)
+
+The same machinery powers the path-validation interaction of Figure 3(c):
+the system builds all uncovered words of the node up to the size of the
+last neighbourhood the user looked at, arranges them in a prefix tree,
+and highlights a candidate word — preferring words whose length equals the
+neighbourhood radius the user needed before deciding (the paper's
+heuristic: if she zoomed to distance 3, a length-3 path likely matters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.prefix_tree import PathPrefixTree, build_path_prefix_tree
+from repro.exceptions import NoConsistentPathError
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.graph.paths import has_word, words_from
+
+Word = Tuple[str, ...]
+
+
+def covered_words(
+    graph: LabeledGraph, negatives: Iterable[Node], max_length: int
+) -> Set[Word]:
+    """The union of the bounded path languages of the negative nodes.
+
+    A word in this set is "covered by a negative": making the hypothesis
+    accept it would select a negative node.
+    """
+    covered: Set[Word] = set()
+    for node in negatives:
+        if node in graph:
+            covered |= words_from(graph, node, max_length)
+    return covered
+
+
+def consistent_words_for(
+    graph: LabeledGraph,
+    node: Node,
+    negatives: Iterable[Node],
+    *,
+    max_length: int,
+    limit: Optional[int] = None,
+) -> List[Word]:
+    """Words of ``node`` (length ≤ ``max_length``) covered by no negative.
+
+    Returned shortest-first, ties broken lexicographically, so the first
+    element is the learner's default candidate.
+
+    The empty word is offered as a last resort only when the node has no
+    non-empty uncovered word *and* there is no negative example: every node
+    spells the empty word, so a query accepting it selects the whole graph,
+    which is consistent only while no node is labelled negative.  (This is
+    what makes a sink node a legal positive example in an otherwise
+    negative-free example set.)
+    """
+    negative_nodes = [item for item in negatives if item in graph]
+    banned = covered_words(graph, negative_nodes, max_length)
+    own_words = words_from(graph, node, max_length)
+    candidates = sorted(
+        (word for word in own_words if word not in banned),
+        key=lambda word: (len(word), word),
+    )
+    if not candidates and not negative_nodes:
+        candidates = [()]
+    if limit is not None:
+        return candidates[:limit]
+    return candidates
+
+
+def select_path(
+    graph: LabeledGraph,
+    node: Node,
+    negatives: Iterable[Node],
+    *,
+    max_length: int,
+    preferred_length: Optional[int] = None,
+) -> Word:
+    """Pick the candidate word for a positive node.
+
+    Default choice is the shortest uncovered word; when
+    ``preferred_length`` is given (the radius of the last neighbourhood the
+    user inspected), words of exactly that length are preferred, matching
+    the heuristic the paper uses to pre-highlight a path in Figure 3(c).
+
+    Raises :class:`NoConsistentPathError` when every word of the node up to
+    ``max_length`` is covered by a negative.
+    """
+    candidates = consistent_words_for(graph, node, negatives, max_length=max_length)
+    if not candidates:
+        raise NoConsistentPathError(node, max_length)
+    if preferred_length is not None:
+        preferred = [word for word in candidates if len(word) == preferred_length]
+        if preferred:
+            return preferred[0]
+    return candidates[0]
+
+
+def candidate_prefix_tree(
+    graph: LabeledGraph,
+    node: Node,
+    negatives: Iterable[Node],
+    *,
+    max_length: int,
+    preferred_length: Optional[int] = None,
+) -> PathPrefixTree:
+    """The prefix tree of uncovered words of ``node``, candidate highlighted.
+
+    This is exactly the artefact shown to the user in Figure 3(c): all
+    paths of the node of length at most the last neighbourhood size that
+    are not yet covered by negative examples, presented as a prefix tree
+    with the system's best guess highlighted.
+    """
+    uncovered = consistent_words_for(graph, node, negatives, max_length=max_length)
+    endpoints: Dict[Word, Tuple] = {}
+    for word in uncovered:
+        # record the graph nodes reachable by spelling each prefix of the word
+        for cut in range(1, len(word) + 1):
+            prefix = word[:cut]
+            if prefix not in endpoints:
+                endpoints[prefix] = _endpoints_of(graph, node, prefix)
+    highlight: Optional[Word] = None
+    if uncovered:
+        if preferred_length is not None:
+            preferred = [word for word in uncovered if len(word) == preferred_length]
+            highlight = preferred[0] if preferred else uncovered[0]
+        else:
+            highlight = uncovered[0]
+    return build_path_prefix_tree(endpoints, node, highlight=highlight)
+
+
+def _endpoints_of(graph: LabeledGraph, start: Node, word: Sequence[str]) -> Tuple:
+    """Graph nodes reachable from ``start`` by spelling ``word`` (sorted)."""
+    current = {start}
+    for label in word:
+        following: Set[Node] = set()
+        for node in current:
+            following.update(graph.successors(node, label))
+        current = following
+        if not current:
+            return ()
+    return tuple(sorted(current, key=str))
+
+
+def validate_word(
+    graph: LabeledGraph,
+    node: Node,
+    word: Sequence[str],
+    negatives: Iterable[Node],
+    *,
+    max_length: int,
+) -> bool:
+    """Check that ``word`` is a legal validation answer for ``node``.
+
+    The word must be spellable from the node and not covered by any
+    negative example (the interactive UI only offers such words, but the
+    programmatic API re-checks before trusting a caller).
+    """
+    if not has_word(graph, node, word):
+        return False
+    if len(word) > max_length:
+        return False
+    banned = covered_words(graph, negatives, max_length)
+    return tuple(word) not in banned

@@ -1,0 +1,85 @@
+"""Label propagation ("propagate label for ν" in Figure 2).
+
+After the user labels a node (and possibly validates a path), the system
+propagates the consequences of that label to the rest of the graph:
+
+* every unlabelled node that can spell a *validated* positive word is
+  necessarily selected by any query consistent with the validated paths →
+  it receives an implied **positive** label;
+* every unlabelled node all of whose (bounded) words are covered by
+  negative nodes can never be selected consistently → it receives an
+  implied **negative** label.
+
+Propagated labels are recorded in the example set with ``propagated=True``
+so they never count as user interactions, and the pruning statistics of
+experiment E2 report them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.learning.examples import ExampleSet
+from repro.learning.informativeness import classify_all
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Labels added by one propagation pass."""
+
+    implied_positive: FrozenSet[Node]
+    implied_negative: FrozenSet[Node]
+
+    @property
+    def total(self) -> int:
+        """Number of labels propagated in this pass."""
+        return len(self.implied_positive) + len(self.implied_negative)
+
+
+def propagate_labels(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+) -> PropagationResult:
+    """Run one propagation pass, mutating ``examples`` in place.
+
+    Returns the sets of nodes that received implied labels.  The pass is
+    idempotent: running it twice in a row adds nothing the second time.
+    """
+    statuses = classify_all(graph, examples, max_length=max_length)
+    implied_positive = set()
+    implied_negative = set()
+    for node, status in statuses.items():
+        if status.labeled:
+            continue
+        if status.implied_positive:
+            examples.add_positive(node, propagated=True)
+            implied_positive.add(node)
+        elif status.implied_negative:
+            examples.add_negative(node, propagated=True)
+            implied_negative.add(node)
+    return PropagationResult(frozenset(implied_positive), frozenset(implied_negative))
+
+
+def propagate_to_fixpoint(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+    max_rounds: int = 10,
+) -> Tuple[PropagationResult, ...]:
+    """Repeat propagation until nothing changes (or ``max_rounds`` is hit).
+
+    Adding implied negatives can cover new words, which can imply further
+    negatives; in practice the fixpoint is reached in one or two rounds.
+    """
+    rounds = []
+    for _ in range(max_rounds):
+        result = propagate_labels(graph, examples, max_length=max_length)
+        rounds.append(result)
+        if result.total == 0:
+            break
+    return tuple(rounds)

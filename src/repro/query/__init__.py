@@ -1,0 +1,37 @@
+"""Regular path queries: semantics, evaluation, and comparison."""
+
+from repro.query.rpq import PathQuery
+from repro.query.evaluation import (
+    answer_signature,
+    evaluate,
+    evaluate_many,
+    selection_metrics,
+    selects,
+    witness_path,
+)
+from repro.query.containment import (
+    containment_counterexample,
+    distinguishing_node,
+    instance_difference,
+    instance_equivalent,
+    language_counterexample,
+    language_equivalent,
+    language_included,
+)
+
+__all__ = [
+    "PathQuery",
+    "answer_signature",
+    "evaluate",
+    "evaluate_many",
+    "selection_metrics",
+    "selects",
+    "witness_path",
+    "containment_counterexample",
+    "distinguishing_node",
+    "instance_difference",
+    "instance_equivalent",
+    "language_counterexample",
+    "language_equivalent",
+    "language_included",
+]

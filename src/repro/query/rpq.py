@@ -1,0 +1,119 @@
+"""Regular path queries (RPQs) with the paper's node-selection semantics.
+
+A path query is a regular expression ``q`` over the edge-label alphabet.
+On a graph database ``G``, ``q`` *selects* a node ``v`` iff there exists a
+path starting at ``v`` whose sequence of edge labels spells a word of
+``L(q)`` (Section 1 of the paper: "a node is selected if it has a path in
+the language of a given regular expression").
+
+:class:`PathQuery` wraps the expression together with its compiled
+minimal DFA and caches both, since the same query object is evaluated
+against many graphs (and many times against the same graph) during an
+interactive session.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.dfa import DFA
+from repro.automata.equivalence import equivalent
+from repro.automata.minimize import minimize
+from repro.automata.regex_synthesis import dfa_to_regex
+from repro.regex.ast import Regex
+from repro.regex.parser import parse
+from repro.regex.printer import to_string
+
+
+class PathQuery:
+    """A regular path query: expression + compiled minimal DFA.
+
+    Instances are immutable; the compiled automaton is built lazily on
+    first use and cached.
+    """
+
+    __slots__ = ("_expression", "_dfa", "_name")
+
+    def __init__(self, expression: Union[str, Regex], *, name: Optional[str] = None):
+        self._expression = parse(expression)
+        self._dfa: Optional[DFA] = None
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dfa(cls, dfa: DFA, *, name: Optional[str] = None) -> "PathQuery":
+        """Wrap a learned DFA as a query (the expression is synthesised)."""
+        query = cls(dfa_to_regex(dfa), name=name)
+        query._dfa = minimize(dfa)
+        return query
+
+    @classmethod
+    def from_word(cls, word: Sequence[str], *, name: Optional[str] = None) -> "PathQuery":
+        """Query matching exactly one word (used for per-path sub-queries)."""
+        from repro.regex.ast import word_to_regex
+
+        return cls(word_to_regex(tuple(word)), name=name)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def expression(self) -> Regex:
+        """The regular-expression AST."""
+        return self._expression
+
+    @property
+    def name(self) -> str:
+        """A short human-readable name (defaults to the rendered expression)."""
+        return self._name if self._name is not None else to_string(self._expression)
+
+    @property
+    def dfa(self) -> DFA:
+        """The minimal DFA of the query (compiled lazily, cached)."""
+        if self._dfa is None:
+            self._dfa = minimize(regex_to_dfa(self._expression))
+        return self._dfa
+
+    def alphabet(self) -> frozenset:
+        """Symbols appearing in the expression."""
+        return self._expression.alphabet()
+
+    # ------------------------------------------------------------------
+    # language-level operations
+    # ------------------------------------------------------------------
+    def accepts_word(self, word: Sequence[str]) -> bool:
+        """True when ``word`` belongs to the query language."""
+        return self.dfa.accepts(word)
+
+    def is_empty(self) -> bool:
+        """True when the query language is empty (selects nothing anywhere)."""
+        return self.dfa.is_empty()
+
+    def same_language(self, other: Union["PathQuery", str, Regex]) -> bool:
+        """Language equivalence with another query (graph-independent).
+
+        ``other`` may be another :class:`PathQuery`, an expression string or
+        a regex AST.
+        """
+        if not isinstance(other, PathQuery):
+            other = PathQuery(other)
+        return equivalent(self.dfa, other.dfa)
+
+    def __str__(self) -> str:
+        return to_string(self._expression)
+
+    def __repr__(self) -> str:
+        return f"PathQuery({to_string(self._expression)!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PathQuery):
+            return NotImplemented
+        return self.same_language(other)
+
+    def __hash__(self) -> int:
+        # hash on the canonical minimal DFA size + alphabet; cheap and
+        # consistent with the (coarser) language-equality above
+        return hash((self.dfa.state_count(), self.alphabet()))

@@ -1,0 +1,45 @@
+"""Regular expressions over edge labels: AST, parser and printer."""
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Empty,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat_all,
+    symbol,
+    union_all,
+    word_to_regex,
+)
+from repro.regex.parser import parse, parse_word
+from repro.regex.printer import to_compact_string, to_string
+from repro.regex.simplify import simplify
+
+__all__ = [
+    "EMPTY",
+    "EPSILON",
+    "Concat",
+    "Empty",
+    "Epsilon",
+    "Optional_",
+    "Plus",
+    "Regex",
+    "Star",
+    "Symbol",
+    "Union",
+    "concat_all",
+    "symbol",
+    "union_all",
+    "word_to_regex",
+    "parse",
+    "parse_word",
+    "to_compact_string",
+    "to_string",
+    "simplify",
+]

@@ -1,0 +1,298 @@
+"""Abstract syntax tree for regular expressions over edge labels.
+
+The paper writes path queries as regular expressions over the edge-label
+alphabet, e.g. ``(tram + bus)* . cinema``.  The syntax supported here is:
+
+* **symbol** — an edge label (``tram``),
+* **epsilon** — the empty word,
+* **empty** — the empty language (useful as an identity for union),
+* **concatenation** — ``e1 . e2`` (the dot may be omitted),
+* **disjunction** — ``e1 + e2`` (``|`` is accepted as a synonym),
+* **Kleene star** — ``e*``,
+* **plus** — ``e+`` (one or more repetitions; syntactic sugar for ``e.e*``),
+* **optional** — ``e?`` (sugar for ``e + epsilon``).
+
+AST nodes are immutable, hashable and comparable, so expressions can be
+used as dictionary keys, deduplicated, and structurally simplified.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Tuple
+
+
+class Regex:
+    """Base class for all regular-expression AST nodes."""
+
+    __slots__ = ()
+
+    # -- structural helpers -------------------------------------------------
+    def children(self) -> Tuple["Regex", ...]:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+    def alphabet(self) -> FrozenSet[str]:
+        """The set of symbols appearing in the expression."""
+        symbols: set = set()
+        for node in self.walk():
+            if isinstance(node, Symbol):
+                symbols.add(node.label)
+        return frozenset(symbols)
+
+    def walk(self) -> Iterator["Regex"]:
+        """Yield every node of the AST (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """Number of AST nodes (a simple complexity measure for workloads)."""
+        return sum(1 for _ in self.walk())
+
+    # -- language properties ------------------------------------------------
+    def nullable(self) -> bool:
+        """True when the empty word belongs to the language."""
+        raise NotImplementedError
+
+    # -- combinators (used heavily by the synthesiser) ----------------------
+    def concat(self, other: "Regex") -> "Regex":
+        """Smart concatenation constructor performing local simplification."""
+        if isinstance(self, Empty) or isinstance(other, Empty):
+            return EMPTY
+        if isinstance(self, Epsilon):
+            return other
+        if isinstance(other, Epsilon):
+            return self
+        return Concat(self, other)
+
+    def union(self, other: "Regex") -> "Regex":
+        """Smart disjunction constructor performing local simplification."""
+        if isinstance(self, Empty):
+            return other
+        if isinstance(other, Empty):
+            return self
+        if self == other:
+            return self
+        # epsilon + e* == e*, and e? forms
+        if isinstance(self, Epsilon) and isinstance(other, Star):
+            return other
+        if isinstance(other, Epsilon) and isinstance(self, Star):
+            return self
+        return Union(self, other)
+
+    def star(self) -> "Regex":
+        """Smart Kleene-star constructor performing local simplification."""
+        if isinstance(self, (Empty, Epsilon)):
+            return EPSILON
+        if isinstance(self, Star):
+            return self
+        return Star(self)
+
+    def __repr__(self) -> str:
+        from repro.regex.printer import to_string
+
+        return f"Regex({to_string(self)!r})"
+
+    def __str__(self) -> str:
+        from repro.regex.printer import to_string
+
+        return to_string(self)
+
+
+class Empty(Regex):
+    """The empty language (matches nothing)."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Empty)
+
+    def __hash__(self) -> int:
+        return hash("Empty")
+
+
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Epsilon)
+
+    def __hash__(self) -> int:
+        return hash("Epsilon")
+
+
+class Symbol(Regex):
+    """A single edge label."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        if not label:
+            raise ValueError("symbol label must be a non-empty string")
+        self.label = label
+
+    def nullable(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Symbol) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("Symbol", self.label))
+
+
+class Concat(Regex):
+    """Concatenation ``left . right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Regex, right: Regex):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Concat)
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Concat", self.left, self.right))
+
+
+class Union(Regex):
+    """Disjunction ``left + right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Regex, right: Regex):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Union)
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Union", self.left, self.right))
+
+
+class Star(Regex):
+    """Kleene star ``inner*``."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex):
+        self.inner = inner
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Star) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash(("Star", self.inner))
+
+
+class Plus(Regex):
+    """One-or-more repetition ``inner+`` (kept as a node for faithful printing)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex):
+        self.inner = inner
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Plus) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash(("Plus", self.inner))
+
+
+class Optional_(Regex):
+    """Zero-or-one ``inner?`` (named with a trailing underscore to avoid
+    clashing with :class:`typing.Optional`)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex):
+        self.inner = inner
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Optional_) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash(("Optional", self.inner))
+
+
+#: Shared singletons for the two constant languages.
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def symbol(label: str) -> Symbol:
+    """Convenience constructor for a :class:`Symbol`."""
+    return Symbol(label)
+
+
+def concat_all(parts: Tuple[Regex, ...]) -> Regex:
+    """Concatenate a sequence of expressions (empty sequence gives epsilon)."""
+    result: Regex = EPSILON
+    for part in parts:
+        result = result.concat(part)
+    return result
+
+
+def union_all(parts: Tuple[Regex, ...]) -> Regex:
+    """Disjunction of a sequence of expressions (empty sequence gives the empty language)."""
+    result: Regex = EMPTY
+    for part in parts:
+        result = result.union(part)
+    return result
+
+
+def word_to_regex(word: Tuple[str, ...]) -> Regex:
+    """The expression spelling exactly ``word`` (epsilon for the empty word)."""
+    return concat_all(tuple(Symbol(label) for label in word))

@@ -1,0 +1,220 @@
+"""Recursive-descent parser for the path-query regular expressions.
+
+Grammar (standard precedence: star/plus/optional bind tighter than
+concatenation, which binds tighter than disjunction)::
+
+    expr        := term ( ('+' | '|') term )*
+    term        := factor ( '.'? factor )*
+    factor      := atom ( '*' | '+'(postfix) | '?' )*
+    atom        := SYMBOL | 'eps' | '()' | '(' expr ')'
+
+Notes
+-----
+* Labels are multi-character identifiers (``tram``, ``cinema``); they may
+  contain letters, digits, underscores and dashes.
+* Both ``+`` and ``|`` denote disjunction **when used as a binary,
+  infix operator**; a ``+`` immediately following a factor is the postfix
+  one-or-more operator, matching the paper's notation ``(tram + bus)*``
+  while still supporting ``a+`` for "one or more a".
+* ``eps`` denotes the empty word and ``empty`` the empty language.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+)
+
+_EPSILON_NAMES = {"eps", "epsilon", "ε"}
+_EMPTY_NAMES = {"empty", "∅"}
+_OPERATORS = {"+", "|", "*", "?", ".", "(", ")"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.value!r}, {self.position})"
+
+
+def _tokenize(expression: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    length = len(expression)
+    while index < length:
+        char = expression[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _OPERATORS:
+            tokens.append(_Token("op", char, index))
+            index += 1
+            continue
+        if char.isalnum() or char in "_-":
+            start = index
+            while index < length and (expression[index].isalnum() or expression[index] in "_-"):
+                index += 1
+            tokens.append(_Token("symbol", expression[start:index], start))
+            continue
+        raise RegexSyntaxError(
+            f"unexpected character {char!r}", expression=expression, position=index
+        )
+    return tokens
+
+
+class _Parser:
+    """Internal recursive-descent parser over the token list."""
+
+    def __init__(self, expression: str, tokens: List[_Token]):
+        self.expression = expression
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[_Token] = None) -> RegexSyntaxError:
+        position = token.position if token is not None else len(self.expression)
+        return RegexSyntaxError(message, expression=self.expression, position=position)
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> Regex:
+        if not self.tokens:
+            return EPSILON
+        result = self.parse_expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise self._error(f"unexpected token {leftover.value!r}", leftover)
+        return result
+
+    def parse_expr(self) -> Regex:
+        result = self.parse_term()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value in {"+", "|"}:
+                self._advance()
+                right = self.parse_term()
+                result = result.union(right)
+            else:
+                return result
+
+    def _starts_factor(self, token: Optional[_Token]) -> bool:
+        if token is None:
+            return False
+        if token.kind == "symbol":
+            return True
+        return token.kind == "op" and token.value == "("
+
+    def parse_term(self) -> Regex:
+        result = self.parse_factor()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value == ".":
+                self._advance()
+                right = self.parse_factor()
+                result = result.concat(right)
+            elif self._starts_factor(token):
+                right = self.parse_factor()
+                result = result.concat(right)
+            else:
+                return result
+
+    def parse_factor(self) -> Regex:
+        result = self.parse_atom()
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "op":
+                return result
+            if token.value == "*":
+                self._advance()
+                result = result.star()
+            elif token.value == "?":
+                self._advance()
+                result = Optional_(result)
+            elif token.value == "+" and self._plus_is_postfix():
+                self._advance()
+                result = Plus(result)
+            else:
+                return result
+
+    def _plus_is_postfix(self) -> bool:
+        """Disambiguate ``a + b`` (union) from ``a+`` (one or more).
+
+        The ``+`` is postfix only when the *next* token cannot start a new
+        factor — i.e. at end of input, before a closing parenthesis, before
+        another postfix operator, or before an infix operator.
+        """
+        following = (
+            self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+        )
+        return not self._starts_factor(following)
+
+    def parse_atom(self) -> Regex:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of expression")
+        if token.kind == "symbol":
+            self._advance()
+            lowered = token.value.lower()
+            if lowered in _EPSILON_NAMES:
+                return EPSILON
+            if lowered in _EMPTY_NAMES:
+                return EMPTY
+            return Symbol(token.value)
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            closing = self._peek()
+            if closing is not None and closing.kind == "op" and closing.value == ")":
+                self._advance()
+                return EPSILON
+            inner = self.parse_expr()
+            closing = self._peek()
+            if closing is None or closing.kind != "op" or closing.value != ")":
+                raise self._error("expected ')'", closing)
+            self._advance()
+            return inner
+        raise self._error(f"unexpected token {token.value!r}", token)
+
+
+def parse(expression: Union[str, Regex]) -> Regex:
+    """Parse ``expression`` into a :class:`~repro.regex.ast.Regex`.
+
+    Passing an already-built AST returns it unchanged, which lets public
+    APIs accept either strings or ASTs.
+    """
+    if isinstance(expression, Regex):
+        return expression
+    if not isinstance(expression, str):
+        raise RegexSyntaxError(
+            f"expected a string or Regex, got {type(expression).__name__}"
+        )
+    return _Parser(expression, _tokenize(expression)).parse()
+
+
+def parse_word(word: str, *, separator: str = ".") -> Tuple[str, ...]:
+    """Parse a plain word written as dot-separated labels (``bus.bus.cinema``)."""
+    parts = [part.strip() for part in word.split(separator)]
+    return tuple(part for part in parts if part)

@@ -1,0 +1,69 @@
+"""Pretty-printer for regular-expression ASTs.
+
+The printer emits the paper's notation: ``.`` for concatenation, ``+``
+for disjunction, ``*`` / ``+`` / ``?`` as postfix operators, with the
+minimal parenthesisation needed to round-trip through the parser.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+# precedence levels: union < concat < postfix < atom
+_LEVEL_UNION = 0
+_LEVEL_CONCAT = 1
+_LEVEL_POSTFIX = 2
+_LEVEL_ATOM = 3
+
+
+def _render(expr: Regex) -> tuple:
+    """Return ``(text, level)`` where level is the precedence of the root."""
+    if isinstance(expr, Empty):
+        return "empty", _LEVEL_ATOM
+    if isinstance(expr, Epsilon):
+        return "eps", _LEVEL_ATOM
+    if isinstance(expr, Symbol):
+        return expr.label, _LEVEL_ATOM
+    if isinstance(expr, Union):
+        left_text = _wrap(expr.left, _LEVEL_UNION)
+        right_text = _wrap(expr.right, _LEVEL_UNION)
+        return f"{left_text} + {right_text}", _LEVEL_UNION
+    if isinstance(expr, Concat):
+        left_text = _wrap(expr.left, _LEVEL_CONCAT)
+        right_text = _wrap(expr.right, _LEVEL_CONCAT)
+        return f"{left_text} . {right_text}", _LEVEL_CONCAT
+    if isinstance(expr, Star):
+        return f"{_wrap(expr.inner, _LEVEL_POSTFIX + 1)}*", _LEVEL_POSTFIX
+    if isinstance(expr, Plus):
+        return f"{_wrap(expr.inner, _LEVEL_POSTFIX + 1)}+", _LEVEL_POSTFIX
+    if isinstance(expr, Optional_):
+        return f"{_wrap(expr.inner, _LEVEL_POSTFIX + 1)}?", _LEVEL_POSTFIX
+    raise TypeError(f"unknown regex node: {type(expr).__name__}")
+
+
+def _wrap(expr: Regex, minimum_level: int) -> str:
+    text, level = _render(expr)
+    if level < minimum_level:
+        return f"({text})"
+    return text
+
+
+def to_string(expr: Regex) -> str:
+    """Render ``expr`` in the paper's concrete syntax."""
+    text, _ = _render(expr)
+    return text
+
+
+def to_compact_string(expr: Regex) -> str:
+    """Render without spaces around operators (useful for identifiers)."""
+    return to_string(expr).replace(" ", "")

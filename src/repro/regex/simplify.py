@@ -1,0 +1,212 @@
+"""Algebraic simplification of regular expressions.
+
+The state-elimination synthesiser (:mod:`repro.automata.regex_synthesis`)
+can produce verbose expressions (nested unions, redundant epsilons,
+star-of-star patterns).  Since the learned query is shown to a non-expert
+user, readability matters; this module applies language-preserving rewrite
+rules until a fixpoint:
+
+* identity / annihilator laws for ``empty`` and ``eps``;
+* idempotence and flattening of unions (``a + a = a``), with duplicate
+  removal under associativity/commutativity;
+* ``eps + e = e?``, ``e? `` and ``e*`` absorptions (``(e?)* = e*``,
+  ``(e*)* = e*``, ``(e*)? = e*``);
+* ``e . e* = e+`` and ``e* . e = e+``;
+* union of a language with a star that contains it collapses when safe
+  (``eps + e+ = e*``).
+
+The rules are purely syntactic and conservative: :func:`simplify` is
+verified (by property tests) to preserve the language.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Empty,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+#: Safety valve on the number of rewrite passes.
+_MAX_PASSES = 20
+
+
+def _union_operands(expr: Regex) -> List[Regex]:
+    """Flatten a union tree into its operand list."""
+    if isinstance(expr, Union):
+        return _union_operands(expr.left) + _union_operands(expr.right)
+    return [expr]
+
+
+def _concat_operands(expr: Regex) -> List[Regex]:
+    """Flatten a concatenation tree into its operand list."""
+    if isinstance(expr, Concat):
+        return _concat_operands(expr.left) + _concat_operands(expr.right)
+    return [expr]
+
+
+def _rebuild_union(operands: List[Regex]) -> Regex:
+    if not operands:
+        return EMPTY
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Union(result, operand)
+    return result
+
+
+def _rebuild_concat(operands: List[Regex]) -> Regex:
+    if not operands:
+        return EPSILON
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Concat(result, operand)
+    return result
+
+
+def _simplify_union(expr: Union) -> Regex:
+    operands: List[Regex] = []
+    seen: set = set()
+    nullable_via_construct = False
+    for operand in _union_operands(expr):
+        operand = _simplify_once(operand)
+        if isinstance(operand, Empty):
+            continue
+        if isinstance(operand, Epsilon):
+            nullable_via_construct = True
+            continue
+        if operand in seen:
+            continue
+        seen.add(operand)
+        operands.append(operand)
+
+    if not operands:
+        return EPSILON if nullable_via_construct else EMPTY
+
+    # eps + e  ->  e?   /   eps + e+  ->  e*   /  eps + (already nullable) -> unchanged
+    if nullable_via_construct:
+        if len(operands) == 1:
+            only = operands[0]
+            if isinstance(only, Plus):
+                return Star(only.inner)
+            if only.nullable():
+                return only
+            return Optional_(only)
+        rebuilt = _rebuild_union(operands)
+        if rebuilt.nullable():
+            return rebuilt
+        return Optional_(rebuilt)
+
+    # a + a* -> a*, a + a+ -> a+ (absorption of a by a containing star/plus)
+    absorbed: List[Regex] = []
+    star_bodies = {operand.inner for operand in operands if isinstance(operand, (Star, Plus))}
+    for operand in operands:
+        if operand in star_bodies:
+            continue
+        absorbed.append(operand)
+    return _rebuild_union(absorbed if absorbed else operands)
+
+
+def _simplify_concat(expr: Concat) -> Regex:
+    operands: List[Regex] = []
+    for operand in _concat_operands(expr):
+        operand = _simplify_once(operand)
+        if isinstance(operand, Empty):
+            return EMPTY
+        if isinstance(operand, Epsilon):
+            continue
+        operands.append(operand)
+    if not operands:
+        return EPSILON
+
+    # e . e* -> e+  and  e* . e -> e+  (adjacent pairs only, left to right)
+    compacted: List[Regex] = []
+    index = 0
+    while index < len(operands):
+        current = operands[index]
+        nxt = operands[index + 1] if index + 1 < len(operands) else None
+        if nxt is not None and isinstance(nxt, Star) and nxt.inner == current:
+            compacted.append(Plus(current))
+            index += 2
+            continue
+        if nxt is not None and isinstance(current, Star) and current.inner == nxt:
+            compacted.append(Plus(nxt))
+            index += 2
+            continue
+        if nxt is not None and isinstance(current, Star) and current == nxt:
+            # e* . e* -> e*
+            compacted.append(current)
+            index += 2
+            continue
+        compacted.append(current)
+        index += 1
+    return _rebuild_concat(compacted)
+
+
+def _simplify_once(expr: Regex) -> Regex:
+    """One bottom-up simplification pass."""
+    if isinstance(expr, (Empty, Epsilon, Symbol)):
+        return expr
+    if isinstance(expr, Union):
+        return _simplify_union(expr)
+    if isinstance(expr, Concat):
+        return _simplify_concat(expr)
+    if isinstance(expr, Star):
+        inner = _simplify_once(expr.inner)
+        if isinstance(inner, (Empty, Epsilon)):
+            return EPSILON
+        if isinstance(inner, (Star, Plus)):
+            return Star(inner.inner)
+        if isinstance(inner, Optional_):
+            return Star(inner.inner)
+        return Star(inner)
+    if isinstance(expr, Plus):
+        inner = _simplify_once(expr.inner)
+        if isinstance(inner, Empty):
+            return EMPTY
+        if isinstance(inner, Epsilon):
+            return EPSILON
+        if isinstance(inner, Star):
+            return inner
+        if isinstance(inner, Plus):
+            return inner
+        if isinstance(inner, Optional_):
+            return Star(inner.inner)
+        return Plus(inner)
+    if isinstance(expr, Optional_):
+        inner = _simplify_once(expr.inner)
+        if isinstance(inner, Empty):
+            return EPSILON
+        if isinstance(inner, Epsilon):
+            return EPSILON
+        if inner.nullable():
+            return inner
+        if isinstance(inner, Plus):
+            return Star(inner.inner)
+        return Optional_(inner)
+    raise TypeError(f"unknown regex node: {type(expr).__name__}")
+
+
+def simplify(expr: Regex) -> Regex:
+    """Simplify ``expr`` to a fixpoint of the rewrite rules (language-preserving)."""
+    current = expr
+    for _ in range(_MAX_PASSES):
+        simplified = _simplify_once(current)
+        if simplified == current:
+            return simplified
+        current = simplified
+    return current
+
+
+def simplified_size_reduction(expr: Regex) -> Tuple[int, int]:
+    """Return ``(original_size, simplified_size)`` — a readability metric."""
+    return expr.size(), simplify(expr).size()

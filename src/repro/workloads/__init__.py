@@ -1,0 +1,19 @@
+"""Workload generation: goal queries and (dataset, query) experiment cases."""
+
+from repro.workloads.queries import (
+    QUERY_FAMILIES,
+    WorkloadQuery,
+    figure1_goal_query,
+    generate_workload,
+)
+from repro.workloads.generator import WorkloadCase, quick_suite, standard_suite
+
+__all__ = [
+    "QUERY_FAMILIES",
+    "WorkloadQuery",
+    "figure1_goal_query",
+    "generate_workload",
+    "WorkloadCase",
+    "quick_suite",
+    "standard_suite",
+]

@@ -1,0 +1,61 @@
+"""Experiment configurations: (dataset, goal query) pairs.
+
+The harness in :mod:`repro.experiments` iterates over
+:class:`WorkloadCase` objects; this module assembles the standard suites
+used by the benchmark scripts (one per experiment id in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.datasets import dataset_catalog
+from repro.graph.labeled_graph import LabeledGraph
+from repro.workloads.queries import QUERY_FAMILIES, WorkloadQuery, generate_workload
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One experiment unit: a graph and a goal query to recover on it."""
+
+    dataset: str
+    graph: LabeledGraph
+    goal: WorkloadQuery
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for experiment tables."""
+        row = {"dataset": self.dataset, "nodes": self.graph.node_count, "edges": self.graph.edge_count}
+        row.update(self.goal.as_row())
+        return row
+
+
+def standard_suite(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    families: Sequence[str] = QUERY_FAMILIES,
+    per_family: int = 2,
+    seed: int = 11,
+) -> List[WorkloadCase]:
+    """The default suite: every catalogue dataset × a small query workload."""
+    catalog = dataset_catalog(seed=seed)
+    names = datasets if datasets is not None else list(catalog)
+    cases: List[WorkloadCase] = []
+    for name in names:
+        graph = catalog[name]
+        workload = generate_workload(
+            graph, families=families, per_family=per_family, seed=seed + hash(name) % 1000
+        )
+        for goal in workload:
+            cases.append(WorkloadCase(dataset=name, graph=graph, goal=goal))
+    return cases
+
+
+def quick_suite(seed: int = 11) -> List[WorkloadCase]:
+    """A small suite for CI-speed benchmarks: two datasets, three families."""
+    return standard_suite(
+        datasets=["figure-1", "transit-small"],
+        families=("single", "disjunction", "star-prefix"),
+        per_family=1,
+        seed=seed,
+    )

@@ -1,0 +1,51 @@
+"""Tests for automata DOT / table rendering."""
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.minimize import minimize
+from repro.automata.thompson import regex_to_nfa
+from repro.automata.visualization import to_dot, transition_table
+
+
+class TestToDot:
+    def test_dfa_dot_structure(self):
+        dfa = minimize(regex_to_dfa("(a + b)* . c"))
+        dot = to_dot(dfa, name="goal")
+        assert dot.startswith('digraph "goal"')
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot            # accepting state
+        assert 'label="c"' in dot
+        assert "__start0__" in dot              # initial-state arrow
+
+    def test_nfa_dot_epsilon_label(self):
+        nfa = regex_to_nfa("a*")
+        dot = to_dot(nfa)
+        assert "ε" in dot
+
+    def test_quotes_escaped(self):
+        from repro.automata.dfa import DFA
+
+        dfa = DFA('state"0"')
+        dfa.set_accepting('state"0"')
+        dot = to_dot(dfa)
+        assert '\\"' in dot
+
+
+class TestTransitionTable:
+    def test_table_markers(self):
+        dfa = minimize(regex_to_dfa("a . b"))
+        table = transition_table(dfa)
+        assert "->" in table       # initial marker
+        assert "*" in table        # accepting marker
+        assert "a" in table and "b" in table
+
+    def test_missing_transitions_rendered_as_dash(self):
+        dfa = minimize(regex_to_dfa("a . b"))
+        assert "-" in transition_table(dfa)
+
+    def test_empty_alphabet(self):
+        from repro.automata.dfa import DFA
+
+        dfa = DFA(0)
+        dfa.set_accepting(0)
+        table = transition_table(dfa)
+        assert "state" in table

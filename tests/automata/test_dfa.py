@@ -1,0 +1,182 @@
+"""Unit tests for the DFA."""
+
+import pytest
+
+from repro.automata.dfa import DFA, SINK
+from repro.exceptions import InvalidStateError
+
+
+def ab_star_b() -> DFA:
+    """DFA for (a|b)* b over {a, b} (partial, no sink)."""
+    dfa = DFA(0)
+    dfa.add_state(1)
+    dfa.add_transition(0, "a", 0)
+    dfa.add_transition(0, "b", 1)
+    dfa.add_transition(1, "a", 0)
+    dfa.add_transition(1, "b", 1)
+    dfa.set_accepting(1)
+    return dfa
+
+
+def partial_ab() -> DFA:
+    """DFA accepting exactly the word 'a b' (partial transitions)."""
+    dfa = DFA(0)
+    dfa.add_state(1)
+    dfa.add_state(2)
+    dfa.add_transition(0, "a", 1)
+    dfa.add_transition(1, "b", 2)
+    dfa.set_accepting(2)
+    return dfa
+
+
+class TestConstruction:
+    def test_initial_state_registered(self):
+        dfa = DFA("start")
+        assert "start" in dfa.states
+        assert dfa.initial_state == "start"
+
+    def test_epsilon_transition_rejected(self):
+        dfa = DFA(0)
+        with pytest.raises(ValueError):
+            dfa.add_transition(0, None, 0)
+
+    def test_unknown_states_raise(self):
+        dfa = DFA(0)
+        with pytest.raises(InvalidStateError):
+            dfa.add_transition(0, "a", 99)
+        with pytest.raises(InvalidStateError):
+            dfa.set_initial(99)
+        with pytest.raises(InvalidStateError):
+            dfa.set_accepting(99)
+        with pytest.raises(InvalidStateError):
+            dfa.target(99, "a")
+
+    def test_transition_overwrite_keeps_determinism(self):
+        dfa = DFA(0)
+        dfa.add_state(1)
+        dfa.add_state(2)
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(0, "a", 2)
+        assert dfa.target(0, "a") == 2
+        assert dfa.transition_count() == 1
+
+    def test_declare_alphabet(self):
+        dfa = DFA(0)
+        dfa.declare_alphabet(["x", "y"])
+        assert dfa.alphabet() == {"x", "y"}
+
+    def test_counts_and_repr(self):
+        dfa = ab_star_b()
+        assert dfa.state_count() == 2
+        assert dfa.transition_count() == 4
+        assert "DFA" in repr(dfa)
+
+
+class TestSemantics:
+    def test_run_and_accepts(self):
+        dfa = ab_star_b()
+        assert dfa.accepts(("b",))
+        assert dfa.accepts(("a", "a", "b"))
+        assert not dfa.accepts(("a",))
+        assert not dfa.accepts(())
+
+    def test_run_dead_end_returns_none(self):
+        dfa = partial_ab()
+        assert dfa.run(("b",)) is None
+        assert not dfa.accepts(("b",))
+
+    def test_accepts_empty_word(self):
+        dfa = DFA(0)
+        assert not dfa.accepts_empty_word()
+        dfa.set_accepting(0)
+        assert dfa.accepts_empty_word()
+
+    def test_reachable_and_productive(self):
+        dfa = partial_ab()
+        dfa.add_state("island")
+        dfa.set_accepting("island")
+        assert "island" not in dfa.reachable_states()
+        assert "island" in dfa.productive_states()
+        assert 0 in dfa.productive_states()
+
+    def test_is_empty(self):
+        dfa = DFA(0)
+        assert dfa.is_empty()
+        dfa.set_accepting(0)
+        assert not dfa.is_empty()
+
+    def test_is_empty_with_unreachable_accepting(self):
+        dfa = DFA(0)
+        dfa.add_state(1)
+        dfa.set_accepting(1)
+        assert dfa.is_empty()
+
+
+class TestTransformations:
+    def test_trim_removes_unreachable(self):
+        dfa = partial_ab()
+        dfa.add_state("island")
+        dfa.add_transition("island", "a", "island")
+        trimmed = dfa.trim()
+        assert "island" not in trimmed.states
+        assert trimmed.accepts(("a", "b"))
+
+    def test_completed_adds_sink(self):
+        dfa = partial_ab()
+        total = dfa.completed(["a", "b"])
+        assert SINK in total.states
+        for state in total.states:
+            for symbol in ("a", "b"):
+                assert total.target(state, symbol) is not None
+        assert total.accepts(("a", "b"))
+        assert not total.accepts(("b", "b"))
+
+    def test_completed_already_total_adds_no_sink(self):
+        dfa = ab_star_b()
+        total = dfa.completed()
+        assert SINK not in total.states
+
+    def test_complement(self):
+        dfa = ab_star_b()
+        complement = dfa.complement()
+        for word in [(), ("a",), ("b",), ("a", "b"), ("b", "a")]:
+            assert complement.accepts(word) == (not dfa.accepts(word))
+
+    def test_relabeled_preserves_language(self):
+        dfa = partial_ab()
+        renamed = dfa.relabeled()
+        assert set(renamed.states) == set(range(renamed.state_count()))
+        for word in [(), ("a",), ("a", "b"), ("b",)]:
+            assert renamed.accepts(word) == dfa.accepts(word)
+
+    def test_copy_independent(self):
+        dfa = ab_star_b()
+        clone = dfa.copy()
+        clone.set_accepting(0)
+        assert not dfa.is_accepting(0)
+
+
+class TestLanguageExploration:
+    def test_accepted_words_shortest_first(self):
+        dfa = ab_star_b()
+        words = dfa.accepted_words(3)
+        assert words[0] == ("b",)
+        lengths = [len(word) for word in words]
+        assert lengths == sorted(lengths)
+        assert ("a", "b") in words and ("b", "b") in words
+
+    def test_accepted_words_limit(self):
+        dfa = ab_star_b()
+        assert len(dfa.accepted_words(5, limit=3)) == 3
+
+    def test_shortest_accepted_word(self):
+        assert ab_star_b().shortest_accepted_word() == ("b",)
+        assert partial_ab().shortest_accepted_word() == ("a", "b")
+
+    def test_shortest_accepted_word_empty_language(self):
+        assert DFA(0).shortest_accepted_word() is None
+
+    def test_shortest_accepted_word_epsilon(self):
+        dfa = DFA(0)
+        dfa.set_accepting(0)
+        assert dfa.shortest_accepted_word() == ()

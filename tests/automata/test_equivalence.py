@@ -1,0 +1,90 @@
+"""Unit tests for language equivalence and inclusion."""
+
+import pytest
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.equivalence import (
+    counterexample,
+    equivalent,
+    included,
+    inclusion_counterexample,
+    language_distance_sample,
+    same_language_as_word_set,
+)
+from repro.automata.minimize import minimize
+
+
+def dfa(expression):
+    return regex_to_dfa(expression)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "first, second",
+        [
+            ("a + b", "b + a"),
+            ("(a + b)*", "(a* . b*)*"),
+            ("a . (b . c)", "(a . b) . c"),
+            ("a?", "a + eps"),
+            ("a+", "a . a*"),
+            ("(tram + bus)* . cinema", "(bus + tram)* . cinema"),
+        ],
+    )
+    def test_equivalent_pairs(self, first, second):
+        assert equivalent(dfa(first), dfa(second))
+        assert counterexample(dfa(first), dfa(second)) is None
+
+    @pytest.mark.parametrize(
+        "first, second",
+        [
+            ("a", "b"),
+            ("a*", "a+"),
+            ("(a + b)* . c", "a* . c"),
+            ("a . b", "b . a"),
+        ],
+    )
+    def test_inequivalent_pairs(self, first, second):
+        assert not equivalent(dfa(first), dfa(second))
+
+    def test_counterexample_is_shortest_disagreement(self):
+        witness = counterexample(dfa("a*"), dfa("a+"))
+        assert witness == ()  # epsilon distinguishes them
+        witness = counterexample(dfa("(a + b)* . c"), dfa("a* . c"))
+        assert witness is not None
+        assert dfa("(a + b)* . c").accepts(witness) != dfa("a* . c").accepts(witness)
+        assert len(witness) <= 2
+
+    def test_minimization_invariance(self):
+        original = dfa("(a + b)* . c . a?")
+        assert equivalent(original, minimize(original))
+
+    def test_empty_languages_equivalent(self):
+        assert equivalent(dfa("empty"), dfa("a . empty"))
+
+
+class TestInclusion:
+    def test_included_positive(self):
+        assert included(dfa("a . c"), dfa("(a + b)* . c"))
+        assert included(dfa("empty"), dfa("a"))
+        assert included(dfa("a+"), dfa("a*"))
+
+    def test_included_negative(self):
+        assert not included(dfa("a*"), dfa("a+"))
+        assert not included(dfa("(a + b)* . c"), dfa("a* . c"))
+
+    def test_inclusion_counterexample(self):
+        witness = inclusion_counterexample(dfa("a*"), dfa("a+"))
+        assert witness == ()
+        assert inclusion_counterexample(dfa("a . c"), dfa("(a + b)* . c")) is None
+
+
+class TestHelpers:
+    def test_language_distance_sample(self):
+        only_first, only_second = language_distance_sample(dfa("a + b"), dfa("b + c"), 1)
+        assert only_first == 1  # 'a'
+        assert only_second == 1  # 'c'
+
+    def test_same_language_as_word_set(self):
+        automaton = dfa("a + b . c")
+        assert same_language_as_word_set(automaton, [("a",), ("b", "c")], 3)
+        assert not same_language_as_word_set(automaton, [("a",)], 3)

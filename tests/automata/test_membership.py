@@ -1,0 +1,40 @@
+"""Unit tests for the membership helpers."""
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.membership import (
+    accepted_subset,
+    accepts_all,
+    accepts_any,
+    classify,
+    rejected_subset,
+)
+
+WORDS = [("a",), ("b",), ("a", "b"), ("a", "a")]
+
+
+class TestMembershipHelpers:
+    def test_accepts_any(self):
+        dfa = regex_to_dfa("a . b")
+        assert accepts_any(dfa, WORDS)
+        assert not accepts_any(dfa, [("b",), ("a",)])
+        assert not accepts_any(dfa, [])
+
+    def test_accepts_all(self):
+        dfa = regex_to_dfa("a*  + b")
+        assert accepts_all(dfa, [("a",), ("b",), ("a", "a")])
+        assert not accepts_all(dfa, WORDS)
+        assert accepts_all(dfa, [])
+
+    def test_accepted_and_rejected_subsets_partition(self):
+        dfa = regex_to_dfa("a . b + a")
+        accepted = accepted_subset(dfa, WORDS)
+        rejected = rejected_subset(dfa, WORDS)
+        assert accepted | rejected == {tuple(word) for word in WORDS}
+        assert accepted & rejected == set()
+        assert accepted == {("a",), ("a", "b")}
+
+    def test_classify_matches_subsets(self):
+        dfa = regex_to_dfa("b + a . a")
+        accepted, rejected = classify(dfa, WORDS)
+        assert accepted == accepted_subset(dfa, WORDS)
+        assert rejected == rejected_subset(dfa, WORDS)

@@ -1,0 +1,93 @@
+"""Unit tests for Hopcroft minimisation."""
+
+import pytest
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.dfa import DFA
+from repro.automata.equivalence import equivalent
+from repro.automata.minimize import is_minimal, minimize
+
+
+class TestMinimize:
+    @pytest.mark.parametrize(
+        "expression, expected_states",
+        [
+            ("a", 2),
+            ("a . b", 3),
+            ("a*", 1),
+            ("a + b", 2),
+            ("(a + b)*", 1),
+            ("(a + b)* . c", 2),
+            ("(tram + bus)* . cinema", 2),
+            ("a . a . a", 4),
+        ],
+    )
+    def test_minimal_state_counts(self, expression, expected_states):
+        assert minimize(regex_to_dfa(expression)).state_count() == expected_states
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a",
+            "a . b + b . a",
+            "(a + b)* . c",
+            "a* . b . c?",
+            "(a . b)+ + c",
+            "(a + b + c)* . a . b",
+        ],
+    )
+    def test_minimization_preserves_language(self, expression):
+        original = regex_to_dfa(expression)
+        minimal = minimize(original)
+        assert equivalent(original, minimal)
+
+    def test_empty_language_minimizes_to_single_state(self):
+        dfa = DFA(0)
+        dfa.add_state(1)
+        dfa.add_transition(0, "a", 1)
+        minimal = minimize(dfa)
+        assert minimal.state_count() == 1
+        assert minimal.is_empty()
+
+    def test_redundant_states_collapsed(self):
+        # two accepting states with identical behaviour must merge
+        dfa = DFA(0)
+        for state in (1, 2):
+            dfa.add_state(state)
+            dfa.set_accepting(state)
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(0, "b", 2)
+        minimal = minimize(dfa)
+        assert minimal.state_count() == 2
+        assert equivalent(minimal, dfa)
+
+    def test_dead_states_removed(self):
+        dfa = regex_to_dfa("a").completed(["a", "b"])
+        minimal = minimize(dfa)
+        # sink and dead branches disappear in the trimmed minimal form
+        assert minimal.state_count() == 2
+
+    def test_idempotent(self):
+        dfa = regex_to_dfa("(a + b)* . c . (a + b)*")
+        once = minimize(dfa)
+        twice = minimize(once)
+        assert once.state_count() == twice.state_count()
+        assert equivalent(once, twice)
+
+    def test_is_minimal(self):
+        assert is_minimal(minimize(regex_to_dfa("(a + b)* . c")))
+        # a determinised automaton with duplicate behaviour is usually not minimal
+        bloated = DFA(0)
+        for state in (1, 2, 3):
+            bloated.add_state(state)
+        bloated.add_transition(0, "a", 1)
+        bloated.add_transition(0, "b", 2)
+        bloated.add_transition(1, "c", 3)
+        bloated.add_transition(2, "c", 3)
+        bloated.set_accepting(3)
+        assert not is_minimal(bloated)
+
+    def test_canonical_relabelling(self):
+        minimal = minimize(regex_to_dfa("(a + b)* . c"))
+        assert set(minimal.states) == set(range(minimal.state_count()))
+        assert minimal.initial_state == 0

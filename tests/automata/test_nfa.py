@@ -1,0 +1,119 @@
+"""Unit tests for the NFA."""
+
+import pytest
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.exceptions import InvalidStateError
+
+
+def simple_nfa() -> NFA:
+    """NFA accepting a(b|c)* with an epsilon shortcut."""
+    nfa = NFA()
+    start, middle, end = nfa.new_state(), nfa.new_state(), nfa.new_state()
+    nfa.set_initial(start)
+    nfa.set_accepting(end)
+    nfa.add_transition(start, "a", middle)
+    nfa.add_transition(middle, "b", middle)
+    nfa.add_transition(middle, "c", middle)
+    nfa.add_transition(middle, EPSILON, end)
+    return nfa
+
+
+class TestConstruction:
+    def test_new_state_is_fresh(self):
+        nfa = NFA()
+        states = {nfa.new_state() for _ in range(5)}
+        assert len(states) == 5
+
+    def test_add_state_idempotent(self):
+        nfa = NFA()
+        nfa.add_state("q")
+        nfa.add_state("q")
+        assert nfa.state_count() == 1
+
+    def test_transition_to_unknown_state_raises(self):
+        nfa = NFA()
+        state = nfa.new_state()
+        with pytest.raises(InvalidStateError):
+            nfa.add_transition(state, "a", "ghost")
+        with pytest.raises(InvalidStateError):
+            nfa.set_initial("ghost")
+        with pytest.raises(InvalidStateError):
+            nfa.set_accepting("ghost")
+
+    def test_alphabet_excludes_epsilon(self):
+        nfa = simple_nfa()
+        assert nfa.alphabet() == {"a", "b", "c"}
+
+    def test_counts_and_repr(self):
+        nfa = simple_nfa()
+        assert nfa.state_count() == 3
+        assert nfa.transition_count() == 4
+        assert "NFA" in repr(nfa)
+
+    def test_unset_accepting(self):
+        nfa = NFA()
+        state = nfa.new_state()
+        nfa.set_accepting(state)
+        nfa.set_accepting(state, False)
+        assert not nfa.is_accepting(state)
+
+
+class TestSemantics:
+    def test_accepts(self):
+        nfa = simple_nfa()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b", "c", "b"))
+        assert not nfa.accepts(())
+        assert not nfa.accepts(("b",))
+        assert not nfa.accepts(("a", "d"))
+
+    def test_epsilon_closure(self):
+        nfa = NFA()
+        first, second, third = nfa.new_state(), nfa.new_state(), nfa.new_state()
+        nfa.add_transition(first, EPSILON, second)
+        nfa.add_transition(second, EPSILON, third)
+        assert nfa.epsilon_closure([first]) == {first, second, third}
+        assert nfa.epsilon_closure([third]) == {third}
+
+    def test_step(self):
+        nfa = simple_nfa()
+        start = next(iter(nfa.initial_states))
+        after_a = nfa.step({start}, "a")
+        # the epsilon closure pulls in the accepting state
+        assert any(nfa.is_accepting(state) for state in after_a)
+
+    def test_reachable_states(self):
+        nfa = simple_nfa()
+        unreachable = nfa.new_state()
+        nfa.set_accepting(unreachable)
+        assert unreachable not in nfa.reachable_states()
+
+    def test_copy_independent(self):
+        nfa = simple_nfa()
+        clone = nfa.copy()
+        extra = clone.new_state()
+        clone.add_transition(extra, "z", extra)
+        assert nfa.state_count() == 3
+        assert clone.accepts(("a",)) == nfa.accepts(("a",))
+
+
+class TestWordConstructors:
+    def test_from_word(self):
+        nfa = NFA.from_word(("x", "y"))
+        assert nfa.accepts(("x", "y"))
+        assert not nfa.accepts(("x",))
+        assert not nfa.accepts(("x", "y", "z"))
+
+    def test_from_empty_word(self):
+        nfa = NFA.from_word(())
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_from_words(self):
+        nfa = NFA.from_words([("a",), ("b", "c"), ()])
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("b", "c"))
+        assert nfa.accepts(())
+        assert not nfa.accepts(("b",))
+        assert not nfa.accepts(("a", "c"))

@@ -1,0 +1,86 @@
+"""Unit tests for boolean operations on automata."""
+
+import pytest
+
+from repro.automata.determinize import nfa_to_dfa, regex_to_dfa
+from repro.automata.equivalence import equivalent
+from repro.automata.operations import (
+    concat_nfa,
+    dfa_to_nfa,
+    difference_dfa,
+    intersect_dfa,
+    intersects,
+    symmetric_difference_dfa,
+    union_dfa,
+    union_nfa,
+)
+from repro.automata.thompson import regex_to_nfa
+
+WORDS = [(), ("a",), ("b",), ("c",), ("a", "b"), ("b", "a"), ("a", "b", "c"), ("a", "a")]
+
+
+def dfa(expression):
+    return regex_to_dfa(expression)
+
+
+class TestNfaCombinators:
+    def test_union_nfa(self):
+        combined = union_nfa(regex_to_nfa("a . b"), regex_to_nfa("c"))
+        assert combined.accepts(("a", "b"))
+        assert combined.accepts(("c",))
+        assert not combined.accepts(("a",))
+
+    def test_concat_nfa(self):
+        combined = concat_nfa(regex_to_nfa("a"), regex_to_nfa("b + c"))
+        assert combined.accepts(("a", "b"))
+        assert combined.accepts(("a", "c"))
+        assert not combined.accepts(("a",))
+        assert not combined.accepts(("b",))
+
+    def test_dfa_to_nfa_round_trip(self):
+        original = dfa("(a + b)* . c")
+        back = nfa_to_dfa(dfa_to_nfa(original))
+        assert equivalent(original, back)
+
+
+class TestDfaProducts:
+    @pytest.mark.parametrize("word", WORDS)
+    def test_intersection_semantics(self, word):
+        first, second = dfa("(a + b)*"), dfa("a* . b . c?")
+        product = intersect_dfa(first, second)
+        assert product.accepts(word) == (first.accepts(word) and second.accepts(word))
+
+    @pytest.mark.parametrize("word", WORDS)
+    def test_union_semantics(self, word):
+        first, second = dfa("a . b"), dfa("c + a")
+        product = union_dfa(first, second)
+        assert product.accepts(word) == (first.accepts(word) or second.accepts(word))
+
+    @pytest.mark.parametrize("word", WORDS)
+    def test_difference_semantics(self, word):
+        first, second = dfa("(a + b)*"), dfa("a*")
+        product = difference_dfa(first, second)
+        assert product.accepts(word) == (first.accepts(word) and not second.accepts(word))
+
+    @pytest.mark.parametrize("word", WORDS)
+    def test_symmetric_difference_semantics(self, word):
+        first, second = dfa("a + b"), dfa("b + c")
+        product = symmetric_difference_dfa(first, second)
+        assert product.accepts(word) == (first.accepts(word) != second.accepts(word))
+
+    def test_intersects_predicate(self):
+        assert intersects(dfa("(a + b)* . c"), dfa("a . c"))
+        assert not intersects(dfa("a"), dfa("b"))
+
+    def test_product_over_different_alphabets(self):
+        product = union_dfa(dfa("tram"), dfa("bus"))
+        assert product.accepts(("tram",))
+        assert product.accepts(("bus",))
+        assert not product.accepts(("cinema",))
+
+    def test_difference_with_empty_language(self):
+        product = difference_dfa(dfa("a*"), dfa("empty"))
+        assert equivalent(product, dfa("a*"))
+
+    def test_intersection_with_empty_language_is_empty(self):
+        assert intersect_dfa(dfa("a*"), dfa("empty")).is_empty()

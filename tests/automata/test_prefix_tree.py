@@ -1,0 +1,123 @@
+"""Unit tests for the prefix-tree acceptor and the path prefix tree."""
+
+import pytest
+
+from repro.automata.prefix_tree import (
+    PathPrefixTree,
+    PrefixTreeAcceptor,
+    build_path_prefix_tree,
+    build_pta,
+)
+
+SAMPLE = [("bus", "tram", "cinema"), ("cinema",), ("bus", "bus")]
+
+
+class TestPrefixTreeAcceptor:
+    def test_accepts_exactly_the_sample(self):
+        pta = PrefixTreeAcceptor(SAMPLE)
+        for word in SAMPLE:
+            assert pta.accepts(word)
+        assert not pta.accepts(("bus",))
+        assert not pta.accepts(("bus", "tram"))
+        assert not pta.accepts(("tram",))
+
+    def test_state_count_is_number_of_prefixes(self):
+        pta = PrefixTreeAcceptor([("a", "b"), ("a", "c")])
+        # prefixes: (), (a), (a,b), (a,c)
+        assert pta.state_count() == 4
+
+    def test_states_ordered_bfs(self):
+        pta = PrefixTreeAcceptor(SAMPLE)
+        states = pta.states
+        lengths = [len(state) for state in states]
+        assert lengths == sorted(lengths)
+        assert states[0] == ()
+
+    def test_empty_word_sample(self):
+        pta = PrefixTreeAcceptor([()])
+        assert pta.accepts(())
+        assert pta.state_count() == 1
+
+    def test_children(self):
+        pta = PrefixTreeAcceptor([("a", "b")])
+        assert pta.children(()) == {"a": ("a",)}
+        assert pta.children(("a",)) == {"b": ("a", "b")}
+        assert pta.children(("a", "b")) == {}
+
+    def test_incremental_add(self):
+        pta = PrefixTreeAcceptor()
+        pta.add_word(("x",))
+        pta.add_word(("x", "y"))
+        assert pta.accepts(("x",)) and pta.accepts(("x", "y"))
+
+    def test_to_dfa_equivalent(self):
+        pta = PrefixTreeAcceptor(SAMPLE)
+        dfa = pta.to_dfa()
+        for word in SAMPLE:
+            assert dfa.accepts(word)
+        assert not dfa.accepts(("bus",))
+        assert dfa.state_count() == pta.state_count()
+
+    def test_build_pta_shortcut(self):
+        dfa = build_pta(SAMPLE)
+        assert dfa.accepts(("cinema",))
+        assert not dfa.accepts(())
+
+
+class TestPathPrefixTree:
+    def _tree(self, highlight=None) -> PathPrefixTree:
+        endpoints = {
+            ("bus",): ("N1", "N3"),
+            ("bus", "bus"): ("N4",),
+            ("bus", "bus", "cinema"): ("C1",),
+            ("bus", "tram", "cinema"): ("C1",),
+            ("bus", "tram"): ("N4",),
+        }
+        return build_path_prefix_tree(endpoints, "N2", highlight=highlight)
+
+    def test_words_and_leaves(self):
+        tree = self._tree()
+        words = set(tree.words())
+        assert ("bus",) in words
+        assert ("bus", "bus", "cinema") in words
+        leaves = set(tree.leaves())
+        assert leaves == {("bus", "bus", "cinema"), ("bus", "tram", "cinema")}
+
+    def test_contains(self):
+        tree = self._tree()
+        assert tree.contains(("bus", "tram"))
+        assert tree.contains(())
+        assert not tree.contains(("tram",))
+
+    def test_endpoints_recorded(self):
+        tree = self._tree()
+        node = tree.root.children["bus"]
+        assert node.endpoints == ("N1", "N3")
+
+    def test_highlight_on_build(self):
+        tree = self._tree(highlight=("bus", "bus", "cinema"))
+        assert tree.highlighted_word() == ("bus", "bus", "cinema")
+
+    def test_highlight_move(self):
+        tree = self._tree(highlight=("bus", "bus", "cinema"))
+        assert tree.highlight(("bus", "tram", "cinema"))
+        assert tree.highlighted_word() == ("bus", "tram", "cinema")
+
+    def test_highlight_missing_word_rejected(self):
+        tree = self._tree()
+        assert not tree.highlight(("tram",))
+        assert tree.highlighted_word() is None
+
+    def test_size_counts_nodes(self):
+        tree = self._tree()
+        # root + bus + bus.bus + bus.bus.cinema + bus.tram + bus.tram.cinema
+        assert tree.size() == 6
+
+    def test_depth_and_leaf_helpers(self):
+        tree = self._tree()
+        bus_node = tree.root.children["bus"]
+        assert bus_node.depth == 1
+        assert not bus_node.is_leaf()
+        deepest = bus_node.children["bus"].children["cinema"]
+        assert deepest.is_leaf()
+        assert deepest.depth == 3

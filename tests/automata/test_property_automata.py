@@ -1,0 +1,125 @@
+"""Property-based tests for the automata layer (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.equivalence import counterexample, equivalent, included
+from repro.automata.minimize import minimize
+from repro.automata.operations import difference_dfa, intersect_dfa, union_dfa
+from repro.automata.prefix_tree import build_pta
+from repro.automata.regex_synthesis import dfa_to_regex
+from repro.automata.state_merging import rpni
+from repro.automata.thompson import regex_to_nfa
+
+LABELS = ("a", "b", "c")
+
+words = st.lists(st.sampled_from(LABELS), max_size=5).map(tuple)
+word_sets = st.sets(words, min_size=1, max_size=8)
+
+# small random regular expressions as strings, assembled structurally
+_atoms = st.sampled_from(["a", "b", "c", "eps"])
+
+
+def _expressions(max_depth=3):
+    return st.recursive(
+        _atoms,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: f"({pair[0]} + {pair[1]})"),
+            st.tuples(children, children).map(lambda pair: f"({pair[0]} . {pair[1]})"),
+            children.map(lambda inner: f"({inner})*"),
+            children.map(lambda inner: f"({inner})?"),
+        ),
+        max_leaves=max_depth,
+    )
+
+
+@given(_expressions(), words)
+@settings(max_examples=150, deadline=None)
+def test_determinization_preserves_membership(expression, word):
+    nfa = regex_to_nfa(expression)
+    dfa = regex_to_dfa(expression)
+    assert nfa.accepts(word) == dfa.accepts(word)
+
+
+@given(_expressions(), words)
+@settings(max_examples=150, deadline=None)
+def test_minimization_preserves_membership(expression, word):
+    dfa = regex_to_dfa(expression)
+    assert minimize(dfa).accepts(word) == dfa.accepts(word)
+
+
+@given(_expressions())
+@settings(max_examples=80, deadline=None)
+def test_minimal_automaton_is_no_larger(expression):
+    dfa = regex_to_dfa(expression)
+    assert minimize(dfa).state_count() <= max(dfa.state_count(), 1)
+
+
+@given(_expressions(), _expressions(), words)
+@settings(max_examples=100, deadline=None)
+def test_boolean_operations_pointwise(first, second, word):
+    dfa_first, dfa_second = regex_to_dfa(first), regex_to_dfa(second)
+    assert union_dfa(dfa_first, dfa_second).accepts(word) == (
+        dfa_first.accepts(word) or dfa_second.accepts(word)
+    )
+    assert intersect_dfa(dfa_first, dfa_second).accepts(word) == (
+        dfa_first.accepts(word) and dfa_second.accepts(word)
+    )
+    assert difference_dfa(dfa_first, dfa_second).accepts(word) == (
+        dfa_first.accepts(word) and not dfa_second.accepts(word)
+    )
+
+
+@given(_expressions(), _expressions())
+@settings(max_examples=60, deadline=None)
+def test_equivalence_counterexample_is_sound(first, second):
+    dfa_first, dfa_second = regex_to_dfa(first), regex_to_dfa(second)
+    witness = counterexample(dfa_first, dfa_second)
+    if witness is None:
+        assert equivalent(dfa_first, dfa_second)
+    else:
+        assert dfa_first.accepts(witness) != dfa_second.accepts(witness)
+
+
+@given(_expressions())
+@settings(max_examples=60, deadline=None)
+def test_regex_synthesis_round_trip(expression):
+    dfa = minimize(regex_to_dfa(expression))
+    rebuilt = regex_to_dfa(dfa_to_regex(dfa))
+    assert equivalent(dfa, rebuilt)
+
+
+@given(word_sets)
+@settings(max_examples=80, deadline=None)
+def test_pta_accepts_exactly_the_sample(sample):
+    pta = build_pta(sample)
+    for word in sample:
+        assert pta.accepts(word)
+    # any strict prefix of a sample word not itself in the sample is rejected
+    for word in sample:
+        for cut in range(len(word)):
+            prefix = word[:cut]
+            if prefix not in sample:
+                assert not pta.accepts(prefix)
+
+
+@given(word_sets, word_sets)
+@settings(max_examples=60, deadline=None)
+def test_rpni_consistency_invariant(positives, negatives):
+    negatives = negatives - positives
+    if not negatives:
+        negatives = set()
+    learned = rpni(positives, negatives)
+    for word in positives:
+        assert learned.accepts(word)
+    for word in negatives:
+        assert not learned.accepts(word)
+
+
+@given(word_sets)
+@settings(max_examples=50, deadline=None)
+def test_pta_language_included_in_rpni_generalization(sample):
+    learned = rpni(sample, [])
+    pta = build_pta(sample)
+    assert included(pta, learned)

@@ -1,0 +1,66 @@
+"""Unit tests for DFA → regular-expression synthesis."""
+
+import pytest
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.dfa import DFA
+from repro.automata.equivalence import equivalent
+from repro.automata.minimize import minimize
+from repro.automata.regex_synthesis import dfa_to_regex, dfa_to_regex_string
+from repro.regex.ast import EMPTY
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a",
+            "a . b",
+            "a + b",
+            "a*",
+            "a+",
+            "a?",
+            "(a + b)* . c",
+            "a . (b + c)*",
+            "(a . b)* + c",
+            "(tram + bus)* . cinema",
+            "a . b . c . d",
+        ],
+    )
+    def test_round_trip_preserves_language(self, expression):
+        original = minimize(regex_to_dfa(expression))
+        synthesized = dfa_to_regex(original)
+        rebuilt = regex_to_dfa(synthesized)
+        assert equivalent(original, rebuilt), f"{expression} -> {synthesized}"
+
+    def test_empty_language(self):
+        assert dfa_to_regex(DFA(0)) == EMPTY
+
+    def test_epsilon_only_language(self):
+        dfa = DFA(0)
+        dfa.set_accepting(0)
+        expr = dfa_to_regex(dfa)
+        rebuilt = regex_to_dfa(expr)
+        assert rebuilt.accepts(())
+        assert not rebuilt.accepts(("a",))
+
+    def test_string_rendering(self):
+        text = dfa_to_regex_string(minimize(regex_to_dfa("(bus + tram)* . cinema")))
+        assert "cinema" in text
+        rebuilt = regex_to_dfa(text)
+        assert equivalent(rebuilt, regex_to_dfa("(bus + tram)* . cinema"))
+
+    def test_synthesis_of_learned_automaton(self):
+        from repro.automata.state_merging import rpni
+
+        learned = rpni(
+            [("bus", "tram", "cinema"), ("cinema",)],
+            [(), ("bus",), ("tram",), ("bus", "tram")],
+        )
+        expr = dfa_to_regex(learned)
+        rebuilt = regex_to_dfa(expr)
+        assert equivalent(learned, rebuilt)
+
+    def test_output_not_exponentially_large(self):
+        expr = dfa_to_regex(minimize(regex_to_dfa("(a + b + c)* . a")))
+        assert expr.size() < 60

@@ -1,0 +1,103 @@
+"""Unit tests for RPNI-style state merging."""
+
+import pytest
+
+from repro.automata.state_merging import generalize_pta, rpni
+
+
+class TestRpni:
+    def test_consistency_always_holds(self):
+        positives = [("a",), ("a", "a", "a")]
+        negatives = [(), ("a", "a")]
+        learned = rpni(positives, negatives)
+        for word in positives:
+            assert learned.accepts(word)
+        for word in negatives:
+            assert not learned.accepts(word)
+
+    def test_generalizes_to_star_language(self):
+        # positives from (ab)*a; negatives outside it
+        positives = [("a",), ("a", "b", "a"), ("a", "b", "a", "b", "a")]
+        negatives = [(), ("b",), ("a", "b"), ("a", "a")]
+        learned = rpni(positives, negatives)
+        # the learned automaton should accept longer words of the pattern
+        assert learned.accepts(("a", "b", "a", "b", "a", "b", "a"))
+        assert not learned.accepts(("a", "b"))
+
+    def test_paper_example_generalization(self):
+        """From {bus.tram.cinema, cinema} with negatives, RPNI reaches (bus+tram)*.cinema."""
+        positives = [("bus", "tram", "cinema"), ("cinema",)]
+        negatives = [(), ("bus",), ("tram",), ("bus", "tram"), ("cinema", "cinema")]
+        learned = rpni(positives, negatives)
+        assert learned.accepts(("tram", "bus", "cinema"))
+        assert learned.accepts(("bus", "bus", "bus", "cinema"))
+        assert not learned.accepts(("bus",))
+        assert not learned.accepts(("cinema", "cinema"))
+
+    def test_no_generalization_without_evidence(self):
+        # one positive, negatives block everything else nearby
+        positives = [("a", "b")]
+        negatives = [(), ("a",), ("b",), ("a", "a"), ("b", "b"), ("a", "b", "a"), ("a", "b", "b")]
+        learned = rpni(positives, negatives)
+        assert learned.accepts(("a", "b"))
+        for word in negatives:
+            assert not learned.accepts(word)
+
+    def test_overlapping_samples_raise(self):
+        with pytest.raises(ValueError):
+            rpni([("a",)], [("a",)])
+
+    def test_empty_negative_set_collapses_to_universal_like(self):
+        positives = [("a",), ("a", "a")]
+        learned = rpni(positives, [])
+        # with no negatives every merge is allowed: single accepting state
+        assert learned.state_count() == 1
+        assert learned.accepts(("a", "a", "a", "a"))
+
+    def test_learned_automaton_is_smaller_than_pta(self):
+        positives = [("a",) * length for length in range(1, 8)]
+        negatives = [()]
+        learned = rpni(positives, negatives)
+        assert learned.state_count() <= 3
+
+    def test_max_merges_limits_generalization(self):
+        positives = [("a",) * length for length in range(1, 6)]
+        negatives = [()]
+        ungeneralized = rpni(positives, negatives, max_merges=0)
+        generalized = rpni(positives, negatives)
+        assert ungeneralized.state_count() > generalized.state_count()
+
+    def test_determinism_of_result(self):
+        positives = [("a", "b"), ("b", "a"), ("a", "b", "a", "b")]
+        negatives = [("a",), ("b",)]
+        first = rpni(positives, negatives)
+        second = rpni(positives, negatives)
+        assert sorted(first.transitions()) == sorted(second.transitions())
+        assert first.accepting_states == second.accepting_states
+
+
+class TestGeneralizePta:
+    def test_custom_compatibility_predicate(self):
+        # forbid any automaton accepting the word ('b',)
+        def compatible(candidate):
+            return not candidate.accepts(("b",))
+
+        learned = generalize_pta([("a",), ("a", "a")], compatible)
+        assert learned.accepts(("a",))
+        assert not learned.accepts(("b",))
+
+    def test_always_true_predicate_gives_one_state(self):
+        learned = generalize_pta([("a", "b"), ("b",)], lambda candidate: True)
+        assert learned.state_count() == 1
+
+    def test_result_always_accepts_positives(self):
+        positives = [("x", "y"), ("x",), ("y", "y", "x")]
+
+        def compatible(candidate):
+            return not candidate.accepts(()) and not candidate.accepts(("y",))
+
+        learned = generalize_pta(positives, compatible)
+        for word in positives:
+            assert learned.accepts(word)
+        assert not learned.accepts(())
+        assert not learned.accepts(("y",))

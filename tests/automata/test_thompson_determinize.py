@@ -1,0 +1,84 @@
+"""Unit tests for Thompson construction and determinisation."""
+
+import pytest
+
+from repro.automata.determinize import nfa_to_dfa, regex_to_dfa
+from repro.automata.nfa import NFA
+from repro.automata.thompson import regex_to_nfa
+from repro.regex.parser import parse
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "expression, accepted, rejected",
+        [
+            ("a", [("a",)], [(), ("b",), ("a", "a")]),
+            ("eps", [()], [("a",)]),
+            ("empty", [], [(), ("a",)]),
+            ("a . b", [("a", "b")], [("a",), ("b",), ("a", "b", "a")]),
+            ("a + b", [("a",), ("b",)], [(), ("a", "b")]),
+            ("a*", [(), ("a",), ("a", "a", "a")], [("b",)]),
+            ("a+", [("a",), ("a", "a")], [()]),
+            ("a?", [(), ("a",)], [("a", "a")]),
+            ("(a + b)* . c", [("c",), ("a", "c"), ("b", "a", "c")], [("c", "a"), ("a",)]),
+            ("(tram + bus)* . cinema", [("cinema",), ("bus", "tram", "cinema")], [("bus",)]),
+        ],
+    )
+    def test_language_membership(self, expression, accepted, rejected):
+        nfa = regex_to_nfa(expression)
+        for word in accepted:
+            assert nfa.accepts(word), f"{expression} should accept {word}"
+        for word in rejected:
+            assert not nfa.accepts(word), f"{expression} should reject {word}"
+
+    def test_accepts_ast_input(self):
+        nfa = regex_to_nfa(parse("a . b"))
+        assert nfa.accepts(("a", "b"))
+
+    def test_single_initial_and_accepting(self):
+        nfa = regex_to_nfa("(a + b)* . c")
+        assert len(nfa.initial_states) == 1
+        assert len(nfa.accepting_states) == 1
+
+    def test_state_count_linear_in_expression(self):
+        small = regex_to_nfa("a . b").state_count()
+        large = regex_to_nfa("a . b . a . b . a . b").state_count()
+        assert large < 4 * small
+
+
+class TestDeterminize:
+    @pytest.mark.parametrize(
+        "expression, words",
+        [
+            ("a", [(), ("a",), ("b",), ("a", "a")]),
+            ("(a + b)* . c", [(), ("c",), ("a", "c"), ("a", "b"), ("b", "b", "c")]),
+            ("a* . b . a*", [("b",), ("a", "b"), ("b", "a"), ("a",), ()]),
+            ("a+ . b?", [("a",), ("a", "b"), ("b",), ("a", "a")]),
+        ],
+    )
+    def test_dfa_equivalent_to_nfa(self, expression, words):
+        nfa = regex_to_nfa(expression)
+        dfa = nfa_to_dfa(nfa)
+        for word in words:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_result_is_deterministic_object(self):
+        dfa = regex_to_dfa("(a + b)* . c")
+        # states are contiguous integers from 0
+        assert set(dfa.states) == set(range(dfa.state_count()))
+
+    def test_determinize_is_reproducible(self):
+        first = regex_to_dfa("(a + b)* . c (a + c)*")
+        second = regex_to_dfa("(a + b)* . c (a + c)*")
+        assert first.state_count() == second.state_count()
+        assert sorted(first.transitions()) == sorted(second.transitions())
+
+    def test_empty_language(self):
+        dfa = regex_to_dfa("empty")
+        assert dfa.is_empty()
+
+    def test_nfa_with_multiple_initials(self):
+        nfa = NFA.from_words([("a",), ("b",)])
+        dfa = nfa_to_dfa(nfa)
+        assert dfa.accepts(("a",)) and dfa.accepts(("b",))
+        assert not dfa.accepts(("a", "b"))

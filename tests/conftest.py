@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import GraphBuilder
+from repro.graph.datasets import biological_network, motivating_example, transit_city
+from repro.graph.generators import chain_graph, cycle_graph, random_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.rpq import PathQuery
+
+
+@pytest.fixture
+def figure1_graph() -> LabeledGraph:
+    """The motivating example of Figure 1."""
+    return motivating_example()
+
+
+@pytest.fixture
+def figure1_query() -> PathQuery:
+    """The paper's goal query on the motivating example."""
+    return PathQuery("(tram + bus)* . cinema")
+
+
+@pytest.fixture
+def tiny_graph() -> LabeledGraph:
+    """A 4-node graph handy for precise assertions.
+
+    a -x-> b -y-> c, a -y-> d, d -x-> c
+    """
+    return (
+        GraphBuilder("tiny")
+        .edge("a", "x", "b")
+        .edge("b", "y", "c")
+        .edge("a", "y", "d")
+        .edge("d", "x", "c")
+        .build()
+    )
+
+
+@pytest.fixture
+def diamond_graph() -> LabeledGraph:
+    """Two parallel label paths from a source to a sink (for word-set tests)."""
+    return (
+        GraphBuilder("diamond")
+        .edge("s", "a", "l")
+        .edge("s", "b", "r")
+        .edge("l", "c", "t")
+        .edge("r", "c", "t")
+        .build()
+    )
+
+
+@pytest.fixture
+def chain5() -> LabeledGraph:
+    """A directed chain of 5 edges labelled ``next``."""
+    return chain_graph(5)
+
+
+@pytest.fixture
+def cycle4() -> LabeledGraph:
+    """A directed 4-cycle labelled ``next``."""
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def small_random_graph() -> LabeledGraph:
+    """A deterministic random graph (seeded) of 30 nodes."""
+    return random_graph(30, 90, ("a", "b", "c"), seed=5)
+
+
+@pytest.fixture
+def small_transit_graph() -> LabeledGraph:
+    """A small seeded transit-city graph."""
+    return transit_city(15, tram_lines=2, bus_lines=2, line_length=5, seed=9)
+
+
+@pytest.fixture
+def small_bio_graph() -> LabeledGraph:
+    """A small seeded biological network."""
+    return biological_network(30, 15, seed=13)

@@ -1,0 +1,63 @@
+"""Tests asserting the regenerated figures state the paper's facts."""
+
+from repro.experiments.figures import all_figures, figure1, figure2, figure3
+
+
+class TestFigure1:
+    def test_answer_matches_paper(self):
+        result = figure1()
+        assert result.matches_paper
+        assert result.answer == {"N1", "N2", "N4", "N6"}
+
+    def test_witnesses_cover_every_selected_node(self):
+        result = figure1()
+        assert set(result.witnesses) == {"N1", "N2", "N4", "N6"}
+        for witness in result.witnesses.values():
+            assert witness is not None
+            assert result.query.accepts_word(witness.word)
+
+    def test_render_mentions_match(self):
+        assert "match          : True" in figure1().render()
+
+
+class TestFigure2:
+    def test_interactive_loop_reaches_goal_answer(self):
+        result = figure2()
+        assert result.instance_match
+        assert result.session_result.interactions <= 6
+
+    def test_without_validation_still_consistent(self):
+        result = figure2(path_validation=False)
+        assert result.session_result.learned_query is not None
+
+    def test_render_contains_transcript(self):
+        text = figure2().render()
+        assert "interactions" in text
+        assert "#1" in text
+
+
+class TestFigure3:
+    def test_radius2_hides_cinema_radius3_reveals_it(self):
+        result = figure3()
+        assert not result.neighborhood_2.contains("C1")
+        assert result.zoom_delta.current.contains("C1")
+        assert "C1" in result.zoom_delta.new_nodes
+
+    def test_prefix_tree_contains_paper_paths(self):
+        result = figure3()
+        assert result.prefix_tree.contains(("bus", "bus", "cinema"))
+        assert result.prefix_tree.contains(("bus", "tram", "cinema"))
+
+    def test_highlighted_candidate_is_bus_bus_cinema(self):
+        assert figure3().highlighted == ("bus", "bus", "cinema")
+
+    def test_render_has_three_parts(self):
+        text = figure3().render()
+        assert "Figure 3(a)" in text and "Figure 3(b)" in text and "Figure 3(c)" in text
+
+
+class TestAllFigures:
+    def test_all_figures_rendered(self):
+        rendered = all_figures()
+        assert set(rendered) == {"figure1", "figure2", "figure3"}
+        assert all(isinstance(text, str) and text for text in rendered.values())

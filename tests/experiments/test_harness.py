@@ -1,0 +1,105 @@
+"""Tests for the E1–E5 experiment harness (shape checks on small inputs)."""
+
+import pytest
+
+from repro.experiments.harness import (
+    run_e1_interactions_by_strategy,
+    run_e2_pruning,
+    run_e3_scalability,
+    run_e4_path_validation,
+    run_e5_learner_cost,
+    run_scenario_comparison,
+)
+from repro.workloads.generator import WorkloadCase
+from repro.workloads.queries import figure1_goal_query
+from repro.graph.datasets import motivating_example
+
+
+@pytest.fixture(scope="module")
+def figure1_cases():
+    """A single-case suite so harness tests stay fast."""
+    return [WorkloadCase(dataset="figure-1", graph=motivating_example(), goal=figure1_goal_query())]
+
+
+class TestE1(object):
+    def test_rows_per_strategy(self, figure1_cases):
+        tables = run_e1_interactions_by_strategy(
+            figure1_cases, strategies=("random", "most-informative"), seed=1
+        )
+        detail, summary = tables["detail"], tables["summary"]
+        strategies = {row["strategy"] for row in detail}
+        assert strategies == {"static", "random", "most-informative"}
+        assert len(summary) == 3
+
+    def test_informed_strategy_not_worse_than_static(self, figure1_cases):
+        tables = run_e1_interactions_by_strategy(
+            figure1_cases, strategies=("most-informative",), seed=2
+        )
+        by_strategy = {row["strategy"]: row for row in tables["summary"]}
+        assert (
+            by_strategy["most-informative"]["interactions"]
+            <= by_strategy["static"]["interactions"]
+        )
+
+    def test_goal_reached_on_figure1(self, figure1_cases):
+        tables = run_e1_interactions_by_strategy(
+            figure1_cases, strategies=("most-informative",), seed=3
+        )
+        for row in tables["detail"]:
+            assert row["reached"], row
+
+
+class TestE2:
+    def test_pruning_rows_and_range(self, figure1_cases):
+        tables = run_e2_pruning(figure1_cases, seed=1)
+        assert len(tables["detail"]) > 0
+        for row in tables["detail"]:
+            assert 0.0 <= row["saved_fraction"] <= 1.0
+        assert len(tables["summary"]) > 0
+
+    def test_informative_remaining_decreases(self, figure1_cases):
+        tables = run_e2_pruning(figure1_cases, seed=2)
+        remaining = [row["informative_remaining"] for row in tables["detail"]]
+        assert remaining[-1] <= remaining[0]
+
+
+class TestE3:
+    def test_scalability_rows(self):
+        table = run_e3_scalability(node_counts=(30, 60), interactions=2, seed=1)
+        assert [row["nodes"] for row in table] == [30, 60]
+        for row in table:
+            assert row["mean_seconds"] >= 0.0
+            assert row["interactions"] <= 2
+
+
+class TestE4:
+    def test_variants_present(self, figure1_cases):
+        tables = run_e4_path_validation(figure1_cases, seed=1)
+        variants = {row["variant"] for row in tables["detail"]}
+        assert variants == {"validation", "no-validation"}
+
+    def test_validation_f1_not_worse(self, figure1_cases):
+        tables = run_e4_path_validation(figure1_cases, seed=2)
+        by_variant = {row["variant"]: row for row in tables["summary"]}
+        assert by_variant["validation"]["f1"] >= by_variant["no-validation"]["f1"] - 1e-9
+
+
+class TestE5:
+    def test_learner_cost_rows(self):
+        table = run_e5_learner_cost(sample_sizes=(4, 8), seed=1)
+        assert len(table) == 2
+        for row in table:
+            assert row["all_positives_accepted"]
+            assert row["all_negatives_rejected"]
+            assert row["learned_states"] <= row["pta_states"]
+
+
+class TestScenarioComparison:
+    def test_interactive_beats_static_on_average(self, figure1_cases):
+        tables = run_scenario_comparison(figure1_cases, seed=1)
+        by_scenario = {row["scenario"]: row for row in tables["summary"]}
+        assert (
+            by_scenario["interactive+validation"]["interactions"]
+            <= by_scenario["static"]["interactions"]
+        )
+        assert by_scenario["interactive+validation"]["instance_f1"] == 1.0

@@ -1,0 +1,66 @@
+"""Unit tests for the result-table helpers."""
+
+import json
+from statistics import mean
+
+from repro.experiments.metrics import AGGREGATORS, ResultTable, fraction_true
+
+
+class TestResultTable:
+    def test_add_and_columns_in_order(self):
+        table = ResultTable("demo")
+        table.add(first=1, second="x")
+        table.add(second="y", third=2.5)
+        assert table.columns() == ["first", "second", "third"]
+        assert len(table) == 2
+
+    def test_render_alignment_and_title(self):
+        table = ResultTable("demo")
+        table.add(name="alpha", value=1.23456)
+        text = table.render()
+        assert text.startswith("== demo ==")
+        assert "alpha" in text
+        assert "1.235" in text  # floats rendered with 3 decimals
+
+    def test_render_empty(self):
+        assert "(empty)" in ResultTable("nothing").render()
+
+    def test_to_json_and_save(self, tmp_path):
+        table = ResultTable("demo", [{"a": 1}, {"a": 2}])
+        payload = json.loads(table.to_json())
+        assert payload["title"] == "demo"
+        assert payload["rows"] == [{"a": 1}, {"a": 2}]
+        target = tmp_path / "table.json"
+        table.save(target)
+        assert json.loads(target.read_text())["title"] == "demo"
+
+    def test_group_by_mean(self):
+        table = ResultTable("runs")
+        table.add(strategy="a", cost=2)
+        table.add(strategy="a", cost=4)
+        table.add(strategy="b", cost=10)
+        grouped = table.group_by(["strategy"], {"cost": mean})
+        rows = {row["strategy"]: row for row in grouped}
+        assert rows["a"]["cost"] == 3
+        assert rows["a"]["count"] == 2
+        assert rows["b"]["cost"] == 10
+
+    def test_group_by_skips_non_numeric(self):
+        table = ResultTable("runs")
+        table.add(kind="a", value="not-a-number")
+        table.add(kind="a", value=4)
+        grouped = table.group_by(["kind"], {"value": mean})
+        assert list(grouped)[0]["value"] == 4
+
+    def test_fraction_true(self):
+        assert fraction_true([True, False, True, True]) == 0.75
+        assert fraction_true([]) == 0.0
+
+    def test_aggregators_registry(self):
+        assert set(AGGREGATORS) >= {"mean", "median", "min", "max", "fraction_true"}
+        assert AGGREGATORS["max"]([1, 5, 3]) == 5
+
+    def test_extend_and_iter(self):
+        table = ResultTable("demo")
+        table.extend([{"x": 1}, {"x": 2}])
+        assert [row["x"] for row in table] == [1, 2]

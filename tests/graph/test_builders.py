@@ -1,0 +1,94 @@
+"""Unit tests for graph builders and interop."""
+
+import pytest
+
+from repro.graph.builders import (
+    GraphBuilder,
+    from_networkx,
+    from_triples,
+    merge_graphs,
+    relabel_nodes,
+    to_networkx,
+)
+
+
+class TestGraphBuilder:
+    def test_edge_chain_path(self):
+        graph = (
+            GraphBuilder("built")
+            .edge("a", "x", "b")
+            .path("b", ("y", "c"), ("z", "d"))
+            .chain(["d", "e", "f"], "w")
+            .build()
+        )
+        assert graph.has_edge("a", "x", "b")
+        assert graph.has_edge("b", "y", "c")
+        assert graph.has_edge("c", "z", "d")
+        assert graph.has_edge("d", "w", "e")
+        assert graph.has_edge("e", "w", "f")
+        assert graph.name == "built"
+
+    def test_node_attributes(self):
+        graph = GraphBuilder().node("a", kind="thing").edge("a", "x", "b").build()
+        assert graph.node_attributes("a") == {"kind": "thing"}
+
+    def test_builder_is_reusable_fluent(self):
+        builder = GraphBuilder()
+        assert builder.edge("a", "x", "b") is builder
+
+    def test_from_triples(self):
+        graph = from_triples([("s", "p", "o"), ("o", "q", "s")])
+        assert graph.edge_count == 2
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, figure1_graph):
+        nx_graph = to_networkx(figure1_graph)
+        back = from_networkx(nx_graph)
+        assert back.structurally_equal(figure1_graph)
+
+    def test_to_networkx_edge_labels(self, tiny_graph):
+        nx_graph = to_networkx(tiny_graph)
+        labels = {data["label"] for _, _, data in nx_graph.edges(data=True)}
+        assert labels == {"x", "y"}
+
+    def test_from_networkx_default_label(self):
+        import networkx as nx
+
+        source = nx.MultiDiGraph()
+        source.add_edge("a", "b")
+        graph = from_networkx(source)
+        assert graph.has_edge("a", "edge", "b")
+
+    def test_node_attributes_preserved(self):
+        import networkx as nx
+
+        source = nx.MultiDiGraph()
+        source.add_node("a", kind="protein")
+        source.add_edge("a", "b", label="binds")
+        graph = from_networkx(source)
+        assert graph.node_attributes("a") == {"kind": "protein"}
+
+
+class TestMergeAndRelabel:
+    def test_merge_graphs(self, tiny_graph, chain5):
+        merged = merge_graphs([tiny_graph, chain5])
+        assert merged.node_count == tiny_graph.node_count + chain5.node_count
+        assert merged.edge_count == tiny_graph.edge_count + chain5.edge_count
+
+    def test_merge_shares_common_nodes(self):
+        first = GraphBuilder().edge("a", "x", "b").build()
+        second = GraphBuilder().edge("b", "y", "c").build()
+        merged = merge_graphs([first, second])
+        assert merged.node_count == 3
+
+    def test_relabel_nodes(self, tiny_graph):
+        renamed = relabel_nodes(tiny_graph, {"a": "alpha"})
+        assert "alpha" in renamed
+        assert "a" not in renamed
+        assert renamed.has_edge("alpha", "x", "b")
+        assert renamed.edge_count == tiny_graph.edge_count
+
+    def test_relabel_keeps_unmapped_nodes(self, tiny_graph):
+        renamed = relabel_nodes(tiny_graph, {})
+        assert renamed.structurally_equal(tiny_graph)

@@ -1,0 +1,148 @@
+"""Unit tests for the dataset generators (Figure 1, transit, biological)."""
+
+import pytest
+
+from repro.graph.datasets import (
+    BIO_LABELS,
+    FACILITY_LABELS,
+    biological_network,
+    dataset_catalog,
+    list_datasets,
+    motivating_example,
+    motivating_example_expected_answer,
+    transit_city,
+)
+from repro.query.evaluation import evaluate
+
+
+class TestMotivatingExample:
+    def test_node_inventory(self, figure1_graph):
+        nodes = set(figure1_graph.nodes())
+        assert {f"N{i}" for i in range(1, 7)} <= nodes
+        assert {"C1", "C2", "R1", "R2"} <= nodes
+        assert figure1_graph.node_count == 10
+
+    def test_alphabet(self, figure1_graph):
+        assert figure1_graph.alphabet() == {"tram", "bus", "cinema", "restaurant"}
+
+    def test_paper_witness_paths_exist(self, figure1_graph):
+        from repro.graph.paths import has_word
+
+        assert has_word(figure1_graph, "N1", ("tram", "cinema"))
+        assert has_word(figure1_graph, "N2", ("bus", "tram", "cinema"))
+        assert has_word(figure1_graph, "N4", ("cinema",))
+        assert has_word(figure1_graph, "N6", ("cinema",))
+
+    def test_goal_query_answer_matches_paper(self, figure1_graph):
+        answer = evaluate(figure1_graph, "(tram + bus)* . cinema")
+        assert answer == motivating_example_expected_answer()
+        assert answer == {"N1", "N2", "N4", "N6"}
+
+    def test_bus_query_selects_positives_not_negative(self, figure1_graph):
+        """Section 3: the query `bus` selects N2 and N6 but not N5."""
+        answer = evaluate(figure1_graph, "bus")
+        assert "N2" in answer and "N6" in answer
+        assert "N5" not in answer
+
+    def test_n2_has_bus_bus_cinema_path(self, figure1_graph):
+        from repro.graph.paths import has_word
+
+        assert has_word(figure1_graph, "N2", ("bus", "bus", "cinema"))
+
+    def test_n3_and_n5_cannot_reach_cinema_via_transport(self, figure1_graph):
+        answer = evaluate(figure1_graph, "(tram + bus)* . cinema")
+        assert "N3" not in answer
+        assert "N5" not in answer
+
+    def test_node_kinds_recorded(self, figure1_graph):
+        assert figure1_graph.node_attributes("N1")["kind"] == "neighborhood"
+        assert figure1_graph.node_attributes("C1")["kind"] == "cinema"
+        assert figure1_graph.node_attributes("R2")["kind"] == "restaurant"
+
+    def test_deterministic(self):
+        assert motivating_example().structurally_equal(motivating_example())
+
+
+class TestTransitCity:
+    def test_size_and_labels(self):
+        graph = transit_city(20, seed=1)
+        neighborhood_nodes = [
+            node for node in graph.nodes() if graph.node_attributes(node).get("kind") == "neighborhood"
+        ]
+        assert len(neighborhood_nodes) == 20
+        assert "tram" in graph.alphabet()
+        assert "bus" in graph.alphabet()
+
+    def test_transport_edges_are_bidirectional(self):
+        graph = transit_city(15, seed=2, facility_probability=0.0)
+        for source, label, target in graph.edges():
+            if label in ("tram", "bus"):
+                assert graph.has_edge(target, label, source)
+
+    def test_facility_nodes_have_matching_kind(self):
+        graph = transit_city(25, seed=3, facility_probability=1.0)
+        kinds = {graph.node_attributes(node).get("kind") for node in graph.nodes()}
+        assert kinds & set(FACILITY_LABELS)
+
+    def test_seed_determinism(self):
+        assert transit_city(20, seed=7).structurally_equal(transit_city(20, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert not transit_city(20, seed=7).structurally_equal(transit_city(20, seed=8))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            transit_city(1)
+        with pytest.raises(ValueError):
+            transit_city(10, line_length=1)
+        with pytest.raises(ValueError):
+            transit_city(10, facility_probability=1.5)
+
+
+class TestBiologicalNetwork:
+    def test_label_vocabulary(self):
+        graph = biological_network(40, 20, seed=5)
+        assert graph.alphabet() <= set(BIO_LABELS)
+        assert "encodes" in graph.alphabet()
+
+    def test_every_gene_encodes_something(self):
+        graph = biological_network(30, 10, seed=6)
+        genes = [node for node in graph.nodes() if graph.node_attributes(node).get("kind") == "gene"]
+        assert genes
+        for gene in genes:
+            assert graph.successors(gene, "encodes")
+
+    def test_node_kind_partition(self):
+        graph = biological_network(20, 10, seed=4)
+        kinds = {graph.node_attributes(node).get("kind") for node in graph.nodes()}
+        assert kinds == {"protein", "gene", "tissue"}
+
+    def test_seed_determinism(self):
+        first = biological_network(30, 15, seed=9)
+        second = biological_network(30, 15, seed=9)
+        assert first.structurally_equal(second)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            biological_network(1, 5)
+        with pytest.raises(ValueError):
+            biological_network(10, 0)
+        with pytest.raises(ValueError):
+            biological_network(10, 5, interaction_density=0)
+
+
+class TestCatalog:
+    def test_catalog_contains_listed_datasets(self):
+        catalog = dataset_catalog()
+        assert set(catalog) == set(list_datasets())
+
+    def test_catalog_graphs_are_nonempty(self):
+        for name, graph in dataset_catalog().items():
+            assert graph.node_count > 0, name
+            assert graph.edge_count > 0, name
+
+    def test_catalog_deterministic(self):
+        first = dataset_catalog(seed=3)
+        second = dataset_catalog(seed=3)
+        for name in first:
+            assert first[name].structurally_equal(second[name])

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    chain_graph,
+    cycle_graph,
+    grid_graph,
+    layered_dag,
+    random_graph,
+    scale_free_graph,
+    star_graph,
+)
+
+
+class TestRandomGraph:
+    def test_node_and_edge_counts(self):
+        graph = random_graph(50, 120, seed=1)
+        assert graph.node_count == 50
+        assert graph.edge_count == 120
+
+    def test_alphabet_respected(self):
+        graph = random_graph(20, 60, ("p", "q"), seed=2)
+        assert graph.alphabet() <= {"p", "q"}
+
+    def test_determinism(self):
+        assert random_graph(30, 80, seed=3).structurally_equal(random_graph(30, 80, seed=3))
+
+    def test_seed_changes_graph(self):
+        assert not random_graph(30, 80, seed=3).structurally_equal(random_graph(30, 80, seed=4))
+
+    def test_saturation_when_too_many_edges_requested(self):
+        graph = random_graph(2, 10_000, ("a",), seed=5)
+        assert graph.edge_count <= 2 * 2 * 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_graph(0, 5)
+        with pytest.raises(ValueError):
+            random_graph(5, -1)
+        with pytest.raises(ValueError):
+            random_graph(5, 5, ())
+
+
+class TestScaleFree:
+    def test_size(self):
+        graph = scale_free_graph(40, seed=1)
+        assert graph.node_count == 40
+        assert graph.edge_count > 0
+
+    def test_hub_emergence(self):
+        graph = scale_free_graph(200, seed=2, edges_per_node=2)
+        in_degrees = sorted((graph.in_degree(node) for node in graph.nodes()), reverse=True)
+        # the largest hub should attract far more than the average
+        average = sum(in_degrees) / len(in_degrees)
+        assert in_degrees[0] > 3 * average
+
+    def test_determinism(self):
+        assert scale_free_graph(50, seed=7).structurally_equal(scale_free_graph(50, seed=7))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scale_free_graph(0)
+        with pytest.raises(ValueError):
+            scale_free_graph(10, edges_per_node=0)
+
+
+class TestLayeredDag:
+    def test_layer_structure(self):
+        graph = layered_dag(4, 3, seed=1)
+        assert graph.node_count == 12
+        for source, _, target in graph.edges():
+            source_layer = int(source.split("_")[0][1:])
+            target_layer = int(target.split("_")[0][1:])
+            assert target_layer == source_layer + 1
+
+    def test_every_non_final_node_has_successor(self):
+        graph = layered_dag(5, 4, seed=2, edge_probability=0.05)
+        for layer in range(4):
+            for slot in range(4):
+                assert graph.out_degree(f"L{layer}_{slot}") >= 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            layered_dag(0, 3)
+        with pytest.raises(ValueError):
+            layered_dag(3, 3, edge_probability=2.0)
+
+
+class TestGridChainCycleStar:
+    def test_grid_degrees(self):
+        graph = grid_graph(3, 3)
+        assert graph.node_count == 9
+        # a corner has 2 outgoing edges in the bidirectional grid
+        assert graph.out_degree("g0_0") == 2
+        # the centre has 4
+        assert graph.out_degree("g1_1") == 4
+
+    def test_grid_directed_variant(self):
+        graph = grid_graph(2, 2, bidirectional=False)
+        assert graph.has_edge("g0_0", "east", "g0_1")
+        assert not graph.has_edge("g0_1", "east", "g0_0")
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_chain(self):
+        graph = chain_graph(4)
+        assert graph.node_count == 5
+        assert graph.edge_count == 4
+        assert graph.out_degree("c4") == 0
+
+    def test_chain_zero_length(self):
+        graph = chain_graph(0)
+        assert graph.node_count == 1
+        assert graph.edge_count == 0
+
+    def test_chain_invalid(self):
+        with pytest.raises(ValueError):
+            chain_graph(-1)
+
+    def test_cycle(self):
+        graph = cycle_graph(4)
+        assert graph.node_count == 4
+        assert graph.edge_count == 4
+        for node in graph.nodes():
+            assert graph.out_degree(node) == 1
+
+    def test_cycle_invalid(self):
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+
+    def test_star(self):
+        graph = star_graph(3, depth=2)
+        assert graph.out_degree("hub") == 3
+        assert graph.node_count == 1 + 3 * 2
+
+    def test_star_invalid(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            star_graph(2, depth=0)

@@ -1,0 +1,99 @@
+"""Unit tests for graph serialisation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, figure1_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(figure1_graph, path)
+        loaded = load_json(path)
+        assert loaded.structurally_equal(figure1_graph)
+        assert loaded.name == figure1_graph.name
+
+    def test_round_trip_preserves_attributes(self, figure1_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(figure1_graph, path)
+        loaded = load_json(path)
+        assert loaded.node_attributes("C1") == {"kind": "cinema"}
+
+    def test_dict_round_trip(self, tiny_graph):
+        rebuilt = graph_from_dict(graph_to_dict(tiny_graph))
+        assert rebuilt.structurally_equal(tiny_graph)
+
+    def test_dict_with_plain_node_list(self):
+        graph = graph_from_dict({"nodes": ["a", "b"], "edges": [["a", "x", "b"]]})
+        assert graph.has_edge("a", "x", "b")
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict({"nodes": []})
+        with pytest.raises(GraphFormatError):
+            graph_from_dict({"edges": []})
+
+    def test_non_dict_payload_raises(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict([1, 2, 3])
+
+    def test_bad_edge_arity_raises(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict({"nodes": ["a"], "edges": [["a", "x"]]})
+
+    def test_invalid_json_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            load_json(path)
+
+    def test_json_output_is_valid_json(self, figure1_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(figure1_graph, path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "figure-1"
+        assert len(payload["edges"]) == figure1_graph.edge_count
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, figure1_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_edge_list(figure1_graph, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == set(figure1_graph.edges())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# comment\n\na\tx\tb\n")
+        graph = load_edge_list(path)
+        assert graph.edge_count == 1
+
+    def test_custom_separator(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.csv"
+        save_edge_list(tiny_graph, path, separator=",")
+        loaded = load_edge_list(path, separator=",")
+        assert set(loaded.edges()) == set(tiny_graph.edges())
+
+    def test_wrong_arity_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "broken.tsv"
+        path.write_text("a\tx\tb\nc\tonly-two\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_edge_list(path)
+        assert "line 2" in str(excinfo.value)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        path = tmp_path / "empty.tsv"
+        save_edge_list(LabeledGraph(), path)
+        assert load_edge_list(path).node_count == 0

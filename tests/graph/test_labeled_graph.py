@@ -1,0 +1,204 @@
+"""Unit tests for the labelled-graph substrate."""
+
+import pytest
+
+from repro.exceptions import DuplicateNodeError, EdgeNotFoundError, NodeNotFoundError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = LabeledGraph("empty")
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert graph.alphabet() == frozenset()
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_add_node(self):
+        graph = LabeledGraph()
+        graph.add_node("a")
+        assert "a" in graph
+        assert graph.node_count == 1
+
+    def test_add_node_idempotent(self):
+        graph = LabeledGraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.node_count == 1
+
+    def test_add_node_strict_raises_on_duplicate(self):
+        graph = LabeledGraph()
+        graph.add_node("a")
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node("a", strict=True)
+
+    def test_add_node_with_attributes(self):
+        graph = LabeledGraph()
+        graph.add_node("a", kind="neighborhood", population=1200)
+        assert graph.node_attributes("a") == {"kind": "neighborhood", "population": 1200}
+
+    def test_attribute_update_on_readd(self):
+        graph = LabeledGraph()
+        graph.add_node("a", kind="old")
+        graph.add_node("a", kind="new")
+        assert graph.node_attributes("a")["kind"] == "new"
+
+    def test_add_edge_creates_endpoints(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "b")
+        assert "a" in graph and "b" in graph
+        assert graph.edge_count == 1
+        assert graph.has_edge("a", "x", "b")
+
+    def test_add_edge_idempotent(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "b")
+        graph.add_edge("a", "x", "b")
+        assert graph.edge_count == 1
+
+    def test_parallel_edges_with_distinct_labels(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "b")
+        graph.add_edge("a", "y", "b")
+        assert graph.edge_count == 2
+        assert graph.alphabet() == {"x", "y"}
+
+    def test_self_loop(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "a")
+        assert graph.has_edge("a", "x", "a")
+        assert graph.successors("a") == {"a"}
+        assert graph.predecessors("a") == {"a"}
+
+    def test_add_edges_bulk(self):
+        graph = LabeledGraph()
+        graph.add_edges([("a", "x", "b"), ("b", "y", "c")])
+        assert graph.edge_count == 2
+        assert graph.node_count == 3
+
+    def test_from_edges_constructor(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b"), ("b", "x", "c")], name="test")
+        assert graph.name == "test"
+        assert graph.node_count == 3
+
+    def test_node_attributes_unknown_node_raises(self):
+        graph = LabeledGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.node_attributes("ghost")
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b"), ("a", "y", "b")])
+        graph.remove_edge("a", "x", "b")
+        assert not graph.has_edge("a", "x", "b")
+        assert graph.has_edge("a", "y", "b")
+        assert graph.edge_count == 1
+        assert graph.alphabet() == {"y"}
+
+    def test_remove_missing_edge_raises(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b")])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge("a", "z", "b")
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b"), ("b", "y", "c"), ("c", "z", "a")])
+        graph.remove_node("b")
+        assert "b" not in graph
+        assert graph.edge_count == 1
+        assert graph.has_edge("c", "z", "a")
+
+    def test_remove_unknown_node_raises(self):
+        graph = LabeledGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("ghost")
+
+    def test_label_count_updated_after_removal(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b"), ("c", "x", "d")])
+        graph.remove_edge("a", "x", "b")
+        assert graph.label_counts() == {"x": 1}
+
+
+class TestAdjacency:
+    def test_successors_by_label(self, tiny_graph):
+        assert tiny_graph.successors("a", "x") == {"b"}
+        assert tiny_graph.successors("a", "y") == {"d"}
+        assert tiny_graph.successors("a") == {"b", "d"}
+
+    def test_predecessors_by_label(self, tiny_graph):
+        assert tiny_graph.predecessors("c", "y") == {"b"}
+        assert tiny_graph.predecessors("c") == {"b", "d"}
+
+    def test_successors_missing_label_is_empty(self, tiny_graph):
+        assert tiny_graph.successors("a", "zzz") == set()
+
+    def test_out_edges(self, tiny_graph):
+        assert sorted(tiny_graph.out_edges("a")) == [("x", "b"), ("y", "d")]
+
+    def test_in_edges(self, tiny_graph):
+        assert sorted(tiny_graph.in_edges("c")) == [("x", "d"), ("y", "b")]
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degree("a") == 2
+        assert tiny_graph.in_degree("a") == 0
+        assert tiny_graph.in_degree("c") == 2
+        assert tiny_graph.degree("b") == 2
+
+    def test_out_labels(self, tiny_graph):
+        assert tiny_graph.out_labels("a") == {"x", "y"}
+        assert tiny_graph.out_labels("c") == set()
+
+    def test_unknown_node_raises(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            list(tiny_graph.out_edges("ghost"))
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.successors("ghost")
+
+
+class TestViewsAndCopies:
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.add_edge("c", "w", "a")
+        assert not tiny_graph.has_edge("c", "w", "a")
+        assert clone.has_edge("c", "w", "a")
+
+    def test_copy_preserves_attributes(self):
+        graph = LabeledGraph()
+        graph.add_node("a", kind="thing")
+        clone = graph.copy()
+        assert clone.node_attributes("a") == {"kind": "thing"}
+
+    def test_subgraph_induced_edges(self, tiny_graph):
+        sub = tiny_graph.subgraph(["a", "b", "c"])
+        assert set(sub.nodes()) == {"a", "b", "c"}
+        assert sub.has_edge("a", "x", "b")
+        assert sub.has_edge("b", "y", "c")
+        assert not sub.has_edge("d", "x", "c")
+
+    def test_subgraph_ignores_unknown_nodes(self, tiny_graph):
+        sub = tiny_graph.subgraph(["a", "ghost"])
+        assert set(sub.nodes()) == {"a"}
+
+    def test_reverse(self, tiny_graph):
+        reverse = tiny_graph.reverse()
+        assert reverse.has_edge("b", "x", "a")
+        assert reverse.has_edge("c", "y", "b")
+        assert reverse.edge_count == tiny_graph.edge_count
+
+    def test_structural_equality(self, tiny_graph):
+        assert tiny_graph.structurally_equal(tiny_graph.copy())
+        other = tiny_graph.copy()
+        other.add_edge("c", "q", "a")
+        assert not tiny_graph.structurally_equal(other)
+
+    def test_to_edge_list_sorted_and_stable(self, tiny_graph):
+        first = tiny_graph.to_edge_list()
+        second = tiny_graph.copy().to_edge_list()
+        assert first == second
+        assert first == sorted(first, key=lambda edge: (str(edge[0]), edge[1], str(edge[2])))
+
+    def test_len_iter_repr(self, tiny_graph):
+        assert len(tiny_graph) == 4
+        assert set(iter(tiny_graph)) == {"a", "b", "c", "d"}
+        assert "LabeledGraph" in repr(tiny_graph)

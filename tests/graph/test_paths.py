@@ -1,0 +1,197 @@
+"""Unit tests for path enumeration."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.paths import (
+    Path,
+    has_word,
+    iter_paths,
+    paths_spelling,
+    reachable_nodes,
+    shortest_words,
+    word_count_by_length,
+    words_from,
+)
+
+
+class TestPathObject:
+    def test_empty_path(self):
+        path = Path("a")
+        assert path.word == ()
+        assert path.end == "a"
+        assert path.nodes == ("a",)
+        assert len(path) == 0
+
+    def test_extend(self):
+        path = Path("a").extend("x", "b").extend("y", "c")
+        assert path.word == ("x", "y")
+        assert path.end == "c"
+        assert path.nodes == ("a", "b", "c")
+        assert len(path) == 2
+
+    def test_extend_does_not_mutate(self):
+        base = Path("a")
+        base.extend("x", "b")
+        assert len(base) == 0
+
+    def test_equality_and_hash(self):
+        first = Path("a", [("x", "b")])
+        second = Path("a").extend("x", "b")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Path("a", [("y", "b")])
+
+    def test_repr_contains_labels(self):
+        path = Path("a").extend("x", "b")
+        assert "-[x]->" in repr(path)
+        assert "empty" in repr(Path("a"))
+
+
+class TestIterPaths:
+    def test_paths_of_length_one(self, tiny_graph):
+        paths = list(iter_paths(tiny_graph, "a", 1))
+        words = {path.word for path in paths}
+        assert words == {("x",), ("y",)}
+
+    def test_bfs_order_shortest_first(self, tiny_graph):
+        paths = list(iter_paths(tiny_graph, "a", 2))
+        lengths = [len(path) for path in paths]
+        assert lengths == sorted(lengths)
+
+    def test_include_empty(self, tiny_graph):
+        paths = list(iter_paths(tiny_graph, "a", 1, include_empty=True))
+        assert paths[0] == Path("a")
+
+    def test_cycle_is_bounded(self, cycle4):
+        paths = list(iter_paths(cycle4, "c0", 6))
+        assert max(len(path) for path in paths) == 6
+        # exactly one path per length in a deterministic cycle
+        assert len(paths) == 6
+
+    def test_unknown_start_raises(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            list(iter_paths(tiny_graph, "ghost", 2))
+
+
+class TestWordsFrom:
+    def test_figure1_n2_words(self, figure1_graph):
+        words = words_from(figure1_graph, "N2", 3)
+        assert ("bus", "bus", "cinema") in words
+        assert ("bus", "tram", "cinema") in words
+        assert ("bus",) in words
+        # no word may start with tram: N2 has no outgoing tram edge
+        assert not any(word[0] == "tram" for word in words)
+
+    def test_distinct_words_not_paths(self, diamond_graph):
+        # two paths spell ('a','c') vs ('b','c'): distinct; but both reach t
+        words = words_from(diamond_graph, "s", 2)
+        assert words == {("a",), ("b",), ("a", "c"), ("b", "c")}
+
+    def test_include_empty_word(self, tiny_graph):
+        assert () in words_from(tiny_graph, "a", 1, include_empty=True)
+        assert () not in words_from(tiny_graph, "a", 1)
+
+    def test_sink_node_has_no_words(self, tiny_graph):
+        assert words_from(tiny_graph, "c", 3) == set()
+
+    def test_cycle_words(self, cycle4):
+        words = words_from(cycle4, "c0", 3)
+        assert words == {("next",), ("next", "next"), ("next", "next", "next")}
+
+    def test_zero_length(self, tiny_graph):
+        assert words_from(tiny_graph, "a", 0) == set()
+
+    def test_unknown_start_raises(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            words_from(tiny_graph, "ghost", 2)
+
+
+class TestHasWord:
+    def test_positive(self, figure1_graph):
+        assert has_word(figure1_graph, "N2", ("bus", "tram", "cinema"))
+        assert has_word(figure1_graph, "N4", ("cinema",))
+
+    def test_negative(self, figure1_graph):
+        assert not has_word(figure1_graph, "N5", ("cinema",))
+        assert not has_word(figure1_graph, "N2", ("tram",))
+
+    def test_empty_word_always_present(self, figure1_graph):
+        assert has_word(figure1_graph, "N5", ())
+
+    def test_unknown_start_raises(self, figure1_graph):
+        with pytest.raises(NodeNotFoundError):
+            has_word(figure1_graph, "ghost", ("bus",))
+
+
+class TestPathsSpelling:
+    def test_single_path(self, figure1_graph):
+        paths = paths_spelling(figure1_graph, "N4", ("cinema",))
+        assert len(paths) == 1
+        assert paths[0].end == "C1"
+
+    def test_multiple_paths_same_word(self, diamond_graph):
+        # from s, word ('a','c') has one realisation
+        assert len(paths_spelling(diamond_graph, "s", ("a", "c"))) == 1
+
+    def test_no_path_returns_empty(self, figure1_graph):
+        assert paths_spelling(figure1_graph, "N5", ("cinema",)) == []
+
+    def test_empty_word(self, figure1_graph):
+        paths = paths_spelling(figure1_graph, "N5", ())
+        assert paths == [Path("N5")]
+
+
+class TestShortestWords:
+    def test_order_is_length_then_lexicographic(self, figure1_graph):
+        words = shortest_words(figure1_graph, "N2", 3)
+        lengths = [len(word) for word in words]
+        assert lengths == sorted(lengths)
+        first_length_one = [word for word in words if len(word) == 1]
+        assert first_length_one == sorted(first_length_one)
+
+    def test_excluded_words_are_skipped(self, figure1_graph):
+        words = shortest_words(figure1_graph, "N2", 2, excluded={("bus",)})
+        assert ("bus",) not in words
+        assert ("bus", "bus") in words
+
+    def test_limit(self, figure1_graph):
+        words = shortest_words(figure1_graph, "N2", 3, limit=2)
+        assert len(words) == 2
+
+    def test_sink_gives_empty(self, figure1_graph):
+        assert shortest_words(figure1_graph, "C1", 3) == []
+
+
+class TestWordCountByLength:
+    def test_counts(self, figure1_graph):
+        counts = word_count_by_length(figure1_graph, "N2", 3)
+        assert counts[1] == 1  # only 'bus'
+        assert counts[2] == 2  # bus.bus, bus.tram
+        assert counts[3] == 4  # bus.bus.cinema, bus.tram.cinema, bus.tram.tram, bus.tram.restaurant
+
+    def test_stops_at_dead_end(self, chain5):
+        counts = word_count_by_length(chain5, "c3", 10)
+        assert counts == {1: 1, 2: 1}
+
+    def test_sink_node(self, figure1_graph):
+        assert word_count_by_length(figure1_graph, "C1", 5) == {}
+
+
+class TestReachableNodes:
+    def test_full_reachability(self, chain5):
+        assert reachable_nodes(chain5, "c0") == {f"c{i}" for i in range(6)}
+
+    def test_bounded_reachability(self, chain5):
+        assert reachable_nodes(chain5, "c0", max_distance=2) == {"c0", "c1", "c2"}
+
+    def test_includes_start(self, figure1_graph):
+        assert "N5" in reachable_nodes(figure1_graph, "N5")
+
+    def test_respects_direction(self, figure1_graph):
+        reached = reachable_nodes(figure1_graph, "N5")
+        assert "C1" not in reached and "C2" not in reached
+
+    def test_unknown_start_raises(self, figure1_graph):
+        with pytest.raises(NodeNotFoundError):
+            reachable_nodes(figure1_graph, "ghost")

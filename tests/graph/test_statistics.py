@@ -1,0 +1,58 @@
+"""Unit tests for graph statistics."""
+
+from repro.graph.statistics import compute_statistics, degree_histogram, reachability_fractions
+
+
+class TestComputeStatistics:
+    def test_figure1_counts(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        assert stats.node_count == 10
+        assert stats.edge_count == figure1_graph.edge_count
+        assert stats.label_count == 4
+        assert stats.name == "figure-1"
+
+    def test_degree_extrema(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        assert stats.max_out_degree == max(figure1_graph.out_degree(n) for n in figure1_graph.nodes())
+        assert stats.max_in_degree == max(figure1_graph.in_degree(n) for n in figure1_graph.nodes())
+
+    def test_sinks_and_sources(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        # C1, C2, R1, R2 are sinks; N2 has no incoming edge
+        assert stats.sink_count == 4
+        assert stats.source_count >= 1
+
+    def test_empty_graph(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        stats = compute_statistics(LabeledGraph("void"))
+        assert stats.node_count == 0
+        assert stats.average_out_degree == 0.0
+
+    def test_as_dict_keys(self, tiny_graph):
+        row = compute_statistics(tiny_graph).as_dict()
+        assert {"name", "nodes", "edges", "labels", "avg_out_degree"} <= set(row)
+
+    def test_label_histogram(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert dict(stats.label_histogram) == {"x": 2, "y": 2}
+
+
+class TestReachabilityAndHistogram:
+    def test_reachability_chain(self, chain5):
+        fractions = reachability_fractions(chain5)
+        assert fractions["max"] == 1.0  # from c0 everything is reachable
+        assert 0 < fractions["min"] <= fractions["average"] <= fractions["max"]
+
+    def test_reachability_empty_graph(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        assert reachability_fractions(LabeledGraph()) == {"average": 0.0, "max": 0.0, "min": 0.0}
+
+    def test_degree_histogram_sums_to_node_count(self, figure1_graph):
+        histogram = degree_histogram(figure1_graph)
+        assert sum(histogram.values()) == figure1_graph.node_count
+
+    def test_degree_histogram_values(self, chain5):
+        histogram = degree_histogram(chain5)
+        assert histogram == {1: 5, 0: 1}

@@ -1,0 +1,76 @@
+"""Tests for the three demonstration scenarios (Section 3)."""
+
+import pytest
+
+from repro.interactive.scenarios import (
+    run_all_scenarios,
+    run_interactive_with_validation,
+    run_interactive_without_validation,
+    run_static_labeling,
+)
+from repro.query.evaluation import evaluate
+
+GOAL = "(tram + bus)* . cinema"
+
+
+class TestStaticLabeling:
+    def test_reaches_goal_answer_eventually(self, figure1_graph):
+        report = run_static_labeling(figure1_graph, GOAL, seed=1)
+        assert report.scenario == "static"
+        assert report.metrics["f1"] == 1.0
+        assert report.halted_by == "user-satisfied"
+
+    def test_budget_limits_interactions(self, figure1_graph):
+        report = run_static_labeling(figure1_graph, GOAL, seed=1, label_budget=2)
+        assert report.interactions <= 2
+
+    def test_seed_determinism(self, figure1_graph):
+        first = run_static_labeling(figure1_graph, GOAL, seed=4)
+        second = run_static_labeling(figure1_graph, GOAL, seed=4)
+        assert first.interactions == second.interactions
+
+    def test_summary_row_keys(self, figure1_graph):
+        row = run_static_labeling(figure1_graph, GOAL, seed=2).summary_row()
+        assert {"scenario", "interactions", "exact_goal", "instance_f1", "learned"} <= set(row)
+
+
+class TestInteractiveScenarios:
+    def test_with_validation_learns_goal_answer(self, figure1_graph):
+        report = run_interactive_with_validation(figure1_graph, GOAL)
+        assert report.metrics["f1"] == 1.0
+        assert report.scenario == "interactive+validation"
+
+    def test_without_validation_is_consistent_but_may_differ(self, figure1_graph):
+        report = run_interactive_without_validation(figure1_graph, GOAL)
+        assert report.learned_query is not None
+        # consistency with the labels it saw is guaranteed; exact goal is not
+        assert isinstance(report.exact_goal, bool)
+
+    def test_validation_never_hurts_f1(self, figure1_graph):
+        without = run_interactive_without_validation(figure1_graph, GOAL)
+        with_validation = run_interactive_with_validation(figure1_graph, GOAL)
+        assert with_validation.metrics["f1"] >= without.metrics["f1"] - 1e-9
+
+    def test_interactive_uses_fewer_interactions_than_static(self, figure1_graph):
+        static = run_static_labeling(figure1_graph, GOAL, seed=5)
+        interactive = run_interactive_with_validation(figure1_graph, GOAL)
+        assert interactive.interactions <= static.interactions
+
+    def test_max_interactions_respected(self, figure1_graph):
+        report = run_interactive_with_validation(figure1_graph, GOAL, max_interactions=1)
+        assert report.interactions <= 1
+
+
+class TestRunAllScenarios:
+    def test_all_three_reports(self, figure1_graph):
+        reports = run_all_scenarios(figure1_graph, GOAL, seed=3)
+        assert set(reports) == {"static", "interactive", "interactive+validation"}
+        for report in reports.values():
+            assert report.learned_query is not None
+
+    def test_reports_on_transit_graph(self, small_transit_graph):
+        answer = evaluate(small_transit_graph, GOAL)
+        if not answer:
+            pytest.skip("seeded transit graph has no cinema reachable")
+        reports = run_all_scenarios(small_transit_graph, GOAL, seed=3, max_interactions=25)
+        assert reports["interactive+validation"].interactions <= 25

@@ -1,0 +1,100 @@
+"""Tests for session transcripts (record / serialise / replay)."""
+
+import pytest
+
+from repro.graph.datasets import motivating_example
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.interactive.transcript import (
+    SessionTranscript,
+    TranscriptEntry,
+    record_session,
+    replay_transcript,
+)
+from repro.query.evaluation import evaluate
+
+GOAL = "(tram + bus)* . cinema"
+
+
+@pytest.fixture()
+def recorded(figure1_graph):
+    user = SimulatedUser(figure1_graph, GOAL)
+    result = InteractiveSession(figure1_graph, user).run()
+    return result, record_session(result, graph_name=figure1_graph.name)
+
+
+class TestRecord:
+    def test_entries_match_session_records(self, recorded):
+        result, transcript = recorded
+        assert transcript.interaction_count() == result.interactions
+        for record, entry in zip(result.records, transcript.entries):
+            assert entry.node == record.node
+            assert entry.positive == record.positive
+            assert entry.zooms == record.zooms
+            assert entry.validated_word == record.validated_word
+
+    def test_learned_expression_and_halt_reason(self, recorded):
+        result, transcript = recorded
+        assert transcript.learned_expression == str(result.learned_query)
+        assert transcript.halted_by == result.halted_by
+
+    def test_positive_and_negative_node_helpers(self, recorded):
+        result, transcript = recorded
+        signs = dict(result.interaction_trace())
+        assert set(transcript.positive_nodes()) == {node for node, sign in signs.items() if sign == "+"}
+        assert set(transcript.negative_nodes()) == {node for node, sign in signs.items() if sign == "-"}
+
+
+class TestSerialization:
+    def test_json_round_trip(self, recorded):
+        _, transcript = recorded
+        rebuilt = SessionTranscript.from_json(transcript.to_json())
+        assert rebuilt.graph_name == transcript.graph_name
+        assert rebuilt.entries == transcript.entries
+        assert rebuilt.learned_expression == transcript.learned_expression
+
+    def test_file_round_trip(self, recorded, tmp_path):
+        _, transcript = recorded
+        path = tmp_path / "session.json"
+        transcript.save(path)
+        loaded = SessionTranscript.load(path)
+        assert loaded.entries == transcript.entries
+
+    def test_entry_dict_round_trip(self):
+        entry = TranscriptEntry(node="N2", positive=True, zooms=1, validated_word=("bus", "cinema"))
+        assert TranscriptEntry.from_dict(entry.as_dict()) == entry
+        negative = TranscriptEntry(node="N5", positive=False, zooms=0)
+        assert TranscriptEntry.from_dict(negative.as_dict()) == negative
+
+
+class TestReplay:
+    def test_replay_reproduces_answer_set(self, figure1_graph, recorded):
+        result, transcript = recorded
+        replayed = replay_transcript(figure1_graph, transcript)
+        assert replayed.interactions == result.interactions
+        assert evaluate(figure1_graph, replayed.learned_query) == evaluate(
+            figure1_graph, result.learned_query
+        )
+
+    def test_replay_after_json_round_trip(self, figure1_graph, recorded):
+        result, transcript = recorded
+        reloaded = SessionTranscript.from_json(transcript.to_json())
+        replayed = replay_transcript(figure1_graph, reloaded)
+        assert evaluate(figure1_graph, replayed.learned_query) == evaluate(
+            figure1_graph, result.learned_query
+        )
+
+    def test_replay_without_validation_changes_only_words(self, figure1_graph, recorded):
+        _, transcript = recorded
+        replayed = replay_transcript(figure1_graph, transcript, path_validation=False)
+        # labels are identical, so the replayed query is still consistent
+        answer = evaluate(figure1_graph, replayed.learned_query)
+        for node in transcript.positive_nodes():
+            assert node in answer
+        for node in transcript.negative_nodes():
+            assert node not in answer
+
+    def test_replay_on_fresh_graph_object(self, recorded):
+        _, transcript = recorded
+        replayed = replay_transcript(motivating_example(), transcript)
+        assert replayed.learned_query is not None

@@ -1,0 +1,116 @@
+"""Tests for the L* learner (the paper's membership-query framework)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.equivalence import equivalent
+from repro.automata.minimize import minimize
+from repro.learning.angluin import (
+    ExactTeacher,
+    SampleTeacher,
+    learn_with_membership_queries,
+    lstar,
+)
+from repro.query.rpq import PathQuery
+
+
+class TestExactLearning:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a",
+            "a . b",
+            "a + b",
+            "a*",
+            "(a + b)* . c",
+            "a . (b + c)* . a",
+            "(tram + bus)* . cinema",
+            "a+ . b?",
+        ],
+    )
+    def test_learns_exact_language(self, expression):
+        result = learn_with_membership_queries(expression)
+        assert equivalent(result.dfa, regex_to_dfa(expression))
+
+    def test_learned_dfa_is_minimal(self):
+        # L* returns the complete minimal DFA (rejecting sink included); after
+        # trimming it matches our canonical minimal form exactly
+        result = learn_with_membership_queries("(a + b)* . c")
+        goal_minimal = minimize(regex_to_dfa("(a + b)* . c"))
+        assert minimize(result.dfa).state_count() == goal_minimal.state_count()
+        # and never more than minimal + 1 (the sink) before trimming
+        assert result.dfa.state_count() <= goal_minimal.state_count() + 1
+
+    def test_query_counters_reported(self):
+        result = learn_with_membership_queries("(a + b)* . c")
+        assert result.membership_queries > 0
+        assert result.equivalence_queries >= 1
+        assert result.rounds == result.equivalence_queries
+
+    def test_alphabet_can_be_widened(self):
+        # learning 'a' over alphabet {a, b}: the hypothesis must reject b-words
+        result = lstar(ExactTeacher("a", alphabet=["a", "b"]))
+        assert result.dfa.accepts(("a",))
+        assert not result.dfa.accepts(("b",))
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            lstar(ExactTeacher("eps", alphabet=[]))
+
+    def test_learns_from_path_query_object(self):
+        result = learn_with_membership_queries(PathQuery("bus . cinema"))
+        assert result.query.same_language("bus . cinema")
+
+
+class TestSampleTeacher:
+    def test_bounded_teacher_accepts_close_enough_hypotheses(self):
+        teacher = SampleTeacher("(a + b)* . c", max_length=3)
+        result = lstar(teacher)
+        # the learned language agrees with the goal on every word up to the bound
+        goal = regex_to_dfa("(a + b)* . c")
+        for word in goal.accepted_words(3):
+            assert result.dfa.accepts(word)
+
+    def test_more_patient_teacher_gives_better_hypotheses(self):
+        lazy = lstar(SampleTeacher("(a . b)+", max_length=2))
+        patient = lstar(SampleTeacher("(a . b)+", max_length=6))
+        goal = regex_to_dfa("(a . b)+")
+        lazy_errors = sum(
+            1 for word in goal.accepted_words(6) if not lazy.dfa.accepts(word)
+        )
+        patient_errors = sum(
+            1 for word in goal.accepted_words(6) if not patient.dfa.accepts(word)
+        )
+        assert patient_errors <= lazy_errors
+
+
+_atoms = st.sampled_from(["a", "b", "c"])
+_goal_expressions = st.recursive(
+    _atoms,
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda pair: f"({pair[0]} + {pair[1]})"),
+        st.tuples(children, children).map(lambda pair: f"({pair[0]} . {pair[1]})"),
+        children.map(lambda inner: f"({inner})*"),
+    ),
+    max_leaves=3,
+)
+
+
+class TestLStarProperties:
+    @given(_goal_expressions)
+    @settings(max_examples=40, deadline=None)
+    def test_always_converges_to_goal_language(self, expression):
+        result = learn_with_membership_queries(expression)
+        assert equivalent(result.dfa, regex_to_dfa(expression))
+
+    @given(_goal_expressions)
+    @settings(max_examples=25, deadline=None)
+    def test_query_count_polynomial_sanity(self, expression):
+        """Membership queries stay far below brute-force enumeration."""
+        result = learn_with_membership_queries(expression)
+        states = max(result.dfa.state_count(), 1)
+        alphabet = max(len(result.dfa.alphabet()), 1)
+        # generous polynomial envelope (n^2 * |Σ| * counterexample length bound)
+        assert result.membership_queries <= 200 * states * states * alphabet

@@ -1,0 +1,115 @@
+"""Unit tests for example sets."""
+
+import pytest
+
+from repro.exceptions import InconsistentExamplesError
+from repro.learning.examples import ExampleSet, LabeledExample
+
+
+class TestLabeling:
+    def test_add_positive_and_negative(self):
+        examples = ExampleSet()
+        examples.add_positive("N2")
+        examples.add_negative("N5")
+        assert examples.positive_nodes == {"N2"}
+        assert examples.negative_nodes == {"N5"}
+        assert examples.labeled_nodes == {"N2", "N5"}
+
+    def test_label_of(self):
+        examples = ExampleSet()
+        examples.add_positive("a")
+        examples.add_negative("b")
+        assert examples.label_of("a") is True
+        assert examples.label_of("b") is False
+        assert examples.label_of("c") is None
+
+    def test_conflicting_labels_raise(self):
+        examples = ExampleSet()
+        examples.add_positive("a")
+        with pytest.raises(InconsistentExamplesError):
+            examples.add_negative("a")
+        examples.add_negative("b")
+        with pytest.raises(InconsistentExamplesError):
+            examples.add_positive("b")
+
+    def test_relabel_same_sign_is_allowed(self):
+        examples = ExampleSet()
+        examples.add_positive("a", validated_word=("x",))
+        examples.add_positive("a")
+        assert examples.validated_word("a") == ("x",)  # kept
+
+    def test_is_empty(self):
+        examples = ExampleSet()
+        assert examples.is_empty()
+        examples.add_negative("a")
+        assert not examples.is_empty()
+
+
+class TestValidatedWords:
+    def test_validated_word_recorded(self):
+        examples = ExampleSet()
+        examples.add_positive("N2", validated_word=["bus", "bus", "cinema"])
+        assert examples.validated_word("N2") == ("bus", "bus", "cinema")
+        assert examples.validated_words() == {"N2": ("bus", "bus", "cinema")}
+
+    def test_validated_word_absent_by_default(self):
+        examples = ExampleSet()
+        examples.add_positive("N2")
+        assert examples.validated_word("N2") is None
+        assert examples.validated_words() == {}
+
+    def test_set_validated_word_later(self):
+        examples = ExampleSet()
+        examples.add_positive("N2")
+        examples.set_validated_word("N2", ("cinema",))
+        assert examples.validated_word("N2") == ("cinema",)
+
+    def test_set_validated_word_for_non_positive_raises(self):
+        examples = ExampleSet()
+        examples.add_negative("N5")
+        with pytest.raises(InconsistentExamplesError):
+            examples.set_validated_word("N5", ("bus",))
+        with pytest.raises(InconsistentExamplesError):
+            examples.set_validated_word("unknown", ("bus",))
+
+    def test_replacing_validated_word(self):
+        examples = ExampleSet()
+        examples.add_positive("N2", validated_word=("bus",))
+        examples.add_positive("N2", validated_word=("bus", "cinema"))
+        assert examples.validated_word("N2") == ("bus", "cinema")
+
+
+class TestPropagationAndHistory:
+    def test_propagated_labels_excluded_from_user_counts(self):
+        examples = ExampleSet()
+        examples.add_positive("a")
+        examples.add_negative("b", propagated=True)
+        examples.add_positive("c", propagated=True)
+        assert examples.interaction_count() == 1
+        assert examples.user_positive_nodes == {"a"}
+        assert examples.user_negative_nodes == frozenset()
+        assert examples.positive_nodes == {"a", "c"}
+        assert examples.negative_nodes == {"b"}
+
+    def test_history_order_and_signs(self):
+        examples = ExampleSet()
+        examples.add_positive("a")
+        examples.add_negative("b")
+        history = examples.history
+        assert [example.node for example in history] == ["a", "b"]
+        assert [example.sign for example in history] == ["+", "-"]
+        assert isinstance(history[0], LabeledExample)
+
+    def test_copy_is_independent(self):
+        examples = ExampleSet()
+        examples.add_positive("a")
+        clone = examples.copy()
+        clone.add_negative("b")
+        assert "b" not in examples.negative_nodes
+        assert "b" in clone.negative_nodes
+        assert clone.positive_nodes == {"a"}
+
+    def test_repr_mentions_counts(self):
+        examples = ExampleSet()
+        examples.add_positive("a")
+        assert "+1" in repr(examples)

@@ -1,0 +1,128 @@
+"""Unit tests for the two-step learner."""
+
+import pytest
+
+from repro.exceptions import InconsistentExamplesError
+from repro.learning.examples import ExampleSet
+from repro.learning.learner import PathQueryLearner, learn_query
+from repro.query.containment import language_equivalent
+from repro.query.evaluation import evaluate
+
+
+class TestSelectSampleWords:
+    def test_validated_words_honoured(self, figure1_graph):
+        learner = PathQueryLearner(figure1_graph)
+        examples = ExampleSet()
+        examples.add_positive("N2", validated_word=("bus", "tram", "cinema"))
+        examples.add_negative("N5")
+        chosen = learner.select_sample_words(examples)
+        assert chosen["N2"] == ("bus", "tram", "cinema")
+
+    def test_shortest_uncovered_fallback(self, figure1_graph):
+        learner = PathQueryLearner(figure1_graph)
+        examples = ExampleSet()
+        examples.add_positive("N4")
+        examples.add_negative("N5")
+        chosen = learner.select_sample_words(examples)
+        assert chosen["N4"] == ("cinema",)
+
+    def test_inconsistent_positive_raises(self, figure1_graph):
+        learner = PathQueryLearner(figure1_graph, max_path_length=3)
+        examples = ExampleSet()
+        examples.add_positive("N4")
+        examples.add_negative("N6")  # N6 covers 'cinema', N4's only word
+        with pytest.raises(InconsistentExamplesError):
+            learner.select_sample_words(examples)
+
+
+class TestLearn:
+    def test_paper_running_example(self, figure1_graph, figure1_query):
+        """Sample words bus.tram.cinema + cinema generalise to the goal query."""
+        query = learn_query(
+            figure1_graph,
+            positive={"N2": ("bus", "tram", "cinema"), "N6": ("cinema",)},
+            negative=["N5"],
+        )
+        assert query.same_language(figure1_query)
+        assert evaluate(figure1_graph, query) == {"N1", "N2", "N4", "N6"}
+
+    def test_without_validation_yields_consistent_but_different_query(self, figure1_graph):
+        """Section 3: without path validation the learner may return `bus`."""
+        query = learn_query(figure1_graph, positive={"N2": None, "N6": None}, negative=["N5"])
+        answer = evaluate(figure1_graph, query)
+        assert "N2" in answer and "N6" in answer and "N5" not in answer
+        assert not query.same_language("(tram + bus)* . cinema")
+
+    def test_learned_query_never_selects_negatives(self, figure1_graph):
+        outcome = PathQueryLearner(figure1_graph).learn(_examples(figure1_graph))
+        answer = evaluate(figure1_graph, outcome.query)
+        assert not (answer & {"N3", "N5"})
+
+    def test_outcome_reports_consistency_and_sample(self, figure1_graph):
+        outcome = PathQueryLearner(figure1_graph).learn(_examples(figure1_graph))
+        assert outcome.consistent
+        assert ("cinema",) in outcome.sample_words
+
+    def test_empty_positive_set_learns_empty_query(self, figure1_graph):
+        learner = PathQueryLearner(figure1_graph)
+        examples = ExampleSet()
+        examples.add_negative("N5")
+        outcome = learner.learn(examples)
+        assert outcome.query.is_empty()
+        assert outcome.consistent
+
+    def test_no_examples_at_all(self, figure1_graph):
+        outcome = PathQueryLearner(figure1_graph).learn(ExampleSet())
+        assert outcome.query.is_empty()
+        assert outcome.consistent
+
+    def test_generalize_false_returns_disjunction_of_samples(self, figure1_graph):
+        query = learn_query(
+            figure1_graph,
+            positive={"N2": ("bus", "tram", "cinema"), "N6": ("cinema",)},
+            negative=["N5"],
+            generalize=False,
+        )
+        assert query.accepts_word(("cinema",))
+        assert query.accepts_word(("bus", "tram", "cinema"))
+        # no generalisation: unseen repetitions are rejected
+        assert not query.accepts_word(("bus", "bus", "cinema"))
+
+    def test_sink_positive_with_no_negatives(self, figure1_graph):
+        query = learn_query(figure1_graph, positive={"C1": None})
+        # only consistent choice is the empty word: query selects everything
+        assert evaluate(figure1_graph, query) == set(figure1_graph.nodes())
+
+    def test_more_negatives_tighten_the_query(self, figure1_graph):
+        loose = learn_query(figure1_graph, positive={"N6": None}, negative=["N5"])
+        tight = learn_query(figure1_graph, positive={"N6": None}, negative=["N5", "N3", "N1"])
+        loose_answer = evaluate(figure1_graph, loose)
+        tight_answer = evaluate(figure1_graph, tight)
+        assert "N1" not in tight_answer
+        assert not ({"N5", "N3", "N1"} & tight_answer)
+        assert "N6" in loose_answer and "N6" in tight_answer
+
+    def test_learning_on_transit_graph_is_consistent(self, small_transit_graph):
+        goal = "(tram + bus)* . cinema"
+        answer = evaluate(small_transit_graph, goal)
+        if not answer:
+            pytest.skip("seeded transit graph has no cinema reachable")
+        positives = {node: None for node in sorted(answer, key=str)[:2]}
+        negatives = sorted(set(small_transit_graph.nodes()) - answer, key=str)[:3]
+        learner = PathQueryLearner(small_transit_graph, max_path_length=5)
+        examples = ExampleSet()
+        for node in positives:
+            examples.add_positive(node)
+        for node in negatives:
+            examples.add_negative(node)
+        outcome = learner.learn(examples)
+        assert outcome.consistent
+
+
+def _examples(graph) -> ExampleSet:
+    examples = ExampleSet()
+    examples.add_positive("N2", validated_word=("bus", "tram", "cinema"))
+    examples.add_positive("N6", validated_word=("cinema",))
+    examples.add_negative("N5")
+    examples.add_negative("N3")
+    return examples

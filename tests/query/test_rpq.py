@@ -1,0 +1,74 @@
+"""Unit tests for the PathQuery wrapper."""
+
+import pytest
+
+from repro.automata.determinize import regex_to_dfa
+from repro.exceptions import RegexSyntaxError
+from repro.query.rpq import PathQuery
+from repro.regex.parser import parse
+
+
+class TestConstruction:
+    def test_from_string(self):
+        query = PathQuery("(tram + bus)* . cinema")
+        assert query.accepts_word(("cinema",))
+        assert query.accepts_word(("bus", "tram", "cinema"))
+        assert not query.accepts_word(("bus",))
+
+    def test_from_ast(self):
+        query = PathQuery(parse("a . b"))
+        assert query.accepts_word(("a", "b"))
+
+    def test_from_dfa(self):
+        dfa = regex_to_dfa("a + b . c")
+        query = PathQuery.from_dfa(dfa)
+        assert query.accepts_word(("a",))
+        assert query.accepts_word(("b", "c"))
+        assert not query.accepts_word(("b",))
+
+    def test_from_word(self):
+        query = PathQuery.from_word(("bus", "cinema"))
+        assert query.accepts_word(("bus", "cinema"))
+        assert not query.accepts_word(("bus",))
+
+    def test_invalid_expression_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            PathQuery("a + (")
+
+    def test_name_defaults_to_expression(self):
+        query = PathQuery("a + b")
+        assert query.name == "a + b"
+        named = PathQuery("a + b", name="my-query")
+        assert named.name == "my-query"
+
+
+class TestLanguageLevel:
+    def test_dfa_is_minimal_and_cached(self):
+        query = PathQuery("(a + b)* . c")
+        first = query.dfa
+        second = query.dfa
+        assert first is second
+        assert first.state_count() == 2
+
+    def test_alphabet(self):
+        assert PathQuery("(tram + bus)* . cinema").alphabet() == {"tram", "bus", "cinema"}
+
+    def test_is_empty(self):
+        assert PathQuery("empty").is_empty()
+        assert not PathQuery("a").is_empty()
+
+    def test_same_language(self):
+        assert PathQuery("a + b").same_language(PathQuery("b + a"))
+        assert not PathQuery("a*").same_language(PathQuery("a+"))
+
+    def test_equality_is_language_equality(self):
+        assert PathQuery("a?") == PathQuery("a + eps")
+        assert PathQuery("a") != PathQuery("b")
+
+    def test_hash_consistent_with_language_equality(self):
+        assert hash(PathQuery("a + b")) == hash(PathQuery("b + a"))
+
+    def test_str_and_repr(self):
+        query = PathQuery("(tram + bus)* . cinema")
+        assert str(query) == "(tram + bus)* . cinema"
+        assert "PathQuery" in repr(query)

@@ -1,0 +1,124 @@
+"""Unit tests for the regular-expression AST."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Empty,
+    Epsilon,
+    Optional_,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    concat_all,
+    symbol,
+    union_all,
+    word_to_regex,
+)
+
+
+class TestNodeBasics:
+    def test_symbol_requires_nonempty_label(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_equality_and_hash(self):
+        assert Symbol("a") == Symbol("a")
+        assert Symbol("a") != Symbol("b")
+        assert hash(Symbol("a")) == hash(Symbol("a"))
+        assert Union(Symbol("a"), Symbol("b")) == Union(Symbol("a"), Symbol("b"))
+        assert Concat(Symbol("a"), Symbol("b")) != Concat(Symbol("b"), Symbol("a"))
+        assert Star(Symbol("a")) == Star(Symbol("a"))
+        assert EMPTY == Empty() and EPSILON == Epsilon()
+
+    def test_children(self):
+        expr = Concat(Symbol("a"), Union(Symbol("b"), Symbol("c")))
+        assert expr.children() == (Symbol("a"), Union(Symbol("b"), Symbol("c")))
+        assert Symbol("a").children() == ()
+        assert Star(Symbol("a")).children() == (Symbol("a"),)
+
+    def test_walk_visits_all_nodes(self):
+        expr = Concat(Star(Symbol("a")), Union(Symbol("b"), EPSILON))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds.count("Symbol") == 2
+        assert "Star" in kinds and "Union" in kinds and "Epsilon" in kinds
+
+    def test_size(self):
+        assert Symbol("a").size() == 1
+        assert Concat(Symbol("a"), Symbol("b")).size() == 3
+        assert Star(Union(Symbol("a"), Symbol("b"))).size() == 4
+
+    def test_alphabet(self):
+        expr = Concat(Star(Union(Symbol("tram"), Symbol("bus"))), Symbol("cinema"))
+        assert expr.alphabet() == {"tram", "bus", "cinema"}
+        assert EPSILON.alphabet() == frozenset()
+
+    def test_repr_and_str(self):
+        expr = Union(Symbol("a"), Symbol("b"))
+        assert "a + b" in str(expr)
+        assert "Regex" in repr(expr)
+
+
+class TestNullability:
+    def test_constants(self):
+        assert EPSILON.nullable()
+        assert not EMPTY.nullable()
+        assert not Symbol("a").nullable()
+
+    def test_star_and_optional_are_nullable(self):
+        assert Star(Symbol("a")).nullable()
+        assert Optional_(Symbol("a")).nullable()
+
+    def test_plus_nullable_only_if_inner_is(self):
+        assert not Plus(Symbol("a")).nullable()
+        assert Plus(EPSILON).nullable()
+
+    def test_concat_and_union(self):
+        assert not Concat(Symbol("a"), Star(Symbol("b"))).nullable()
+        assert Concat(Star(Symbol("a")), Star(Symbol("b"))).nullable()
+        assert Union(Symbol("a"), EPSILON).nullable()
+        assert not Union(Symbol("a"), Symbol("b")).nullable()
+
+
+class TestSmartConstructors:
+    def test_concat_identities(self):
+        a = Symbol("a")
+        assert a.concat(EPSILON) == a
+        assert EPSILON.concat(a) == a
+        assert a.concat(EMPTY) == EMPTY
+        assert EMPTY.concat(a) == EMPTY
+
+    def test_union_identities(self):
+        a = Symbol("a")
+        assert a.union(EMPTY) == a
+        assert EMPTY.union(a) == a
+        assert a.union(a) == a
+
+    def test_union_epsilon_with_star_collapses(self):
+        star = Star(Symbol("a"))
+        assert EPSILON.union(star) == star
+        assert star.union(EPSILON) == star
+
+    def test_star_simplifications(self):
+        assert EMPTY.star() == EPSILON
+        assert EPSILON.star() == EPSILON
+        star = Star(Symbol("a"))
+        assert star.star() == star
+
+    def test_concat_all_and_union_all(self):
+        parts = (Symbol("a"), Symbol("b"))
+        assert concat_all(parts) == Concat(Symbol("a"), Symbol("b"))
+        assert concat_all(()) == EPSILON
+        assert union_all(parts) == Union(Symbol("a"), Symbol("b"))
+        assert union_all(()) == EMPTY
+
+    def test_word_to_regex(self):
+        assert word_to_regex(()) == EPSILON
+        assert word_to_regex(("a",)) == Symbol("a")
+        assert word_to_regex(("a", "b")) == Concat(Symbol("a"), Symbol("b"))
+
+    def test_symbol_helper(self):
+        assert symbol("bus") == Symbol("bus")

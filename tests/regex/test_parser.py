@@ -1,0 +1,147 @@
+"""Unit tests for the regular-expression parser."""
+
+import pytest
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Optional_,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.parser import parse, parse_word
+
+
+class TestAtoms:
+    def test_single_symbol(self):
+        assert parse("tram") == Symbol("tram")
+
+    def test_symbol_with_digits_and_dashes(self):
+        assert parse("line-42") == Symbol("line-42")
+        assert parse("bus_2") == Symbol("bus_2")
+
+    def test_epsilon_keywords(self):
+        assert parse("eps") == EPSILON
+        assert parse("epsilon") == EPSILON
+        assert parse("()") == EPSILON
+
+    def test_empty_keyword(self):
+        assert parse("empty") == EMPTY
+
+    def test_empty_string_is_epsilon(self):
+        assert parse("") == EPSILON
+        assert parse("   ") == EPSILON
+
+    def test_parse_accepts_ast_passthrough(self):
+        expr = Symbol("a")
+        assert parse(expr) is expr
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(42)
+
+
+class TestOperators:
+    def test_explicit_concatenation(self):
+        assert parse("a . b") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_implicit_concatenation_via_parentheses(self):
+        assert parse("(a)(b)") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_union_plus_and_pipe(self):
+        expected = Union(Symbol("a"), Symbol("b"))
+        assert parse("a + b") == expected
+        assert parse("a | b") == expected
+
+    def test_star(self):
+        assert parse("a*") == Star(Symbol("a"))
+
+    def test_postfix_plus(self):
+        assert parse("a+") == Plus(Symbol("a"))
+
+    def test_postfix_plus_before_closing_paren(self):
+        assert parse("(a+)") == Plus(Symbol("a"))
+
+    def test_postfix_plus_then_union(self):
+        # 'a+ + b' = (a+) + b
+        assert parse("a+ + b") == Union(Plus(Symbol("a")), Symbol("b"))
+
+    def test_optional(self):
+        assert parse("a?") == Optional_(Symbol("a"))
+
+    def test_double_postfix(self):
+        assert parse("a*?") == Optional_(Star(Symbol("a")))
+
+    def test_precedence_union_lowest(self):
+        # a . b + c  ==  (a.b) + c
+        assert parse("a . b + c") == Union(Concat(Symbol("a"), Symbol("b")), Symbol("c"))
+
+    def test_precedence_star_highest(self):
+        # a . b*  ==  a . (b*)
+        assert parse("a . b*") == Concat(Symbol("a"), Star(Symbol("b")))
+
+    def test_parentheses_override_precedence(self):
+        assert parse("(a + b) . c") == Concat(Union(Symbol("a"), Symbol("b")), Symbol("c"))
+
+    def test_left_associativity_of_concat(self):
+        assert parse("a . b . c") == Concat(Concat(Symbol("a"), Symbol("b")), Symbol("c"))
+
+    def test_paper_query(self):
+        expr = parse("(tram + bus)* . cinema")
+        assert expr == Concat(Star(Union(Symbol("tram"), Symbol("bus"))), Symbol("cinema"))
+
+    def test_whitespace_insensitive(self):
+        assert parse("( tram+bus )*.cinema") == parse("(tram + bus)* . cinema")
+
+
+class TestErrors:
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a + b")
+        with pytest.raises(RegexSyntaxError):
+            parse("a + b)")
+
+    def test_dangling_operator(self):
+        # a trailing '+' is the postfix operator, so it parses; a leading
+        # infix operator or a dangling '.' must fail
+        with pytest.raises(RegexSyntaxError):
+            parse("| a")
+        with pytest.raises(RegexSyntaxError):
+            parse(". a")
+        with pytest.raises(RegexSyntaxError):
+            parse("a .")
+
+    def test_trailing_plus_is_postfix(self):
+        assert parse("a +") == Plus(Symbol("a"))
+
+    def test_invalid_character(self):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse("a @ b")
+        assert excinfo.value.position is not None
+
+    def test_lone_star(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*")
+
+    def test_error_carries_expression(self):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse("a + (b")
+        assert excinfo.value.expression == "a + (b"
+
+
+class TestParseWord:
+    def test_dot_separated(self):
+        assert parse_word("bus.bus.cinema") == ("bus", "bus", "cinema")
+
+    def test_spaces_tolerated(self):
+        assert parse_word(" bus . cinema ") == ("bus", "cinema")
+
+    def test_empty_string(self):
+        assert parse_word("") == ()
+
+    def test_custom_separator(self):
+        assert parse_word("a/b/c", separator="/") == ("a", "b", "c")

@@ -1,0 +1,83 @@
+"""Unit tests for the regular-expression printer."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Optional_,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.parser import parse
+from repro.regex.printer import to_compact_string, to_string
+
+
+class TestToString:
+    def test_constants(self):
+        assert to_string(EMPTY) == "empty"
+        assert to_string(EPSILON) == "eps"
+        assert to_string(Symbol("bus")) == "bus"
+
+    def test_operators(self):
+        assert to_string(Union(Symbol("a"), Symbol("b"))) == "a + b"
+        assert to_string(Concat(Symbol("a"), Symbol("b"))) == "a . b"
+        assert to_string(Star(Symbol("a"))) == "a*"
+        assert to_string(Plus(Symbol("a"))) == "a+"
+        assert to_string(Optional_(Symbol("a"))) == "a?"
+
+    def test_parenthesisation_only_when_needed(self):
+        expr = Concat(Union(Symbol("a"), Symbol("b")), Symbol("c"))
+        assert to_string(expr) == "(a + b) . c"
+        expr2 = Union(Concat(Symbol("a"), Symbol("b")), Symbol("c"))
+        assert to_string(expr2) == "a . b + c"
+
+    def test_star_of_union_parenthesised(self):
+        expr = Star(Union(Symbol("tram"), Symbol("bus")))
+        assert to_string(expr) == "(tram + bus)*"
+
+    def test_star_of_concat_parenthesised(self):
+        expr = Star(Concat(Symbol("a"), Symbol("b")))
+        assert to_string(expr) == "(a . b)*"
+
+    def test_paper_query(self):
+        expr = Concat(Star(Union(Symbol("tram"), Symbol("bus"))), Symbol("cinema"))
+        assert to_string(expr) == "(tram + bus)* . cinema"
+
+    def test_compact_string(self):
+        expr = parse("(a + b)* . c")
+        assert to_compact_string(expr) == "(a+b)*.c"
+
+    def test_unknown_node_raises(self):
+        class Strange:
+            pass
+
+        with pytest.raises(TypeError):
+            to_string(Strange())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a",
+            "a . b",
+            "a + b",
+            "a*",
+            "a+",
+            "a?",
+            "(a + b)* . c",
+            "a . (b + c)* . d",
+            "((a + b) . c)* + d?",
+            "(tram + bus)* . cinema",
+            "a . b . c + d . e",
+            "eps + a",
+        ],
+    )
+    def test_parse_print_parse_is_identity(self, expression):
+        first = parse(expression)
+        reparsed = parse(to_string(first))
+        assert first == reparsed

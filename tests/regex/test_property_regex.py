@@ -1,0 +1,100 @@
+"""Property-based tests for the regex layer (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.automata.determinize import regex_to_dfa
+from repro.regex.ast import (
+    EPSILON,
+    Concat,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.parser import parse
+from repro.regex.printer import to_string
+
+LABELS = ("a", "b", "c")
+
+
+def regex_strategy(max_depth: int = 4) -> st.SearchStrategy:
+    """Random regular-expression ASTs over a small alphabet."""
+    leaves = st.one_of(
+        st.sampled_from([Symbol(label) for label in LABELS]),
+        st.just(EPSILON),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: Union(pair[0], pair[1])),
+            st.tuples(children, children).map(lambda pair: Concat(pair[0], pair[1])),
+            children.map(Star),
+            children.map(Plus),
+            children.map(Optional_),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_depth)
+
+
+words_strategy = st.lists(st.sampled_from(LABELS), max_size=6).map(tuple)
+
+
+@given(regex_strategy())
+@settings(max_examples=120, deadline=None)
+def test_print_parse_round_trip(expr: Regex):
+    """Printing then re-parsing yields a structurally equal expression.
+
+    (Smart constructors are not applied by the parser for raw node types
+    such as Plus/Optional, so we compare the *languages* via DFAs when the
+    structures differ.)
+    """
+    reparsed = parse(to_string(expr))
+    if reparsed == expr:
+        return
+    from repro.automata.equivalence import equivalent
+
+    assert equivalent(regex_to_dfa(expr), regex_to_dfa(reparsed))
+
+
+@given(regex_strategy(), words_strategy)
+@settings(max_examples=120, deadline=None)
+def test_nullable_agrees_with_dfa_on_empty_word(expr: Regex, _word):
+    dfa = regex_to_dfa(expr)
+    assert dfa.accepts(()) == expr.nullable()
+
+
+@given(regex_strategy(), regex_strategy(), words_strategy)
+@settings(max_examples=80, deadline=None)
+def test_union_smart_constructor_preserves_language(left: Regex, right: Regex, word):
+    """The simplifying ``union`` constructor accepts exactly L(left) ∪ L(right)."""
+    combined = left.union(right)
+    dfa_left = regex_to_dfa(left)
+    dfa_right = regex_to_dfa(right)
+    dfa_combined = regex_to_dfa(combined)
+    assert dfa_combined.accepts(word) == (dfa_left.accepts(word) or dfa_right.accepts(word))
+
+
+@given(regex_strategy(), regex_strategy(), words_strategy)
+@settings(max_examples=80, deadline=None)
+def test_concat_smart_constructor_preserves_language(left: Regex, right: Regex, word):
+    combined = left.concat(right)
+    dfa_combined = regex_to_dfa(combined)
+    dfa_left = regex_to_dfa(left)
+    dfa_right = regex_to_dfa(right)
+    expected = any(
+        dfa_left.accepts(word[:cut]) and dfa_right.accepts(word[cut:])
+        for cut in range(len(word) + 1)
+    )
+    assert dfa_combined.accepts(word) == expected
+
+
+@given(regex_strategy())
+@settings(max_examples=100, deadline=None)
+def test_alphabet_covers_symbols_of_accepted_words(expr: Regex):
+    dfa = regex_to_dfa(expr)
+    alphabet = expr.alphabet()
+    for word in dfa.accepted_words(4, limit=20):
+        assert set(word) <= alphabet

@@ -1,0 +1,123 @@
+"""Unit and property tests for regular-expression simplification."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.determinize import regex_to_dfa
+from repro.automata.equivalence import equivalent
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Optional_,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.parser import parse
+from repro.regex.printer import to_string
+from repro.regex.simplify import simplified_size_reduction, simplify
+
+
+class TestRewriteRules:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("a + a", "a"),
+            ("a + empty", "a"),
+            ("empty + empty", "empty"),
+            ("a . eps", "a"),
+            ("eps . a", "a"),
+            ("a . empty", "empty"),
+            ("eps + a", "a?"),
+            ("eps + a*", "a*"),
+            ("(a*)*", "a*"),
+            ("(a+)+", "a+"),
+            ("(a+)*", "a*"),
+            ("(a?)*", "a*"),
+            ("(a?)?", "a?"),
+            ("(a*)?", "a*"),
+            ("a . a*", "a+"),
+            ("a* . a", "a+"),
+            ("a* . a*", "a*"),
+            ("a + a*", "a*"),
+            ("a + a+", "a+"),
+            ("eps + a+", "a*"),
+            ("eps?", "eps"),
+            ("empty*", "eps"),
+            ("empty+", "empty"),
+        ],
+    )
+    def test_single_rule(self, expression, expected):
+        assert simplify(parse(expression)) == parse(expected)
+
+    def test_union_deduplication_across_nesting(self):
+        expr = Union(Union(Symbol("a"), Symbol("b")), Union(Symbol("a"), Symbol("b")))
+        assert simplify(expr) == Union(Symbol("a"), Symbol("b"))
+
+    def test_synthesis_style_expression(self):
+        # the kind of output state elimination produces
+        expr = parse("(eps + bus . bus*) . cinema + empty")
+        simplified = simplify(expr)
+        assert to_string(simplified) == "bus* . cinema"
+
+    def test_size_never_grows(self):
+        for expression in ["(a + a) . (b + empty)", "eps + (a . eps)*", "((a?)*)+ . b"]:
+            original, reduced = simplified_size_reduction(parse(expression))
+            assert reduced <= original
+
+    def test_leaves_already_simple_expressions_alone(self):
+        for expression in ["a", "a . b", "(a + b)* . c", "a+ . b?"]:
+            assert simplify(parse(expression)) == parse(expression)
+
+    def test_constants(self):
+        assert simplify(EMPTY) == EMPTY
+        assert simplify(EPSILON) == EPSILON
+
+
+LABELS = ("a", "b", "c")
+_atoms = st.one_of(
+    st.sampled_from([Symbol(label) for label in LABELS]),
+    st.just(EPSILON),
+    st.just(EMPTY),
+)
+
+
+def _ast_strategy():
+    return st.recursive(
+        _atoms,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: Union(pair[0], pair[1])),
+            st.tuples(children, children).map(lambda pair: Concat(pair[0], pair[1])),
+            children.map(Star),
+            children.map(Plus),
+            children.map(Optional_),
+        ),
+        max_leaves=5,
+    )
+
+
+class TestSimplifyProperties:
+    @given(_ast_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_language_preserved(self, expr):
+        assert equivalent(regex_to_dfa(expr), regex_to_dfa(simplify(expr)))
+
+    @given(_ast_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_idempotent(self, expr):
+        once = simplify(expr)
+        assert simplify(once) == once
+
+    @given(_ast_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_never_larger(self, expr):
+        assert simplify(expr).size() <= expr.size()
+
+    @given(_ast_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trips_through_printer(self, expr):
+        simplified = simplify(expr)
+        assert parse(to_string(simplified)) == simplified

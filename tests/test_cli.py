@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.datasets import motivating_example
+from repro.graph.io import save_json
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "figure1.json"
+    save_json(motivating_example(), path)
+    return path
+
+
+class TestEvaluate:
+    def test_evaluate_on_dataset(self, capsys):
+        code = main(["evaluate", "--dataset", "figure-1", "--query", "(tram + bus)* . cinema"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "4 node(s)" in output
+        for node in ("N1", "N2", "N4", "N6"):
+            assert node in output
+
+    def test_evaluate_on_graph_file_with_witness(self, graph_file, capsys):
+        code = main(
+            ["evaluate", "--graph", str(graph_file), "--query", "cinema", "--witness"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "via Path(" in output
+
+    def test_requires_exactly_one_graph_source(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--query", "a"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "evaluate",
+                    "--graph",
+                    str(graph_file),
+                    "--dataset",
+                    "figure-1",
+                    "--query",
+                    "a",
+                ]
+            )
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--dataset", "atlantis", "--query", "a"])
+
+    def test_missing_graph_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--graph", str(tmp_path / "nope.json"), "--query", "a"])
+
+
+class TestLearn:
+    def test_learn_from_examples(self, capsys):
+        code = main(
+            [
+                "learn",
+                "--dataset",
+                "figure-1",
+                "--positive",
+                "N2",
+                "N6",
+                "--negative",
+                "N5",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "learned query" in output
+        assert "N2" in output and "N6" in output
+
+    def test_learn_inconsistent_examples_reports_error(self, capsys):
+        code = main(
+            ["learn", "--dataset", "figure-1", "--positive", "N4", "--negative", "N6"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
+class TestSimulate:
+    def test_simulate_on_figure1(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "figure-1",
+                "--goal",
+                "(tram + bus)* . cinema",
+                "--max-interactions",
+                "10",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "learned query" in output
+        assert "transcript:" in output
+        assert "#1" in output
+
+    def test_simulate_saves_transcript(self, tmp_path, capsys):
+        target = tmp_path / "session.json"
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "figure-1",
+                "--goal",
+                "cinema",
+                "--save-transcript",
+                str(target),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["entries"]
+
+    def test_simulate_strategy_choice_validated(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "figure-1", "--goal", "cinema", "--strategy", "psychic"])
+
+
+class TestOtherCommands:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output and "figure3" in output
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "figure-1" in output
+        assert "bio-small" in output
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "datasets"], capture_output=True, text=True
+        )
+        assert completed.returncode == 0
+        assert "figure-1" in completed.stdout

@@ -1,0 +1,77 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+from repro import (
+    ExampleSet,
+    InteractiveSession,
+    LabeledGraph,
+    PathQuery,
+    PathQueryLearner,
+    SimulatedUser,
+    evaluate,
+    learn_query,
+)
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The snippet in the package docstring must actually work."""
+        from repro.graph.datasets import motivating_example
+
+        graph = motivating_example()
+        user = SimulatedUser(graph, "(tram + bus)* . cinema")
+        session = InteractiveSession(graph, user)
+        result = session.run()
+        assert result.learned_query is not None
+        assert evaluate(graph, result.learned_query) == {"N1", "N2", "N4", "N6"}
+
+    def test_minimal_manual_usage(self):
+        graph = LabeledGraph("mine")
+        graph.add_edge("home", "bus", "work")
+        graph.add_edge("work", "cafe", "espresso")
+        query = PathQuery("bus . cafe")
+        assert evaluate(graph, query) == {"home"}
+
+    def test_learn_query_facade(self):
+        from repro.graph.datasets import motivating_example
+
+        graph = motivating_example()
+        query = learn_query(
+            graph,
+            positive={"N2": ("bus", "tram", "cinema"), "N6": ("cinema",)},
+            negative=["N5"],
+        )
+        assert query.same_language("(tram + bus)* . cinema")
+
+    def test_learner_and_examples_classes_exported(self):
+        from repro.graph.datasets import motivating_example
+
+        graph = motivating_example()
+        examples = ExampleSet()
+        examples.add_positive("N4")
+        outcome = PathQueryLearner(graph).learn(examples)
+        assert outcome.consistent
+
+
+class TestSubpackageImports:
+    def test_subpackage_all_lists_resolve(self):
+        import repro.automata as automata
+        import repro.graph as graph
+        import repro.interactive as interactive
+        import repro.learning as learning
+        import repro.query as query
+        import repro.regex as regex
+        import repro.workloads as workloads
+        import repro.experiments as experiments
+
+        for module in (graph, regex, automata, query, learning, interactive, workloads, experiments):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,31 @@
+"""Unit tests for workload suites."""
+
+from repro.query.evaluation import evaluate
+from repro.workloads.generator import quick_suite, standard_suite
+
+
+class TestSuites:
+    def test_quick_suite_is_small_and_valid(self):
+        cases = quick_suite(seed=1)
+        assert 0 < len(cases) <= 8
+        for case in cases:
+            assert case.graph.node_count > 0
+            answer = evaluate(case.graph, case.goal.query)
+            assert answer
+            assert case.goal.answer_size == len(answer)
+
+    def test_standard_suite_covers_requested_datasets(self):
+        cases = standard_suite(datasets=["figure-1", "bio-small"], per_family=1, seed=2)
+        datasets = {case.dataset for case in cases}
+        assert datasets <= {"figure-1", "bio-small"}
+        assert "figure-1" in datasets
+
+    def test_case_rows(self):
+        cases = quick_suite(seed=3)
+        row = cases[0].as_row()
+        assert {"dataset", "nodes", "edges", "family", "expression"} <= set(row)
+
+    def test_determinism(self):
+        first = [case.goal.expression for case in quick_suite(seed=4)]
+        second = [case.goal.expression for case in quick_suite(seed=4)]
+        assert first == second

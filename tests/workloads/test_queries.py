@@ -1,0 +1,75 @@
+"""Unit tests for workload query generation."""
+
+import pytest
+
+from repro.graph.datasets import motivating_example
+from repro.query.evaluation import evaluate
+from repro.workloads.queries import (
+    QUERY_FAMILIES,
+    figure1_goal_query,
+    generate_workload,
+)
+
+
+class TestGenerateWorkload:
+    def test_every_family_represented(self, small_transit_graph):
+        workload = generate_workload(small_transit_graph, per_family=1, seed=1)
+        families = {entry.family for entry in workload}
+        # at least the structurally simple families must always be realisable
+        assert {"single", "concat", "disjunction"} <= families
+
+    def test_queries_use_graph_alphabet(self, small_transit_graph):
+        workload = generate_workload(small_transit_graph, per_family=2, seed=2)
+        alphabet = small_transit_graph.alphabet()
+        for entry in workload:
+            assert entry.query.alphabet() <= alphabet
+
+    def test_nonempty_answers(self, small_transit_graph):
+        workload = generate_workload(small_transit_graph, per_family=2, seed=3)
+        for entry in workload:
+            answer = evaluate(small_transit_graph, entry.query)
+            assert answer, entry.expression
+            assert entry.answer_size == len(answer)
+
+    def test_nontrivial_answers(self, small_transit_graph):
+        workload = generate_workload(small_transit_graph, per_family=2, seed=4)
+        for entry in workload:
+            assert entry.answer_size < small_transit_graph.node_count
+
+    def test_determinism(self, small_transit_graph):
+        first = generate_workload(small_transit_graph, per_family=2, seed=5)
+        second = generate_workload(small_transit_graph, per_family=2, seed=5)
+        assert [entry.expression for entry in first] == [entry.expression for entry in second]
+
+    def test_per_family_limit(self, small_transit_graph):
+        workload = generate_workload(small_transit_graph, families=("single",), per_family=2, seed=6)
+        assert len(workload) <= 2
+
+    def test_empty_alphabet_raises(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_node("a")
+        with pytest.raises(ValueError):
+            generate_workload(graph)
+
+    def test_unknown_family_raises(self, small_transit_graph):
+        with pytest.raises(ValueError):
+            generate_workload(small_transit_graph, families=("mystery",), seed=1)
+
+    def test_as_row(self, small_transit_graph):
+        workload = generate_workload(small_transit_graph, families=("single",), per_family=1, seed=7)
+        row = workload[0].as_row()
+        assert {"family", "expression", "answer_size", "ast_size"} <= set(row)
+
+
+class TestFigure1Goal:
+    def test_goal_query_entry(self):
+        entry = figure1_goal_query()
+        assert entry.family == "star-prefix"
+        assert entry.answer_size == 4
+        assert evaluate(motivating_example(), entry.query) == {"N1", "N2", "N4", "N6"}
+
+    def test_families_constant(self):
+        assert "star-prefix" in QUERY_FAMILIES
+        assert len(QUERY_FAMILIES) == len(set(QUERY_FAMILIES))
