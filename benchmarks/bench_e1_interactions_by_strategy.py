@@ -7,7 +7,6 @@ interactive, informativeness-driven strategies need far fewer interactions
 than static / random labelling.
 """
 
-from statistics import mean
 
 from repro.experiments.harness import run_e1_interactions_by_strategy
 from repro.graph.datasets import motivating_example

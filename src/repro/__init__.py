@@ -30,17 +30,20 @@ Quickstart::
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.rpq import PathQuery
+from repro.query.engine import QueryEngine, shared_engine
 from repro.query.evaluation import evaluate
 from repro.learning.learner import PathQueryLearner, learn_query
 from repro.learning.examples import ExampleSet
 from repro.interactive.session import InteractiveSession
 from repro.interactive.oracle import SimulatedUser
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LabeledGraph",
     "PathQuery",
+    "QueryEngine",
+    "shared_engine",
     "evaluate",
     "PathQueryLearner",
     "learn_query",

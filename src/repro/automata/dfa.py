@@ -23,6 +23,23 @@ Word = Tuple[str, ...]
 SINK = "__sink__"
 
 
+def symbol_sort_key(symbol) -> Tuple[str, str]:
+    """Deterministic sort key for transition symbols of mixed types.
+
+    Graph labels (and hence DFA symbols) are usually strings but may be
+    any hashable value; comparing e.g. ``1`` with ``"a"`` raises
+    ``TypeError``, so every canonical ordering of symbols goes through
+    this key.  The type name breaks ties between values with equal
+    ``str()`` renderings (``1`` vs ``"1"``).
+    """
+    return (str(symbol), type(symbol).__name__)
+
+
+def word_sort_key(word: Sequence) -> Tuple[Tuple[str, str], ...]:
+    """Deterministic sort key for words whose symbols may mix types."""
+    return tuple(symbol_sort_key(symbol) for symbol in word)
+
+
 class DFA:
     """A (possibly partial) deterministic finite automaton."""
 
@@ -32,6 +49,17 @@ class DFA:
         self._accepting: Set[State] = set()
         self._transitions: Dict[State, Dict[str, State]] = {initial: {}}
         self._alphabet: Set[str] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation.
+
+        Lets derived caches (e.g. compiled query plans in
+        :mod:`repro.query.engine`) detect that an automaton object has
+        changed since they were built.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -41,12 +69,14 @@ class DFA:
         if state not in self._states:
             self._states.add(state)
             self._transitions[state] = {}
+            self._version += 1
         return state
 
     def set_initial(self, state: State) -> None:
         """Change the initial state (must already be registered)."""
         self._require(state)
         self._initial = state
+        self._version += 1
 
     def set_accepting(self, state: State, accepting: bool = True) -> None:
         """Mark or unmark ``state`` as accepting."""
@@ -55,6 +85,7 @@ class DFA:
             self._accepting.add(state)
         else:
             self._accepting.discard(state)
+        self._version += 1
 
     def add_transition(self, source: State, symbol: str, target: State) -> None:
         """Add the transition ``source -symbol-> target`` (overwrites any previous one)."""
@@ -64,10 +95,12 @@ class DFA:
         self._require(target)
         self._transitions[source][symbol] = target
         self._alphabet.add(symbol)
+        self._version += 1
 
     def declare_alphabet(self, symbols: Iterable[str]) -> None:
         """Extend the declared alphabet (affects completion and complement)."""
         self._alphabet.update(symbols)
+        self._version += 1
 
     def _require(self, state: State) -> None:
         if state not in self._states:
@@ -263,7 +296,7 @@ class DFA:
         while queue:
             state = queue.popleft()
             order.append(state)
-            for symbol in sorted(self._transitions[state]):
+            for symbol in sorted(self._transitions[state], key=symbol_sort_key):
                 target = self._transitions[state][symbol]
                 if target not in seen:
                     seen.add(target)
@@ -310,7 +343,7 @@ class DFA:
                     return words
             if len(word) >= max_length:
                 continue
-            for symbol in sorted(self._transitions[state]):
+            for symbol in sorted(self._transitions[state], key=symbol_sort_key):
                 queue.append((word + (symbol,), self._transitions[state][symbol]))
         return words
 
@@ -322,7 +355,7 @@ class DFA:
             word, state = queue.popleft()
             if state in self._accepting:
                 return word
-            for symbol in sorted(self._transitions[state]):
+            for symbol in sorted(self._transitions[state], key=symbol_sort_key):
                 target = self._transitions[state][symbol]
                 if target not in seen:
                     seen.add(target)

@@ -11,8 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Optional, Tuple
 
-from repro.automata.dfa import DFA, State, Word
-from repro.automata.operations import difference_dfa, symmetric_difference_dfa
+from repro.automata.dfa import DFA, Word, symbol_sort_key
+from repro.automata.operations import difference_dfa
 
 
 class _UnionFind:
@@ -50,7 +50,7 @@ def counterexample(first: DFA, second: DFA) -> Optional[Word]:
     completed automata; the BFS order guarantees the returned word is of
     minimal length.
     """
-    alphabet = sorted(first.alphabet() | second.alphabet())
+    alphabet = sorted(first.alphabet() | second.alphabet(), key=symbol_sort_key)
     left = first.completed(alphabet)
     right = second.completed(alphabet)
     classes = _UnionFind()

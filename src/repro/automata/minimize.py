@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Set, Tuple
 
-from repro.automata.dfa import DFA, SINK, State
+from repro.automata.dfa import DFA, State, symbol_sort_key
 
 
 def minimize(dfa: DFA) -> DFA:
@@ -25,7 +25,7 @@ def minimize(dfa: DFA) -> DFA:
         empty.declare_alphabet(dfa.alphabet())
         return empty
     total = dfa.trim().completed()
-    alphabet = sorted(total.alphabet())
+    alphabet = sorted(total.alphabet(), key=symbol_sort_key)
     states = list(total.states)
     accepting = set(total.accepting_states)
     rejecting = set(states) - accepting

@@ -168,7 +168,7 @@ class NFA:
         stack = list(seen)
         while stack:
             state = stack.pop()
-            for symbol, targets in self._transitions.get(state, {}).items():
+            for targets in self._transitions.get(state, {}).values():
                 for target in targets:
                     if target not in seen:
                         seen.add(target)

@@ -12,7 +12,7 @@ output small, followed by the smart constructors of
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from repro.automata.dfa import DFA
 from repro.regex.ast import EMPTY, EPSILON, Regex, Symbol

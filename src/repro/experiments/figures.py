@@ -19,7 +19,7 @@ tests can assert the paper's stated facts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.graph.datasets import motivating_example, motivating_example_expected_answer
 from repro.graph.neighborhood import Neighborhood, NeighborhoodDelta, extract_neighborhood, zoom_out

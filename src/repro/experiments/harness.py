@@ -14,7 +14,7 @@ import time
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.metrics import AGGREGATORS, ResultTable, fraction_true
+from repro.experiments.metrics import ResultTable, fraction_true
 from repro.graph.generators import random_graph
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.scenarios import (
@@ -25,9 +25,7 @@ from repro.interactive.scenarios import (
 )
 from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import make_strategy
-from repro.learning.examples import ExampleSet
-from repro.learning.informativeness import pruned_nodes, pruning_fraction
-from repro.learning.learner import PathQueryLearner
+from repro.learning.informativeness import pruned_nodes
 from repro.automata.state_merging import rpni
 from repro.query.evaluation import evaluate
 from repro.query.rpq import PathQuery
@@ -295,7 +293,7 @@ def run_scenario_comparison(
             seed=seed,
             max_interactions=max_interactions,
         )
-        for name, report in reports.items():
+        for report in reports.values():
             row = {"dataset": case.dataset, "goal": case.goal.expression}
             row.update(report.summary_row())
             table.add(**row)

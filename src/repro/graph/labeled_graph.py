@@ -34,9 +34,26 @@ class LabeledGraph:
     The structure maintains both forward and backward adjacency indexes so
     that neighbourhood extraction (which is symmetric) and query
     evaluation (which is forward-only) are both efficient.
+
+    Every structural mutation (node or edge added / removed) bumps the
+    monotone :attr:`version` counter.  Derived structures — most notably
+    the per-label reverse index and answer caches of
+    :class:`repro.query.engine.QueryEngine` — snapshot the version they
+    were built against and rebuild lazily when it moves, so callers never
+    observe stale answers after mutating a graph.
     """
 
-    __slots__ = ("_succ", "_pred", "_node_attrs", "_labels", "_edge_count", "name")
+    __slots__ = (
+        "_succ",
+        "_pred",
+        "_node_attrs",
+        "_labels",
+        "_edge_count",
+        "_version",
+        "_label_index",
+        "name",
+        "__weakref__",
+    )
 
     def __init__(self, name: str = "graph"):
         #: forward adjacency: node -> label -> set of successors
@@ -46,7 +63,20 @@ class LabeledGraph:
         self._node_attrs: Dict[Node, dict] = {}
         self._labels: Dict[Label, int] = {}
         self._edge_count = 0
+        self._version = 0
+        self._label_index: Optional["GraphLabelIndex"] = None
         self.name = name
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        ``(graph, graph.version)`` identifies an immutable snapshot of the
+        graph's structure: as long as the version is unchanged, node and
+        edge sets are unchanged, so cached indexes and query answers keyed
+        on it remain valid.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -66,6 +96,7 @@ class LabeledGraph:
             return node
         self._succ[node] = {}
         self._pred[node] = {}
+        self._version += 1
         if attrs:
             self._node_attrs[node] = dict(attrs)
         return node
@@ -90,6 +121,7 @@ class LabeledGraph:
         self._pred[target].setdefault(label, set()).add(source)
         self._labels[label] = self._labels.get(label, 0) + 1
         self._edge_count += 1
+        self._version += 1
         return (source, label, target)
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
@@ -114,6 +146,7 @@ class LabeledGraph:
         if self._labels[label] == 0:
             del self._labels[label]
         self._edge_count -= 1
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every incident edge."""
@@ -127,6 +160,7 @@ class LabeledGraph:
         del self._succ[node]
         del self._pred[node]
         self._node_attrs.pop(node, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # inspection
@@ -254,6 +288,22 @@ class LabeledGraph:
         return set(self._succ[node])
 
     # ------------------------------------------------------------------
+    # indexed snapshot (hot-path acceleration)
+    # ------------------------------------------------------------------
+    def label_index(self) -> "GraphLabelIndex":
+        """Return the cached integer-id / per-label CSR index of the graph.
+
+        The index is built once per :attr:`version` and reused by every
+        caller until the next structural mutation; see
+        :class:`GraphLabelIndex`.
+        """
+        index = self._label_index
+        if index is None or index.version != self._version:
+            index = GraphLabelIndex(self)
+            self._label_index = index
+        return index
+
+    # ------------------------------------------------------------------
     # copies / views
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "LabeledGraph":
@@ -313,3 +363,92 @@ class LabeledGraph:
     def to_edge_list(self) -> List[Edge]:
         """Return a sorted list of all edges (stable across runs)."""
         return sorted(self.edges(), key=lambda edge: (str(edge[0]), edge[1], str(edge[2])))
+
+
+class GraphLabelIndex:
+    """Immutable integer-id snapshot of a :class:`LabeledGraph`.
+
+    Product-automaton evaluation spends nearly all of its time asking
+    "who are the ``label``-predecessors of this node?".  Answering that
+    from the dict-of-sets adjacency allocates a fresh set per question;
+    this snapshot instead stores, per label, a CSR-style pair of flat
+    lists — ``indptr`` (length ``node_count + 1``) and ``indices`` — so
+    the predecessors of node id ``v`` via ``label`` are the slice
+    ``indices[indptr[v]:indptr[v + 1]]``: zero allocation, integer ids.
+
+    Instances are value snapshots: they record the :attr:`version` of the
+    graph they were built from and are discarded by
+    :meth:`LabeledGraph.label_index` once the graph mutates.
+    """
+
+    __slots__ = ("version", "nodes", "node_ids", "node_count", "_rev", "_fwd", "_graph")
+
+    def __init__(self, graph: "LabeledGraph"):
+        self.version: int = graph.version
+        self.nodes: Tuple[Node, ...] = tuple(graph._succ)
+        self.node_ids: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.node_count: int = len(self.nodes)
+        node_ids = self.node_ids
+
+        # per-label CSR reverse adjacency: label -> (indptr, indices)
+        self._rev: Dict[Label, Tuple[List[int], List[int]]] = {}
+        for label in graph._labels:
+            indptr: List[int] = [0]
+            indices: List[int] = []
+            for node in self.nodes:
+                sources = graph._pred[node].get(label)
+                if sources:
+                    indices.extend([node_ids[source] for source in sources])
+                indptr.append(len(indices))
+            self._rev[label] = (indptr, indices)
+
+        # forward adjacency is built lazily on first use (backward
+        # evaluation — the common case — never touches it); the graph
+        # reference is only held until then.
+        self._fwd: Optional[Tuple[Tuple[Tuple[Label, int], ...], ...]] = None
+        self._graph: Optional["LabeledGraph"] = graph
+
+    def _forward(self) -> Tuple[Tuple[Tuple[Label, int], ...], ...]:
+        fwd_cached = self._fwd
+        if fwd_cached is not None:
+            return fwd_cached
+        graph = self._graph
+        if graph.version != self.version:
+            raise RuntimeError(
+                "GraphLabelIndex is stale; re-fetch it via LabeledGraph.label_index()"
+            )
+        node_ids = self.node_ids
+        fwd: List[Tuple[Tuple[Label, int], ...]] = []
+        for node in self.nodes:
+            out: List[Tuple[Label, int]] = []
+            for label, targets in graph._succ[node].items():
+                out.extend((label, node_ids[target]) for target in targets)
+            fwd.append(tuple(out))
+        self._fwd = tuple(fwd)
+        self._graph = None
+        return self._fwd
+
+    def labels(self) -> FrozenSet[Label]:
+        """Labels present in the snapshot."""
+        return frozenset(self._rev)
+
+    def reverse_csr(self, label: Label) -> Optional[Tuple[List[int], List[int]]]:
+        """The ``(indptr, indices)`` reverse-adjacency pair of ``label``.
+
+        Returns ``None`` when no edge carries ``label`` — callers skip the
+        label entirely, which is what makes plans whose alphabet barely
+        intersects the graph's cheap to run.
+        """
+        return self._rev.get(label)
+
+    def predecessor_ids(self, node_id: int, label: Label) -> List[int]:
+        """Ids of ``label``-predecessors of ``node_id`` (possibly empty)."""
+        csr = self._rev.get(label)
+        if csr is None:
+            return []
+        indptr, indices = csr
+        return indices[indptr[node_id] : indptr[node_id + 1]]
+
+    def out_pairs(self, node_id: int) -> Tuple[Tuple[Label, int], ...]:
+        """Outgoing ``(label, target_id)`` pairs of ``node_id``."""
+        return self._forward()[node_id]

@@ -14,7 +14,7 @@ as ``...`` continuations, exactly as in the figures of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import Edge, LabeledGraph, Node

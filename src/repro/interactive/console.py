@@ -15,7 +15,7 @@ examples.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.automata.prefix_tree import PathPrefixTree
 from repro.exceptions import OracleError

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.learning.examples import ExampleSet
-from repro.query.evaluation import evaluate
+from repro.query.engine import QueryEngine, shared_engine
 from repro.query.rpq import PathQuery
 
 
@@ -32,6 +32,8 @@ class HaltContext:
     hypothesis: Optional[PathQuery]
     interactions: int
     informative_remaining: int
+    #: engine answering query-evaluation questions (cached per session)
+    engine: Optional[QueryEngine] = None
 
 
 class HaltCondition(ABC):
@@ -77,7 +79,8 @@ class UserSatisfied(HaltCondition):
     def satisfied(self, context: HaltContext) -> bool:
         if context.hypothesis is None:
             return False
-        return frozenset(evaluate(context.graph, context.hypothesis)) == self.target_answer
+        engine = context.engine or shared_engine()
+        return frozenset(engine.evaluate(context.graph, context.hypothesis)) == self.target_answer
 
 
 class GoalQueryReached(HaltCondition):

@@ -23,13 +23,15 @@ to study robustness (used by an ablation benchmark).
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
+from repro.automata.dfa import word_sort_key
 from repro.automata.prefix_tree import PathPrefixTree
 from repro.exceptions import OracleError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.neighborhood import Neighborhood
-from repro.query.evaluation import evaluate, witness_path
+from repro.query.engine import QueryEngine, shared_engine
+from repro.query.evaluation import witness_path
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
 
@@ -45,11 +47,13 @@ class SimulatedUser:
         goal: Union[str, Regex, PathQuery],
         *,
         zoom_patience: int = 2,
+        engine: Optional[QueryEngine] = None,
     ):
         self.graph = graph
         self.goal = goal if isinstance(goal, PathQuery) else PathQuery(goal)
         self.zoom_patience = zoom_patience
-        self._answer = frozenset(evaluate(graph, self.goal))
+        self.engine = engine or shared_engine()
+        self._answer = frozenset(self.engine.evaluate(graph, self.goal))
         #: statistics the experiment harness reads back
         self.labels_answered = 0
         self.zooms_requested = 0
@@ -108,13 +112,13 @@ class SimulatedUser:
         accepted = [word for word in tree.words() if self.goal.accepts_word(word)]
         if not accepted:
             return None
-        accepted.sort(key=lambda word: (len(word), word))
+        accepted.sort(key=lambda word: (len(word), word_sort_key(word)))
         self.paths_corrected += 1
         return accepted[0]
 
     def satisfied_with(self, hypothesis: PathQuery) -> bool:
         """Instance-level satisfaction: the hypothesis returns her answer set."""
-        return frozenset(evaluate(self.graph, hypothesis)) == self._answer
+        return frozenset(self.engine.evaluate(self.graph, hypothesis)) == self._answer
 
     def statistics(self) -> dict:
         """Interaction counters (for experiment reports)."""
@@ -142,8 +146,9 @@ class NoisyUser(SimulatedUser):
         noise: float = 0.1,
         seed: Optional[int] = None,
         zoom_patience: int = 2,
+        engine: Optional[QueryEngine] = None,
     ):
-        super().__init__(graph, goal, zoom_patience=zoom_patience)
+        super().__init__(graph, goal, zoom_patience=zoom_patience, engine=engine)
         if not 0.0 <= noise <= 1.0:
             raise ValueError("noise must be within [0, 1]")
         self.noise = noise

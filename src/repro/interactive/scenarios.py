@@ -31,7 +31,7 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.interactive.halt import AnyOf, MaxInteractions, UserSatisfied
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession
-from repro.interactive.strategies import RandomStrategy, Strategy
+from repro.interactive.strategies import Strategy
 from repro.learning.examples import ExampleSet
 from repro.learning.learner import DEFAULT_MAX_PATH_LENGTH, PathQueryLearner
 from repro.query.evaluation import selection_metrics

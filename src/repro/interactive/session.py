@@ -43,6 +43,7 @@ from repro.learning.informativeness import informative_nodes
 from repro.learning.learner import DEFAULT_MAX_PATH_LENGTH, PathQueryLearner
 from repro.learning.path_selection import candidate_prefix_tree
 from repro.learning.propagation import propagate_to_fixpoint
+from repro.query.engine import QueryEngine, shared_engine
 from repro.query.rpq import PathQuery
 
 #: Initial neighbourhood radius shown to the user (Figure 3(a)).
@@ -113,17 +114,23 @@ class InteractiveSession:
         initial_radius: int = DEFAULT_INITIAL_RADIUS,
         max_radius: int = DEFAULT_MAX_RADIUS,
         max_interactions: Optional[int] = None,
+        engine: Optional[QueryEngine] = None,
     ):
         self.graph = graph
         self.user = user
-        self.strategy = strategy or MostInformativePathsStrategy(max_path_length=max_path_length)
+        #: query engine shared by the learner, halt conditions and metrics
+        #: of this session — one answer cache for the whole loop
+        self.engine = engine or shared_engine()
+        self.strategy = strategy or MostInformativePathsStrategy(
+            max_path_length=max_path_length, engine=self.engine
+        )
         self.halt_condition = halt_condition or default_halt_condition(max_interactions)
         self.path_validation = path_validation
         self.max_path_length = max_path_length
         self.initial_radius = initial_radius
         self.max_radius = max_radius
         self.examples = ExampleSet()
-        self.learner = PathQueryLearner(graph, max_path_length=max_path_length)
+        self.learner = PathQueryLearner(graph, max_path_length=max_path_length, engine=self.engine)
         self.hypothesis: Optional[PathQuery] = None
         self.records: List[InteractionRecord] = []
         self._finished = False
@@ -145,6 +152,7 @@ class InteractiveSession:
             hypothesis=self.hypothesis,
             interactions=len(self.records),
             informative_remaining=self._informative_remaining(),
+            engine=self.engine,
         )
 
     def should_halt(self) -> bool:

@@ -26,12 +26,13 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from repro.exceptions import NoCandidateNodeError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.examples import ExampleSet
 from repro.learning.informativeness import classify_all, informative_nodes
+from repro.query.engine import QueryEngine, shared_engine
 
 
 class Strategy(ABC):
@@ -40,8 +41,14 @@ class Strategy(ABC):
     #: short identifier used in experiment tables
     name: str = "abstract"
 
-    def __init__(self, *, max_path_length: int = 4):
+    def __init__(self, *, max_path_length: int = 4, engine: Optional[QueryEngine] = None):
         self.max_path_length = max_path_length
+        #: query engine for strategies that rank candidates by answer
+        #: sets.  None of the built-in strategies evaluates queries (they
+        #: rank by informativeness, which is path enumeration), but the
+        #: session threads its engine here so subclasses that do evaluate
+        #: share the session's plan and answer caches.
+        self.engine = engine or shared_engine()
 
     @abstractmethod
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
@@ -64,8 +71,14 @@ class RandomStrategy(Strategy):
 
     name = "random"
 
-    def __init__(self, *, seed: Optional[int] = None, max_path_length: int = 4):
-        super().__init__(max_path_length=max_path_length)
+    def __init__(
+        self,
+        *,
+        seed: Optional[int] = None,
+        max_path_length: int = 4,
+        engine: Optional[QueryEngine] = None,
+    ):
+        super().__init__(max_path_length=max_path_length, engine=engine)
         self._rng = random.Random(seed)
 
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
@@ -80,8 +93,14 @@ class RandomInformativeStrategy(Strategy):
 
     name = "random-informative"
 
-    def __init__(self, *, seed: Optional[int] = None, max_path_length: int = 4):
-        super().__init__(max_path_length=max_path_length)
+    def __init__(
+        self,
+        *,
+        seed: Optional[int] = None,
+        max_path_length: int = 4,
+        engine: Optional[QueryEngine] = None,
+    ):
+        super().__init__(max_path_length=max_path_length, engine=engine)
         self._rng = random.Random(seed)
 
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
@@ -162,11 +181,17 @@ STRATEGY_REGISTRY = {
 }
 
 
-def make_strategy(name: str, *, seed: Optional[int] = None, max_path_length: int = 4) -> Strategy:
+def make_strategy(
+    name: str,
+    *,
+    seed: Optional[int] = None,
+    max_path_length: int = 4,
+    engine: Optional[QueryEngine] = None,
+) -> Strategy:
     """Instantiate a strategy by registry name."""
     if name not in STRATEGY_REGISTRY:
         raise ValueError(f"unknown strategy {name!r}; known: {sorted(STRATEGY_REGISTRY)}")
     cls = STRATEGY_REGISTRY[name]
     if cls in (RandomStrategy, RandomInformativeStrategy):
-        return cls(seed=seed, max_path_length=max_path_length)
-    return cls(max_path_length=max_path_length)
+        return cls(seed=seed, max_path_length=max_path_length, engine=engine)
+    return cls(max_path_length=max_path_length, engine=engine)

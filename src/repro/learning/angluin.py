@@ -28,8 +28,8 @@ node-labelling interactions GPS uses (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.automata.dfa import DFA
 from repro.automata.equivalence import counterexample as dfa_counterexample
@@ -167,7 +167,7 @@ class _ObservationTable:
                 if self.row(first) != self.row(second):
                     continue
                 for symbol in self.alphabet:
-                    for suffix_index, suffix in enumerate(self.suffixes):
+                    for suffix in self.suffixes:
                         left = self._lookup(first + (symbol,) + suffix)
                         right = self._lookup(second + (symbol,) + suffix)
                         if left != right:
@@ -184,7 +184,7 @@ class _ObservationTable:
 
         dfa = DFA(index_of[self.row(())])
         dfa.declare_alphabet(self.alphabet)
-        for row, index in index_of.items():
+        for index in index_of.values():
             dfa.add_state(index)
         dfa.set_initial(index_of[self.row(())])
         for row, representative in representatives.items():

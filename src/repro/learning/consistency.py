@@ -11,13 +11,13 @@ goal query from merely "learning" a consistent one (Section 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple, Union
 
-from repro.automata.dfa import DFA
+from repro.automata.dfa import DFA, symbol_sort_key
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.examples import ExampleSet, Word
-from repro.query.evaluation import evaluate
+from repro.query.engine import QueryEngine, shared_engine
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
 
@@ -49,22 +49,35 @@ class ConsistencyReport:
 
 
 def check_consistency(
-    graph: LabeledGraph, query: QueryLike, examples: ExampleSet
+    graph: LabeledGraph,
+    query: QueryLike,
+    examples: ExampleSet,
+    *,
+    engine: Optional[QueryEngine] = None,
 ) -> ConsistencyReport:
-    """Full consistency check of ``query`` against ``examples`` on ``graph``."""
+    """Full consistency check of ``query`` against ``examples`` on ``graph``.
+
+    The answer set is computed through ``engine`` (default: the shared
+    engine), so checking the same hypothesis repeatedly — as the
+    interactive loop does after every label — hits the answer cache.
+    """
     if isinstance(query, PathQuery):
         dfa = query.dfa
     elif isinstance(query, DFA):
         dfa = query
     else:
-        dfa = PathQuery(query).dfa
+        query = PathQuery(query)
+        dfa = query.dfa
 
-    answer = evaluate(graph, dfa)
+    answer = (engine or shared_engine()).evaluate(graph, query)
     missed = frozenset(node for node in examples.positive_nodes if node not in answer)
     covered = frozenset(node for node in examples.negative_nodes if node in answer)
     rejected = tuple(
         word
-        for word in sorted(examples.validated_words().values())
+        for word in sorted(
+            examples.validated_words().values(),
+            key=lambda word: tuple(symbol_sort_key(symbol) for symbol in word),
+        )
         if not dfa.accepts(word)
     )
     return ConsistencyReport(
@@ -75,9 +88,15 @@ def check_consistency(
     )
 
 
-def is_consistent(graph: LabeledGraph, query: QueryLike, examples: ExampleSet) -> bool:
+def is_consistent(
+    graph: LabeledGraph,
+    query: QueryLike,
+    examples: ExampleSet,
+    *,
+    engine: Optional[QueryEngine] = None,
+) -> bool:
     """Boolean shortcut for :func:`check_consistency`."""
-    return check_consistency(graph, query, examples).consistent
+    return check_consistency(graph, query, examples, engine=engine).consistent
 
 
 def examples_admit_query(graph: LabeledGraph, examples: ExampleSet, *, max_path_length: int) -> bool:

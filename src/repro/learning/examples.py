@@ -15,7 +15,7 @@ The set is mutable (the session enriches it) but exposes immutable views.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.exceptions import InconsistentExamplesError

@@ -20,10 +20,10 @@ is a functional convenience wrapper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.automata.dfa import DFA
+from repro.automata.dfa import DFA, word_sort_key
 from repro.automata.minimize import minimize
 from repro.automata.state_merging import generalize_pta
 from repro.exceptions import InconsistentExamplesError, NoConsistentPathError
@@ -31,7 +31,7 @@ from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.consistency import ConsistencyReport, check_consistency
 from repro.learning.examples import ExampleSet, Word
 from repro.learning.path_selection import select_path
-from repro.query.evaluation import selects
+from repro.query.engine import QueryEngine, shared_engine
 from repro.query.rpq import PathQuery
 
 #: Default bound on the length of candidate paths considered in step (i).
@@ -63,12 +63,15 @@ class PathQueryLearner:
         *,
         max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
         generalize: bool = True,
+        engine: Optional[QueryEngine] = None,
     ):
         self.graph = graph
         self.max_path_length = max_path_length
         #: when False the learner returns the ungeneralised disjunction of
         #: sample words (used by ablation experiments)
         self.generalize = generalize
+        #: query engine used for compatibility and consistency checks
+        self.engine = engine or shared_engine()
 
     # ------------------------------------------------------------------
     # step (i): choose one uncovered word per positive node
@@ -108,6 +111,7 @@ class PathQueryLearner:
         """Compatibility predicate: the hypothesis must select no negative node."""
         negatives = sorted(examples.negative_nodes, key=str)
         graph = self.graph
+        selects = self.engine.selects
 
         def check(candidate: DFA) -> bool:
             return not any(selects(graph, candidate, node) for node in negatives)
@@ -122,12 +126,14 @@ class PathQueryLearner:
         negative-only examples.
         """
         sample_words = self.select_sample_words(examples)
-        words = tuple(sorted(set(sample_words.values()), key=lambda word: (len(word), word)))
+        words = tuple(
+            sorted(set(sample_words.values()), key=lambda word: (len(word), word_sort_key(word)))
+        )
 
         if not words:
             dfa = DFA(0)  # empty language
             query = PathQuery.from_dfa(dfa, name="empty")
-            report = check_consistency(self.graph, query, examples)
+            report = check_consistency(self.graph, query, examples, engine=self.engine)
             return LearningOutcome(query, query.dfa, words, report, self.generalize)
 
         if self.generalize:
@@ -138,7 +144,7 @@ class PathQueryLearner:
             learned = build_pta(words)
         learned = minimize(learned)
         query = PathQuery.from_dfa(learned)
-        report = check_consistency(self.graph, query, examples)
+        report = check_consistency(self.graph, query, examples, engine=self.engine)
         return LearningOutcome(query, learned, words, report, self.generalize)
 
 

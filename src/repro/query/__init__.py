@@ -1,6 +1,7 @@
 """Regular path queries: semantics, evaluation, and comparison."""
 
 from repro.query.rpq import PathQuery
+from repro.query.engine import QueryEngine, QueryPlan, compile_plan, shared_engine
 from repro.query.evaluation import (
     answer_signature,
     evaluate,
@@ -21,6 +22,10 @@ from repro.query.containment import (
 
 __all__ = [
     "PathQuery",
+    "QueryEngine",
+    "QueryPlan",
+    "compile_plan",
+    "shared_engine",
     "answer_signature",
     "evaluate",
     "evaluate_many",

@@ -12,16 +12,24 @@ We compute the successful product states backwards (from accepting pairs,
 following reversed product edges), which evaluates the query for **all**
 nodes in ``O(|G| · |A|)`` — the standard RPQ evaluation bound — instead of
 running a forward search per node.
+
+Since the engine refactor the functions in this module are thin wrappers
+over the process-wide :class:`~repro.query.engine.QueryEngine`
+(:func:`repro.query.engine.shared_engine`), which adds a label-indexed
+graph representation, compiled query plans, a shared-frontier batch
+evaluator and an answer cache keyed on ``(graph.version, fingerprint)``.
+The semantics documented here are unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
-from repro.automata.dfa import DFA
+from repro.automata.dfa import DFA, symbol_sort_key
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.paths import Path
+from repro.query.engine import shared_engine
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
 
@@ -41,74 +49,24 @@ def evaluate(graph: LabeledGraph, query: QueryLike) -> FrozenSet[Node]:
     """Return the set of nodes of ``graph`` selected by ``query``.
 
     This is the core semantics used everywhere else (oracle answers,
-    consistency checks, learned-query quality metrics).
+    consistency checks, learned-query quality metrics).  Answers are
+    cached per ``(graph.version, query fingerprint)`` by the shared
+    engine, so repeated evaluation of equivalent queries on an unchanged
+    graph is a dictionary lookup.
     """
-    dfa = _as_dfa(query)
-    if dfa.is_empty():
-        return frozenset()
-
-    # Build reverse product adjacency lazily: for backward reachability we
-    # need, for each product state (v, s), its predecessors (u, t) such
-    # that u -a-> v in the graph and t -a-> s in the DFA.
-    accepting = dfa.accepting_states
-
-    # Seed: every pair (v, s) with s accepting is successful.
-    successful: Set[Tuple[Node, object]] = set()
-    queue: deque = deque()
-    for node in graph.nodes():
-        for state in accepting:
-            pair = (node, state)
-            successful.add(pair)
-            queue.append(pair)
-
-    # Pre-index DFA transitions by target: target_state -> list of (symbol, source_state)
-    dfa_reverse: Dict[object, List[Tuple[str, object]]] = {}
-    for source, symbol, target in dfa.transitions():
-        dfa_reverse.setdefault(target, []).append((symbol, source))
-
-    while queue:
-        node, state = queue.popleft()
-        for symbol, dfa_source in dfa_reverse.get(state, ()):
-            for graph_source in graph.predecessors(node, symbol):
-                pair = (graph_source, dfa_source)
-                if pair not in successful:
-                    successful.add(pair)
-                    queue.append(pair)
-
-    initial = dfa.initial_state
-    return frozenset(node for node in graph.nodes() if (node, initial) in successful)
+    return shared_engine().evaluate(graph, query)
 
 
 def selects(graph: LabeledGraph, query: QueryLike, node: Node) -> bool:
     """True when ``query`` selects ``node`` in ``graph``.
 
-    For single-node checks a forward BFS over the product restricted to
-    what is reachable from ``(node, initial)`` is cheaper than the global
-    evaluation, so this does not call :func:`evaluate`.
+    For single-node checks a forward search over the product restricted
+    to what is reachable from ``(node, initial)`` is cheaper than the
+    global evaluation; when the shared engine already holds the full
+    answer set for this graph version, membership is answered from the
+    cache instead.
     """
-    dfa = _as_dfa(query)
-    if node not in graph:
-        from repro.exceptions import NodeNotFoundError
-
-        raise NodeNotFoundError(node)
-    start = (node, dfa.initial_state)
-    if dfa.is_accepting(dfa.initial_state):
-        return True
-    seen: Set[Tuple[Node, object]] = {start}
-    queue: deque = deque([start])
-    while queue:
-        graph_node, state = queue.popleft()
-        for symbol, target_node in graph.out_edges(graph_node):
-            dfa_target = dfa.target(state, symbol)
-            if dfa_target is None:
-                continue
-            if dfa.is_accepting(dfa_target):
-                return True
-            pair = (target_node, dfa_target)
-            if pair not in seen:
-                seen.add(pair)
-                queue.append(pair)
-    return False
+    return shared_engine().selects(graph, query, node)
 
 
 def witness_path(
@@ -134,7 +92,8 @@ def witness_path(
         if max_length is not None and len(path) >= max_length:
             continue
         for symbol, target_node in sorted(
-            graph.out_edges(graph_node), key=lambda step: (step[0], str(step[1]))
+            graph.out_edges(graph_node),
+            key=lambda step: (symbol_sort_key(step[0]), symbol_sort_key(step[1])),
         ):
             dfa_target = dfa.target(state, symbol)
             if dfa_target is None:
@@ -152,8 +111,14 @@ def witness_path(
 def evaluate_many(
     graph: LabeledGraph, queries: Iterable[QueryLike]
 ) -> List[FrozenSet[Node]]:
-    """Evaluate several queries on the same graph (one product pass each)."""
-    return [evaluate(graph, query) for query in queries]
+    """Evaluate several queries on the same graph.
+
+    The candidate set is deduplicated by plan fingerprint and every cache
+    miss is answered in **one** shared-frontier backward product pass
+    (the candidates run as a disjoint union automaton), instead of one
+    independent pass per query.
+    """
+    return shared_engine().evaluate_many(graph, queries)
 
 
 def answer_signature(graph: LabeledGraph, query: QueryLike) -> Tuple[Node, ...]:
@@ -162,7 +127,7 @@ def answer_signature(graph: LabeledGraph, query: QueryLike) -> Tuple[Node, ...]:
     Used by the halt condition "the user is satisfied with the output of
     an intermediary query" and by experiment metrics.
     """
-    return tuple(sorted(evaluate(graph, query), key=str))
+    return shared_engine().answer_signature(graph, query)
 
 
 def selection_metrics(
@@ -171,16 +136,4 @@ def selection_metrics(
     """Precision / recall / F1 of the learned query against the goal query
     *on this instance* (the relevant notion for the user: does the answer
     set match what she wanted on her database)."""
-    learned_answer = set(evaluate(graph, learned))
-    goal_answer = set(evaluate(graph, goal))
-    true_positives = len(learned_answer & goal_answer)
-    precision = true_positives / len(learned_answer) if learned_answer else (1.0 if not goal_answer else 0.0)
-    recall = true_positives / len(goal_answer) if goal_answer else 1.0
-    f1 = (2 * precision * recall / (precision + recall)) if (precision + recall) else 0.0
-    return {
-        "precision": precision,
-        "recall": recall,
-        "f1": f1,
-        "learned_size": float(len(learned_answer)),
-        "goal_size": float(len(goal_answer)),
-    }
+    return shared_engine().selection_metrics(graph, learned, goal)

@@ -33,12 +33,14 @@ class PathQuery:
     first use and cached.
     """
 
-    __slots__ = ("_expression", "_dfa", "_name")
+    __slots__ = ("_expression", "_dfa", "_name", "_plan")
 
     def __init__(self, expression: Union[str, Regex], *, name: Optional[str] = None):
         self._expression = parse(expression)
         self._dfa: Optional[DFA] = None
         self._name = name
+        #: compiled QueryPlan, populated lazily by repro.query.engine
+        self._plan = None
 
     # ------------------------------------------------------------------
     # constructors

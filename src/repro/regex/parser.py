@@ -27,11 +27,9 @@ from repro.exceptions import RegexSyntaxError
 from repro.regex.ast import (
     EMPTY,
     EPSILON,
-    Concat,
     Optional_,
     Plus,
     Regex,
-    Star,
     Symbol,
 )
 

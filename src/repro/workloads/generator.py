@@ -8,7 +8,7 @@ used by the benchmark scripts (one per experiment id in DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.graph.datasets import dataset_catalog
 from repro.graph.labeled_graph import LabeledGraph

@@ -1,7 +1,5 @@
 """Unit tests for the prefix-tree acceptor and the path prefix tree."""
 
-import pytest
-
 from repro.automata.prefix_tree import (
     PathPrefixTree,
     PrefixTreeAcceptor,

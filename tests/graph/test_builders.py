@@ -1,7 +1,5 @@
 """Unit tests for graph builders and interop."""
 
-import pytest
-
 from repro.graph.builders import (
     GraphBuilder,
     from_networkx,

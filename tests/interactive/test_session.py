@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import SessionFinishedError
-from repro.interactive.halt import MaxInteractions, UserSatisfied
+from repro.interactive.halt import UserSatisfied
 from repro.interactive.oracle import NoisyUser, SimulatedUser
 from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import RandomStrategy

@@ -5,7 +5,6 @@ import pytest
 from repro.exceptions import InconsistentExamplesError
 from repro.learning.examples import ExampleSet
 from repro.learning.learner import PathQueryLearner, learn_query
-from repro.query.containment import language_equivalent
 from repro.query.evaluation import evaluate
 
 

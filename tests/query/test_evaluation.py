@@ -104,6 +104,24 @@ class TestWitnessPath:
         with pytest.raises(NodeNotFoundError):
             witness_path(figure1_graph, "bus", "ghost")
 
+    def test_mixed_label_types_do_not_crash(self):
+        # regression: the tie-break sort key used to compare raw labels,
+        # which raises TypeError on graphs mixing int and str labels
+        from repro.graph.labeled_graph import LabeledGraph
+        from repro.automata.dfa import DFA
+
+        graph = LabeledGraph.from_edges([("s", 1, "m"), ("s", "a", "m"), ("m", "a", "t")])
+        dfa = DFA(0)
+        dfa.add_state(1)
+        dfa.add_state(2)
+        dfa.set_accepting(2)
+        dfa.add_transition(0, 1, 1)
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(1, "a", 2)
+        witness = witness_path(graph, dfa, "s")
+        assert witness is not None
+        assert len(witness.word) == 2
+
 
 class TestMetricsAndSignatures:
     def test_answer_signature_sorted(self, figure1_graph):
