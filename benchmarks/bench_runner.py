@@ -1,0 +1,87 @@
+"""Benchmark: the deterministic, parallel, resumable experiment runner.
+
+Two guarantees of the runner PR are asserted here:
+
+* **Determinism** — a 4-worker run produces row-for-row identical
+  results to a serial run (wall-clock columns excluded, everything else
+  byte-equal), on the quick suite.
+* **Throughput** — on a standard-suite slice of real work (E1 + E4 over
+  the transit and scale-free datasets) the 4-worker run beats serial
+  wall-clock.  This assertion needs actual cores and is skipped on
+  single-core machines; the determinism assertions always run.
+
+The measured speedup is written to ``benchmarks/results/runner_speedup.txt``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, ExperimentRunner, strip_timing
+
+from conftest import write_artifact
+
+#: Standard-suite slice used for the wall-clock comparison: enough units
+#: (~112) to amortise pool startup, small enough to run twice in a bench.
+STANDARD_SLICE = dict(
+    suite="standard",
+    datasets=("transit-small", "scale-free-medium"),
+    experiments=("e1", "e4"),
+    per_family=1,
+    seed=11,
+)
+
+PARALLEL_WORKERS = 4
+
+
+def _assert_rows_identical(first, second, experiments):
+    for experiment in experiments:
+        assert strip_timing(first.rows(experiment)) == strip_timing(second.rows(experiment)), experiment
+
+
+def test_quick_suite_parallel_rows_identical_to_serial():
+    """The headline determinism guarantee, on the full quick suite."""
+    serial = ExperimentRunner(suite="quick", workers=1).run()
+    parallel = ExperimentRunner(suite="quick", workers=PARALLEL_WORKERS).run()
+    _assert_rows_identical(serial, parallel, EXPERIMENTS)
+
+
+def test_parallel_wall_clock_win_on_standard_suite(results_dir):
+    serial_runner = ExperimentRunner(workers=1, **STANDARD_SLICE)
+    started = time.perf_counter()
+    serial = serial_runner.run()
+    serial_seconds = time.perf_counter() - started
+
+    parallel_runner = ExperimentRunner(workers=PARALLEL_WORKERS, **STANDARD_SLICE)
+    started = time.perf_counter()
+    parallel = parallel_runner.run()
+    parallel_seconds = time.perf_counter() - started
+
+    _assert_rows_identical(serial, parallel, STANDARD_SLICE["experiments"])
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    write_artifact(
+        results_dir,
+        "runner_speedup.txt",
+        "\n".join(
+            [
+                "== Runner: serial vs parallel (standard-suite slice) ==",
+                f"units            : {len(serial.units)}",
+                f"serial seconds   : {serial_seconds:.2f}",
+                f"parallel seconds : {parallel_seconds:.2f} ({PARALLEL_WORKERS} workers)",
+                f"speedup          : {speedup:.2f}x",
+                f"cpu count        : {os.cpu_count()}",
+            ]
+        ),
+    )
+
+    if (os.cpu_count() or 1) < PARALLEL_WORKERS:
+        pytest.skip(
+            f"parallel wall-clock win needs >= {PARALLEL_WORKERS} cores; "
+            "oversubscribed pools can lose to serial (rows already verified identical)"
+        )
+    assert parallel_seconds < serial_seconds * 0.9, (
+        f"expected a parallel wall-clock win: serial {serial_seconds:.2f}s, "
+        f"parallel {parallel_seconds:.2f}s"
+    )

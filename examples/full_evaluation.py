@@ -9,7 +9,12 @@ Run with::
 
     python examples/full_evaluation.py                 # quick suite (~1 min)
     python examples/full_evaluation.py --full          # full suite (several minutes)
+    python examples/full_evaluation.py --workers 4     # fan units out over 4 processes
     python examples/full_evaluation.py --save results  # also write tables to disk
+
+Parallel runs produce row-for-row identical tables (the experiment
+runner derives one deterministic seed per unit); for resumable runs with
+a JSONL result store use ``python -m repro.cli bench`` instead.
 """
 
 import sys
@@ -21,6 +26,13 @@ from repro.experiments.harness import run_everything
 
 def main() -> None:
     quick = "--full" not in sys.argv
+    workers = 1
+    if "--workers" in sys.argv:
+        index = sys.argv.index("--workers")
+        try:
+            workers = int(sys.argv[index + 1])
+        except (IndexError, ValueError):
+            sys.exit("usage: --workers N (a positive integer)")
     save_dir = None
     if "--save" in sys.argv:
         index = sys.argv.index("--save")
@@ -36,7 +48,7 @@ def main() -> None:
 
     print()
     print(f"=== Experiments ({'quick' if quick else 'full'} suite) ===")
-    tables = run_everything(quick=quick)
+    tables = run_everything(quick=quick, workers=workers)
     for name, table in tables.items():
         if name.endswith("_detail"):
             continue  # print summaries; details are archived with --save

@@ -7,6 +7,7 @@ Four sub-commands cover the typical workflows without writing Python::
     python -m repro.cli simulate --dataset figure-1 --goal "(tram + bus)* . cinema"
     python -m repro.cli figures
     python -m repro.cli datasets
+    python -m repro.cli bench --suite quick --workers 4
 
 * ``evaluate`` — run a path query on a graph (JSON or TSV edge list) and
   print the selected nodes (optionally with a witness path each);
@@ -14,7 +15,10 @@ Four sub-commands cover the typical workflows without writing Python::
 * ``simulate`` — run the full interactive loop with a simulated user whose
   goal query is given, and print the session transcript;
 * ``figures`` — regenerate the paper's figures;
-* ``datasets`` — list the built-in dataset generators with their statistics.
+* ``datasets`` — list the built-in dataset generators with their statistics;
+* ``bench`` — run the E1–E5 experiment suite through the deterministic,
+  parallel, resumable runner; results stream into a JSONL result store
+  under ``--results-dir`` and interrupted runs resume automatically.
 
 The CLI is intentionally thin: every sub-command maps onto one documented
 library call, so scripting against the library directly is always an
@@ -147,6 +151,49 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentRunner, ResultStore
+
+    runner = ExperimentRunner(
+        suite=args.suite,
+        experiments=args.experiments,
+        datasets=args.datasets,
+        seed=args.seed,
+        per_family=args.per_family,
+        workers=args.workers,
+    )
+    run_name = args.run or f"{args.suite}-{runner.plan_id[:8]}"
+    store_dir = Path(args.results_dir) / run_name
+    runner.store = ResultStore(store_dir)
+
+    def progress(unit, record, done, total):
+        if args.verbose:
+            print(f"[{done}/{total}] {unit.label} ({record['seconds']}s)")
+
+    result = runner.run(fresh=args.fresh, progress=progress)
+    print(f"run       : {run_name} (plan {runner.plan_id})")
+    print(f"store     : {store_dir}")
+    print(
+        f"units     : {len(result.units)} planned, {len(result.executed_unit_ids)} executed, "
+        f"{len(result.resumed_unit_ids)} resumed from store"
+    )
+    print(f"workers   : {runner.workers}")
+    print(f"wall time : {result.seconds}s")
+    tables = result.tables
+    tables_dir = store_dir / "tables"
+    tables_dir.mkdir(parents=True, exist_ok=True)
+    for name, table in tables.items():
+        (tables_dir / f"{name}.txt").write_text(table.render() + "\n")
+    print()
+    for name in sorted(tables):
+        if name.endswith("_detail") and not args.detail:
+            continue
+        print(tables[name].render())
+        print()
+    print(f"tables written to {tables_dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -188,6 +235,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets_parser = subparsers.add_parser("datasets", help="list the built-in datasets")
     datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    from repro.experiments.runner import EXPERIMENTS
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the experiment suite through the parallel, resumable runner",
+    )
+    bench_parser.add_argument("--suite", choices=("quick", "standard"), default="quick")
+    bench_parser.add_argument(
+        "--experiments", nargs="+", choices=EXPERIMENTS, default=list(EXPERIMENTS),
+        help="subset of experiments to run (default: all)",
+    )
+    bench_parser.add_argument(
+        "--datasets", nargs="+", default=None,
+        help=f"restrict workload cases to these datasets ({', '.join(list_datasets())})",
+    )
+    bench_parser.add_argument("--workers", type=int, default=1, help="process-pool size (1 = inline)")
+    bench_parser.add_argument("--seed", type=int, default=11, help="base seed for suites and units")
+    bench_parser.add_argument(
+        "--per-family", type=int, default=2, help="goal queries per family (standard suite)"
+    )
+    bench_parser.add_argument(
+        "--run", default=None,
+        help="result-store name under --results-dir (default: <suite>-<plan hash>)",
+    )
+    bench_parser.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="root directory for JSONL result stores",
+    )
+    bench_parser.add_argument(
+        "--fresh", action="store_true",
+        help="clear the result store first instead of resuming completed units",
+    )
+    bench_parser.add_argument("--detail", action="store_true", help="also print the detail tables")
+    bench_parser.add_argument("--verbose", action="store_true", help="print one line per executed unit")
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     return parser
 

@@ -125,3 +125,26 @@ class NoCandidateNodeError(SessionError):
 
 class OracleError(GPSError):
     """Raised when a simulated user cannot answer a request."""
+
+
+class ExperimentError(GPSError):
+    """Base class for experiment-runner errors."""
+
+
+class RunPlanMismatchError(ExperimentError):
+    """Raised when resuming a result store written by a different run plan.
+
+    The stored manifest's plan id (a content hash of the expanded unit
+    ids) does not match the plan about to run, so resuming would mix rows
+    from incompatible configurations.
+    """
+
+    def __init__(self, stored_plan_id, current_plan_id, directory):
+        super().__init__(
+            f"result store at {directory} was written by plan {stored_plan_id!r}, "
+            f"but the current plan is {current_plan_id!r}; "
+            "pass fresh=True (CLI: --fresh) or use a different --run name"
+        )
+        self.stored_plan_id = stored_plan_id
+        self.current_plan_id = current_plan_id
+        self.directory = directory

@@ -1,4 +1,20 @@
-"""Experiment harness: figure regeneration and evaluation experiments E1–E5."""
+"""Experiment harness: figure regeneration and evaluation experiments E1–E5.
+
+Two execution paths share one set of per-unit row functions:
+
+* :mod:`repro.experiments.harness` — the serial ``run_e*`` functions the
+  benchmark scripts call directly;
+* :mod:`repro.experiments.runner` — the deterministic, parallel,
+  resumable :class:`~repro.experiments.runner.ExperimentRunner` behind
+  ``repro bench`` and :func:`~repro.experiments.harness.run_everything`.
+
+Runner results stream into a JSONL result store: a directory under
+``benchmarks/results/<run>/`` holding ``manifest.json`` (the
+content-hashed run plan) and ``rows.jsonl`` (one line per completed
+unit).  Interrupted runs resume by skipping unit ids already present in
+the store; see the :mod:`repro.experiments.runner` module docstring for
+the full contract.
+"""
 
 from repro.experiments.metrics import AGGREGATORS, ResultTable, fraction_true
 from repro.experiments.figures import (
@@ -13,6 +29,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.harness import (
     E1_STRATEGIES,
+    SUMMARY_SPECS,
     run_e1_interactions_by_strategy,
     run_e2_pruning,
     run_e3_scalability,
@@ -20,6 +37,15 @@ from repro.experiments.harness import (
     run_e5_learner_cost,
     run_everything,
     run_scenario_comparison,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentRunner,
+    ResultStore,
+    RunResult,
+    RunUnit,
+    build_plan,
+    strip_timing,
 )
 
 __all__ = [
@@ -35,6 +61,7 @@ __all__ = [
     "figure2",
     "figure3",
     "E1_STRATEGIES",
+    "SUMMARY_SPECS",
     "run_e1_interactions_by_strategy",
     "run_e2_pruning",
     "run_e3_scalability",
@@ -42,4 +69,11 @@ __all__ = [
     "run_e5_learner_cost",
     "run_everything",
     "run_scenario_comparison",
+    "EXPERIMENTS",
+    "ExperimentRunner",
+    "ResultStore",
+    "RunResult",
+    "RunUnit",
+    "build_plan",
+    "strip_timing",
 ]

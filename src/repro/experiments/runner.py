@@ -1,0 +1,619 @@
+"""Deterministic, parallel, resumable experiment runner.
+
+The serial harness in :mod:`repro.experiments.harness` runs every
+experiment case inline in one process.  This module scales that up
+without giving up reproducibility:
+
+* :func:`build_plan` expands a workload suite (E1–E5 plus the Section 3
+  scenario comparison) into a flat list of self-describing
+  :class:`RunUnit` objects.  A unit carries nothing but plain,
+  JSON-serialisable parameters (dataset *name*, goal *expression*,
+  strategy, budgets, derived seed), so its identity is a content hash of
+  those parameters — the same configuration always yields the same
+  ``unit_id``, across processes, machines and ``PYTHONHASHSEED`` values.
+* :class:`ExperimentRunner` executes the units, either inline
+  (``workers=1``) or fanned out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Every unit derives
+  its own deterministic seed from the base seed and its descriptor, so
+  execution order and process placement cannot change any row: a
+  4-worker run produces row-for-row identical results to a serial run.
+* A :class:`ResultStore` (directory with ``manifest.json`` +
+  ``rows.jsonl``) streams finished units to disk as they complete.  An
+  interrupted run resumes by loading the store and skipping every unit
+  id that already has a row record; a truncated trailing line (the
+  write the interruption cut short) is ignored.  The manifest pins the
+  plan id so a store can never silently mix rows from two different
+  configurations.
+* Finished rows merge back into the same
+  :class:`~repro.experiments.metrics.ResultTable` detail/summary pairs
+  the serial harness produces (shared ``SUMMARY_SPECS``), which is what
+  ``run_everything`` and the benchmark scripts print.
+
+Timing columns (``seconds``, ``mean_seconds``, ``max_seconds``) are the
+only values that legitimately differ between two runs of the same plan;
+:func:`strip_timing` removes them for row-for-row comparisons.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ExperimentError, RunPlanMismatchError
+from repro.experiments import harness
+from repro.experiments.metrics import ResultTable, Row
+from repro.graph.datasets import dataset_catalog, list_datasets
+from repro.graph.labeled_graph import LabeledGraph
+from repro.workloads.generator import WorkloadCase, quick_suite, standard_suite
+
+PathLike = Union[str, Path]
+
+#: Every experiment the runner knows how to expand, in canonical order.
+EXPERIMENTS: Sequence[str] = ("e1", "e2", "e3", "e4", "e5", "scenarios")
+
+#: Columns that measure wall-clock time and therefore differ run-to-run.
+TIMING_COLUMNS = frozenset({"seconds", "mean_seconds", "max_seconds"})
+
+#: Detail-table titles, shared with the serial harness tables.
+TABLE_TITLES: Dict[str, str] = harness.TABLE_TITLES
+
+#: E3 graph sizes per suite (quick mirrors the old ``run_everything``).
+E3_NODE_COUNTS: Dict[str, Sequence[int]] = {
+    "quick": (100, 200, 400),
+    "standard": (100, 200, 400, 800, 1600),
+}
+
+#: E5 sample sizes (same for both suites, as in the serial harness).
+E5_SAMPLE_SIZES: Sequence[int] = (5, 10, 20, 40)
+
+
+def canonical_json(payload: object) -> str:
+    """Canonical (sorted-keys, compact) JSON used for content hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def unit_id_for(experiment: str, params: Mapping[str, object]) -> str:
+    """Stable content-hash id of one unit configuration."""
+    digest = hashlib.sha256(
+        canonical_json({"experiment": experiment, "params": dict(params)}).encode("utf-8")
+    )
+    return digest.hexdigest()[:12]
+
+
+def strip_timing(rows: Sequence[Row]) -> List[Row]:
+    """Rows with the wall-clock columns removed, for determinism checks."""
+    return [{key: value for key, value in row.items() if key not in TIMING_COLUMNS} for row in rows]
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One self-describing experiment unit.
+
+    ``params`` must be plain JSON-serialisable values; the unit id is a
+    content hash of ``(experiment, params)``, so two units with the same
+    configuration are the same unit wherever and whenever they run.
+    """
+
+    experiment: str
+    label: str
+    params: Mapping[str, object]
+    unit_id: str = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "unit_id", unit_id_for(self.experiment, self.params))
+
+    def payload(self) -> dict:
+        """The picklable work order sent to a worker process."""
+        return {
+            "unit_id": self.unit_id,
+            "experiment": self.experiment,
+            "label": self.label,
+            "params": dict(self.params),
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module level so ProcessPoolExecutor can pickle it)
+# ----------------------------------------------------------------------
+
+#: Per-process dataset cache: workers rebuild each catalogue once.
+_CATALOG_CACHE: Dict[int, Dict[str, LabeledGraph]] = {}
+
+
+def _graph_for(dataset: str, suite_seed: int) -> LabeledGraph:
+    catalog = _CATALOG_CACHE.get(suite_seed)
+    if catalog is None:
+        catalog = dataset_catalog(seed=suite_seed)
+        _CATALOG_CACHE[suite_seed] = catalog
+    return catalog[dataset]
+
+
+def _execute_e1(params: Mapping[str, object]) -> List[Row]:
+    graph = _graph_for(params["dataset"], params["suite_seed"])
+    return harness.e1_unit_rows(
+        graph,
+        params["expression"],
+        dataset=params["dataset"],
+        family=params["family"],
+        strategy=params["strategy"],
+        max_interactions=params["max_interactions"],
+        max_path_length=params["max_path_length"],
+        seed=params["seed"],
+    )
+
+
+def _execute_e2(params: Mapping[str, object]) -> List[Row]:
+    graph = _graph_for(params["dataset"], params["suite_seed"])
+    return harness.e2_unit_rows(
+        graph,
+        params["expression"],
+        dataset=params["dataset"],
+        max_interactions=params["max_interactions"],
+        max_path_length=params["max_path_length"],
+    )
+
+
+def _execute_e3(params: Mapping[str, object]) -> List[Row]:
+    return [
+        harness.e3_unit_row(
+            params["nodes"],
+            edge_factor=params["edge_factor"],
+            alphabet_size=params["alphabet_size"],
+            max_path_length=params["max_path_length"],
+            interactions=params["interactions"],
+            seed=params["seed"],
+        )
+    ]
+
+
+def _execute_e4(params: Mapping[str, object]) -> List[Row]:
+    graph = _graph_for(params["dataset"], params["suite_seed"])
+    return harness.e4_unit_rows(
+        graph,
+        params["expression"],
+        dataset=params["dataset"],
+        family=params["family"],
+        variant=params["variant"],
+        max_interactions=params["max_interactions"],
+        max_path_length=params["max_path_length"],
+    )
+
+
+def _execute_e5(params: Mapping[str, object]) -> List[Row]:
+    return [
+        harness.e5_unit_row(
+            params["size"],
+            word_length=params["word_length"],
+            alphabet_size=params["alphabet_size"],
+            seed=params["seed"],
+        )
+    ]
+
+
+def _execute_scenarios(params: Mapping[str, object]) -> List[Row]:
+    graph = _graph_for(params["dataset"], params["suite_seed"])
+    return harness.scenario_unit_rows(
+        graph,
+        params["expression"],
+        dataset=params["dataset"],
+        max_interactions=params["max_interactions"],
+        max_path_length=params["max_path_length"],
+        seed=params["seed"],
+    )
+
+
+_EXECUTORS: Dict[str, Callable[[Mapping[str, object]], List[Row]]] = {
+    "e1": _execute_e1,
+    "e2": _execute_e2,
+    "e3": _execute_e3,
+    "e4": _execute_e4,
+    "e5": _execute_e5,
+    "scenarios": _execute_scenarios,
+}
+
+
+def execute_payload(payload: Mapping[str, object]) -> dict:
+    """Execute one unit work order; returns the JSONL record for the store."""
+    started = time.perf_counter()
+    rows = _EXECUTORS[payload["experiment"]](payload["params"])
+    return {
+        "unit_id": payload["unit_id"],
+        "experiment": payload["experiment"],
+        "label": payload["label"],
+        "rows": rows,
+        "seconds": round(time.perf_counter() - started, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# Plan expansion
+# ----------------------------------------------------------------------
+def build_plan(
+    *,
+    suite: str = "quick",
+    experiments: Sequence[str] = EXPERIMENTS,
+    datasets: Optional[Sequence[str]] = None,
+    seed: int = 11,
+    per_family: int = 2,
+    e1_strategies: Sequence[str] = harness.E1_STRATEGIES,
+    e3_node_counts: Optional[Sequence[int]] = None,
+    e5_sample_sizes: Sequence[int] = E5_SAMPLE_SIZES,
+) -> List[RunUnit]:
+    """Expand a suite into the flat, content-hashed unit list.
+
+    The expansion itself is deterministic: it generates the workload
+    suite (whose goal queries are seeded stably — see
+    :func:`repro.workloads.generator.stable_name_hash`) and derives one
+    independent seed per unit, so the resulting ids identify the exact
+    computation regardless of who runs it.
+    """
+    if suite not in ("quick", "standard"):
+        raise ExperimentError(f"unknown suite {suite!r}; expected 'quick' or 'standard'")
+    unknown = [name for name in experiments if name not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+    # normalise to canonical order so the plan id is order-independent
+    experiments = [name for name in EXPERIMENTS if name in set(experiments)]
+    if datasets is not None:
+        known = list_datasets()
+        missing = [name for name in datasets if name not in known]
+        if missing:
+            raise ExperimentError(f"unknown datasets {missing}; known: {known}")
+
+    cases: List[WorkloadCase]
+    if suite == "quick":
+        cases = quick_suite(seed)
+    else:
+        cases = standard_suite(seed=seed, per_family=per_family, datasets=datasets)
+    if datasets is not None:
+        wanted = set(datasets)
+        cases = [case for case in cases if case.dataset in wanted]
+    case_experiments = [name for name in experiments if name not in ("e3", "e5")]
+    if case_experiments and not cases:
+        raise ExperimentError(
+            f"no workload cases for experiments {case_experiments}: the {suite!r} suite "
+            f"covers none of the requested datasets {list(datasets or [])}"
+        )
+
+    units: List[RunUnit] = []
+
+    def case_params(case: WorkloadCase) -> dict:
+        return {
+            "suite_seed": seed,
+            "dataset": case.dataset,
+            "expression": case.goal.expression,
+        }
+
+    for experiment in experiments:
+        if experiment == "e1":
+            for case in cases:
+                for strategy in ("static", *e1_strategies):
+                    params = dict(
+                        case_params(case),
+                        family=case.goal.family,
+                        strategy=strategy,
+                        **harness.E1_DEFAULTS,
+                        seed=harness.derive_unit_seed(
+                            seed, "e1", case.dataset, case.goal.expression, strategy
+                        ),
+                    )
+                    units.append(
+                        RunUnit("e1", f"e1 {case.dataset} [{strategy}] {case.goal.expression}", params)
+                    )
+        elif experiment == "e2":
+            for case in cases:
+                params = dict(case_params(case), **harness.E2_DEFAULTS)
+                units.append(RunUnit("e2", f"e2 {case.dataset} {case.goal.expression}", params))
+        elif experiment == "e3":
+            node_counts = e3_node_counts if e3_node_counts is not None else E3_NODE_COUNTS[suite]
+            for node_count in node_counts:
+                params = dict(
+                    nodes=node_count,
+                    **harness.E3_DEFAULTS,
+                    seed=harness.derive_unit_seed(seed, "e3", node_count),
+                )
+                units.append(RunUnit("e3", f"e3 random-{node_count}", params))
+        elif experiment == "e4":
+            for case in cases:
+                for variant in ("no-validation", "validation"):
+                    params = dict(
+                        case_params(case),
+                        family=case.goal.family,
+                        variant=variant,
+                        **harness.E4_DEFAULTS,
+                    )
+                    units.append(
+                        RunUnit("e4", f"e4 {case.dataset} [{variant}] {case.goal.expression}", params)
+                    )
+        elif experiment == "e5":
+            for size in e5_sample_sizes:
+                params = dict(
+                    size=size,
+                    **harness.E5_DEFAULTS,
+                    seed=harness.derive_unit_seed(seed, "e5", size),
+                )
+                units.append(RunUnit("e5", f"e5 samples={size}", params))
+        elif experiment == "scenarios":
+            for case in cases:
+                params = dict(
+                    case_params(case),
+                    **harness.SCENARIO_DEFAULTS,
+                    seed=harness.derive_unit_seed(seed, "scenarios", case.dataset, case.goal.expression),
+                )
+                units.append(RunUnit("scenarios", f"scenarios {case.dataset} {case.goal.expression}", params))
+    return units
+
+
+def plan_id_for(units: Sequence[RunUnit]) -> str:
+    """Content hash of an ordered unit-id list — the identity of a run plan."""
+    digest = hashlib.sha256(canonical_json([unit.unit_id for unit in units]).encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# JSONL result store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """A directory holding one run's streamed results.
+
+    Layout::
+
+        <directory>/
+            manifest.json   # plan id, suite parameters, unit labels
+            rows.jsonl      # one JSON line per *completed* unit
+
+    Records are appended (and flushed) as units finish, so a killed run
+    loses at most the line being written; :meth:`load_records` skips a
+    truncated trailing line.
+    """
+
+    MANIFEST_NAME = "manifest.json"
+    ROWS_NAME = "rows.jsonl"
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST_NAME
+
+    @property
+    def rows_path(self) -> Path:
+        return self.directory / self.ROWS_NAME
+
+    def read_manifest(self) -> Optional[dict]:
+        """The stored manifest, or None when the store is empty/new."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise ExperimentError(
+                f"corrupt manifest at {self.manifest_path} ({error}); "
+                "start over with fresh=True (CLI: --fresh)"
+            ) from error
+
+    def write_manifest(self, manifest: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # atomic: a kill mid-write must not leave a corrupt manifest behind
+        temp_path = self.manifest_path.with_suffix(".json.tmp")
+        temp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(temp_path, self.manifest_path)
+
+    def load_records(self) -> Dict[str, dict]:
+        """unit_id -> record for every completed unit in the store."""
+        records: Dict[str, dict] = {}
+        if not self.rows_path.exists():
+            return records
+        for line in self.rows_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated trailing line from an interrupted run
+            records[record["unit_id"]] = record
+        return records
+
+    def append(self, record: dict) -> None:
+        """Append one completed-unit record, flushed to disk immediately."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.rows_path.open("a", encoding="utf-8") as handle:
+            handle.write(canonical_json(record) + "\n")
+            handle.flush()
+
+    def clear(self) -> None:
+        """Remove the manifest and all stored rows (start over)."""
+        for path in (self.manifest_path, self.rows_path):
+            if path.exists():
+                path.unlink()
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`ExperimentRunner.run` call."""
+
+    units: List[RunUnit]
+    records: Dict[str, dict]
+    executed_unit_ids: List[str]
+    resumed_unit_ids: List[str]
+    seconds: float
+    store_directory: Optional[Path] = None
+
+    def rows(self, experiment: str) -> List[Row]:
+        """All rows of one experiment, in deterministic plan order."""
+        rows: List[Row] = []
+        for unit in self.units:
+            if unit.experiment != experiment:
+                continue
+            record = self.records.get(unit.unit_id)
+            if record is not None:
+                rows.extend(record["rows"])
+        return rows
+
+    @property
+    def tables(self) -> Dict[str, ResultTable]:
+        """Merged detail (and, where defined, summary) tables by name.
+
+        Keys match :func:`repro.experiments.harness.run_everything`:
+        ``e1_detail``/``e1_summary``, ``e2_detail``/``e2_summary``,
+        ``e3``, ``e4_detail``/``e4_summary``, ``e5``,
+        ``scenarios_detail``/``scenarios_summary``.
+        """
+        present = []
+        for experiment in EXPERIMENTS:
+            if any(unit.experiment == experiment for unit in self.units):
+                present.append(experiment)
+        tables: Dict[str, ResultTable] = {}
+        for experiment in present:
+            detail = ResultTable(TABLE_TITLES[experiment], self.rows(experiment))
+            if experiment in harness.SUMMARY_SPECS:
+                keys, reducers = harness.SUMMARY_SPECS[experiment]
+                tables[f"{experiment}_detail"] = detail
+                tables[f"{experiment}_summary"] = detail.group_by(keys, reducers)
+            else:
+                tables[experiment] = detail
+        return tables
+
+
+class ExperimentRunner:
+    """Expand, execute (optionally in parallel), store and merge experiments.
+
+    Parameters mirror :func:`build_plan`; ``workers`` controls the size
+    of the process pool (``<= 1`` executes inline in this process) and
+    ``store`` is an optional :class:`ResultStore` for streaming/resume.
+    """
+
+    def __init__(
+        self,
+        *,
+        suite: str = "quick",
+        experiments: Sequence[str] = EXPERIMENTS,
+        datasets: Optional[Sequence[str]] = None,
+        seed: int = 11,
+        per_family: int = 2,
+        e1_strategies: Sequence[str] = harness.E1_STRATEGIES,
+        e3_node_counts: Optional[Sequence[int]] = None,
+        e5_sample_sizes: Sequence[int] = E5_SAMPLE_SIZES,
+        workers: int = 1,
+        store: Optional[ResultStore] = None,
+    ):
+        self.suite = suite
+        self.seed = seed
+        self.workers = max(1, int(workers))
+        self.store = store
+        self.units = build_plan(
+            suite=suite,
+            experiments=experiments,
+            datasets=datasets,
+            seed=seed,
+            per_family=per_family,
+            e1_strategies=e1_strategies,
+            e3_node_counts=e3_node_counts,
+            e5_sample_sizes=e5_sample_sizes,
+        )
+        self.experiments = [name for name in EXPERIMENTS if any(u.experiment == name for u in self.units)]
+
+    @property
+    def plan_id(self) -> str:
+        return plan_id_for(self.units)
+
+    def plan(self) -> List[RunUnit]:
+        """The expanded unit list (deterministic order)."""
+        return list(self.units)
+
+    def _manifest(self) -> dict:
+        return {
+            "format": 1,
+            "plan_id": self.plan_id,
+            "suite": self.suite,
+            "seed": self.seed,
+            "experiments": list(self.experiments),
+            "unit_count": len(self.units),
+            "units": [
+                {"unit_id": unit.unit_id, "experiment": unit.experiment, "label": unit.label}
+                for unit in self.units
+            ],
+        }
+
+    def run(
+        self,
+        *,
+        resume: bool = True,
+        fresh: bool = False,
+        progress: Optional[Callable[[RunUnit, dict, int, int], None]] = None,
+    ) -> RunResult:
+        """Execute every planned unit that is not already in the store.
+
+        With ``fresh=True`` the store is cleared first.  With
+        ``resume=True`` (the default) completed unit ids from the store
+        are skipped; their stored rows are merged into the result as if
+        they had just run.  ``resume=False`` recomputes everything, so
+        it also clears the store first — otherwise re-executed units
+        would append duplicate records.  ``progress`` is called after
+        each executed unit with ``(unit, record, done_count,
+        total_count)``.
+        """
+        started = time.perf_counter()
+        records: Dict[str, dict] = {}
+        resumed: List[str] = []
+        if self.store is not None:
+            if fresh or not resume:
+                self.store.clear()
+            manifest = self.store.read_manifest()
+            if manifest is not None and manifest.get("plan_id") != self.plan_id:
+                raise RunPlanMismatchError(manifest.get("plan_id"), self.plan_id, self.store.directory)
+            if manifest is None:
+                self.store.write_manifest(self._manifest())
+            if resume:
+                planned_ids = {unit.unit_id for unit in self.units}
+                records = {
+                    unit_id: record
+                    for unit_id, record in self.store.load_records().items()
+                    if unit_id in planned_ids
+                }
+                resumed = [unit.unit_id for unit in self.units if unit.unit_id in records]
+
+        pending = [unit for unit in self.units if unit.unit_id not in records]
+        by_id = {unit.unit_id: unit for unit in self.units}
+        executed: List[str] = []
+        total = len(self.units)
+
+        def finish(record: dict) -> None:
+            records[record["unit_id"]] = record
+            executed.append(record["unit_id"])
+            if self.store is not None:
+                self.store.append(record)
+            if progress is not None:
+                progress(by_id[record["unit_id"]], record, len(records), total)
+
+        if self.workers <= 1 or len(pending) <= 1:
+            for unit in pending:
+                finish(execute_payload(unit.payload()))
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+                futures = [pool.submit(execute_payload, unit.payload()) for unit in pending]
+                for future in as_completed(futures):
+                    finish(future.result())
+
+        # keep the executed list in plan order (parallel completion shuffles it)
+        executed_set = set(executed)
+        executed_in_order = [unit.unit_id for unit in self.units if unit.unit_id in executed_set]
+        return RunResult(
+            units=list(self.units),
+            records=records,
+            executed_unit_ids=executed_in_order,
+            resumed_unit_ids=resumed,
+            seconds=round(time.perf_counter() - started, 4),
+            store_directory=None if self.store is None else self.store.directory,
+        )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.graph.generators import grid_graph, scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
 
 TRANSPORT_LABELS: Tuple[str, ...] = ("tram", "bus")
@@ -199,7 +200,10 @@ def dataset_catalog(seed: int = 7) -> Dict[str, LabeledGraph]:
     """The standard catalogue of graphs used by the experiment harness.
 
     Returns a name -> graph mapping with one representative of each
-    dataset family at a laptop-friendly size.
+    dataset family at a laptop-friendly size.  Besides the hand-built and
+    city/biology generators this includes a preferential-attachment
+    scale-free graph and a one-way grid (geography-like lattice), so
+    workload suites exercise hub-dominated and regular topologies too.
     """
     return {
         "figure-1": motivating_example(),
@@ -207,9 +211,24 @@ def dataset_catalog(seed: int = 7) -> Dict[str, LabeledGraph]:
         "transit-medium": transit_city(60, tram_lines=4, bus_lines=6, line_length=10, seed=seed + 1),
         "bio-small": biological_network(60, 30, seed=seed + 2),
         "bio-medium": biological_network(150, 70, seed=seed + 3),
+        "scale-free-medium": scale_free_graph(
+            150, edges_per_node=3, seed=seed + 4, name="scale-free-medium"
+        ),
+        # one-way lattice: with bidirectional edges every query of the
+        # standard families selects all nodes and the workload filters
+        # discard it as trivial
+        "grid-medium": grid_graph(8, 8, bidirectional=False, name="grid-medium"),
     }
 
 
 def list_datasets() -> List[str]:
     """Names of the graphs returned by :func:`dataset_catalog`."""
-    return ["figure-1", "transit-small", "transit-medium", "bio-small", "bio-medium"]
+    return [
+        "figure-1",
+        "transit-small",
+        "transit-medium",
+        "bio-small",
+        "bio-medium",
+        "scale-free-medium",
+        "grid-medium",
+    ]

@@ -40,7 +40,11 @@ def random_graph(
     ``edge_count`` distinct ``(source, label, target)`` triples are drawn
     uniformly (self-loops allowed, as in RDF-style data).  When the
     requested number of edges exceeds the number of possible triples the
-    generator silently saturates.
+    generator saturates at the number of possible triples; otherwise it
+    always returns exactly ``edge_count`` edges.  Near saturation, where
+    rejection sampling starts colliding constantly, the generator falls
+    back to sampling uniformly from the not-yet-taken triples instead of
+    silently returning a smaller graph.
     """
     if node_count <= 0:
         raise ValueError("node_count must be positive")
@@ -62,6 +66,19 @@ def random_graph(
         label = rng.choice(list(alphabet))
         graph.add_edge(source, label, target)
         attempts += 1
+    if graph.edge_count < target_edges:
+        # rejection sampling exhausted its attempt budget (we are close to
+        # saturation): sample the shortfall from the untaken triples
+        taken = set(graph.edges())
+        remaining = [
+            (source, label, target)
+            for source in nodes
+            for label in alphabet
+            for target in nodes
+            if (source, label, target) not in taken
+        ]
+        for source, label, target in rng.sample(remaining, target_edges - graph.edge_count):
+            graph.add_edge(source, label, target)
     return graph
 
 

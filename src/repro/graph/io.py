@@ -7,8 +7,18 @@ Two formats are supported:
 * a simple line-oriented edge-list text format (``source<TAB>label<TAB>target``)
   convenient for interchange with external tools.
 
-Both round-trip every graph produced by this library (node attributes are
-preserved by the JSON format only).
+The JSON format round-trips every graph produced by this library,
+including node attributes and isolated nodes.  The edge-list format is
+lossier, and its contract is pinned by tests:
+
+* node ids and labels are written with ``str`` and read back as strings,
+  so non-string symbols (e.g. ``int`` node ids) do not round-trip typed;
+* isolated nodes are not written at all (the format only has edges);
+* symbols containing the separator, a newline, a leading ``#`` (the
+  comment marker), or leading/trailing whitespace (stripped on load), and
+  empty symbols, cannot be represented — :func:`save_edge_list` refuses
+  them with :class:`~repro.exceptions.GraphFormatError` instead of
+  writing a file that would load differently (or not at all).
 """
 
 from __future__ import annotations
@@ -68,9 +78,40 @@ def load_json(path: PathLike) -> LabeledGraph:
     return graph_from_dict(payload)
 
 
+def _edge_list_symbol(value: object, separator: str) -> str:
+    """Coerce one edge component to its textual form, refusing unrepresentables."""
+    text = str(value)
+    if separator in text:
+        raise GraphFormatError(
+            f"symbol {text!r} contains the separator {separator!r} and cannot be "
+            "written to an edge list (it would split into extra fields on load)"
+        )
+    if "\n" in text or "\r" in text:
+        raise GraphFormatError(f"symbol {text!r} contains a newline and cannot be written to an edge list")
+    if text.startswith("#"):
+        raise GraphFormatError(
+            f"symbol {text!r} starts with the comment marker '#'; the line would be skipped on load"
+        )
+    if not text or text != text.strip():
+        raise GraphFormatError(
+            f"symbol {text!r} is empty or has leading/trailing whitespace; lines are "
+            "stripped on load, so it would load as a different symbol (or break the field count)"
+        )
+    return text
+
+
 def save_edge_list(graph: LabeledGraph, path: PathLike, *, separator: str = "\t") -> None:
-    """Write ``graph`` as a ``source<sep>label<sep>target`` text file."""
-    lines = [separator.join(str(part) for part in edge) for edge in graph.to_edge_list()]
+    """Write ``graph`` as a ``source<sep>label<sep>target`` text file.
+
+    Raises :class:`~repro.exceptions.GraphFormatError` when a node id or
+    label cannot be represented in the format (see the module docstring).
+    Isolated nodes are silently dropped — use :func:`save_json` when they
+    (or node attributes, or non-string symbols) matter.
+    """
+    lines = [
+        separator.join(_edge_list_symbol(part, separator) for part in edge)
+        for edge in graph.to_edge_list()
+    ]
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
 
 

@@ -7,6 +7,7 @@ used by the benchmark scripts (one per experiment id in DESIGN.md).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -30,6 +31,17 @@ class WorkloadCase:
         return row
 
 
+def stable_name_hash(name: str) -> int:
+    """A process-independent hash of ``name`` for seed derivation.
+
+    Python's builtin ``hash`` on strings is salted by ``PYTHONHASHSEED``,
+    so ``seed + hash(name)`` yields a *different* workload in every
+    process — silently breaking "seeded" experiments.  CRC32 depends only
+    on the bytes of the name.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
 def standard_suite(
     *,
     datasets: Optional[Sequence[str]] = None,
@@ -44,7 +56,7 @@ def standard_suite(
     for name in names:
         graph = catalog[name]
         workload = generate_workload(
-            graph, families=families, per_family=per_family, seed=seed + hash(name) % 1000
+            graph, families=families, per_family=per_family, seed=seed + stable_name_hash(name) % 1000
         )
         for goal in workload:
             cases.append(WorkloadCase(dataset=name, graph=graph, goal=goal))

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.harness import (
+    pta_state_count,
     run_e1_interactions_by_strategy,
     run_e2_pruning,
     run_e3_scalability,
@@ -82,6 +83,21 @@ class TestE4:
         tables = run_e4_path_validation(figure1_cases, seed=2)
         by_variant = {row["variant"]: row for row in tables["summary"]}
         assert by_variant["validation"]["f1"] >= by_variant["no-validation"]["f1"] - 1e-9
+
+
+class TestPtaStateCount:
+    def test_counts_shared_prefixes_once(self):
+        # "ab" and "ac" share the prefix "a": states are "", "a", "ab", "ac"
+        assert pta_state_count([("a", "b"), ("a", "c")]) == 4
+
+    def test_duplicates_do_not_inflate(self):
+        assert pta_state_count([("a", "b"), ("a", "b")]) == 3
+
+    def test_disjoint_words_sum_plus_root(self):
+        assert pta_state_count([("a",), ("b", "b")]) == 4
+
+    def test_empty_sample_is_single_root(self):
+        assert pta_state_count([]) == 1
 
 
 class TestE5:

@@ -31,7 +31,19 @@ class TestRandomGraph:
 
     def test_saturation_when_too_many_edges_requested(self):
         graph = random_graph(2, 10_000, ("a",), seed=5)
-        assert graph.edge_count <= 2 * 2 * 1
+        assert graph.edge_count == 2 * 2 * 1
+
+    def test_exact_edge_count_near_saturation(self):
+        # 3 nodes x 1 label = 9 possible triples; rejection sampling alone
+        # used to exhaust its attempt budget and return fewer edges
+        for requested in range(1, 10):
+            graph = random_graph(3, requested, ("a",), seed=requested)
+            assert graph.edge_count == requested, requested
+
+    def test_near_saturation_is_deterministic(self):
+        first = random_graph(3, 8, ("a",), seed=6)
+        second = random_graph(3, 8, ("a",), seed=6)
+        assert first.structurally_equal(second)
 
     def test_invalid_args(self):
         with pytest.raises(ValueError):

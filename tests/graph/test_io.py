@@ -97,3 +97,95 @@ class TestEdgeListRoundTrip:
         path = tmp_path / "empty.tsv"
         save_edge_list(LabeledGraph(), path)
         assert load_edge_list(path).node_count == 0
+
+
+class TestEdgeListContract:
+    """Pins the documented (lossy) contract of the edge-list format."""
+
+    def _int_graph(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph("typed")
+        graph.add_edge(1, "x", 2)
+        return graph
+
+    def test_int_ids_come_back_as_strings(self, tmp_path):
+        path = tmp_path / "typed.tsv"
+        save_edge_list(self._int_graph(), path)
+        loaded = load_edge_list(path)
+        assert loaded.has_edge("1", "x", "2")
+        assert 1 not in loaded
+
+    def test_json_round_trips_int_ids_typed(self, tmp_path):
+        path = tmp_path / "typed.json"
+        graph = self._int_graph()
+        save_json(graph, path)
+        loaded = load_json(path)
+        assert loaded.has_edge(1, "x", 2)
+        assert loaded.structurally_equal(graph)
+
+    def test_isolated_nodes_are_dropped(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "b")
+        graph.add_node("lonely")
+        path = tmp_path / "graph.tsv"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.node_count == 2
+        assert "lonely" not in loaded
+
+    def test_symbol_containing_separator_refused(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("a\tb", "x", "c")
+        path = tmp_path / "graph.tsv"
+        with pytest.raises(GraphFormatError):
+            save_edge_list(graph, path)
+        assert not path.exists()  # refused before anything was written
+
+    def test_custom_separator_checked_too(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("a,b", "x", "c")
+        save_edge_list(graph, tmp_path / "ok.tsv")  # fine with the default tab
+        with pytest.raises(GraphFormatError):
+            save_edge_list(graph, tmp_path / "bad.csv", separator=",")
+
+    def test_symbol_containing_newline_refused(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("a", "x\ny", "c")
+        with pytest.raises(GraphFormatError):
+            save_edge_list(graph, tmp_path / "graph.tsv")
+
+    def test_symbol_starting_with_comment_marker_refused(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("#a", "x", "c")
+        with pytest.raises(GraphFormatError):
+            save_edge_list(graph, tmp_path / "graph.tsv")
+
+    def test_symbol_with_surrounding_whitespace_refused(self, tmp_path):
+        # load_edge_list strips each line, so ' a' would load back as 'a'
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge(" a", "x", "b ")
+        with pytest.raises(GraphFormatError):
+            save_edge_list(graph, tmp_path / "graph.tsv")
+
+    def test_empty_symbol_refused(self, tmp_path):
+        # an empty leading field would be eaten by the strip and break the
+        # field count on load
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("", "x", "b")
+        with pytest.raises(GraphFormatError):
+            save_edge_list(graph, tmp_path / "graph.tsv")

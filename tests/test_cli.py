@@ -152,3 +152,42 @@ class TestOtherCommands:
         )
         assert completed.returncode == 0
         assert "figure-1" in completed.stdout
+
+
+class TestBench:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "bench",
+            "--suite", "quick",
+            "--datasets", "figure-1",
+            "--experiments", "e4",
+            "--workers", "1",
+            "--results-dir", str(tmp_path),
+            "--run", "cli-test",
+            *extra,
+        ]
+
+    def test_bench_writes_result_store(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        output = capsys.readouterr().out
+        assert "resumed from store" in output
+        store = tmp_path / "cli-test"
+        assert (store / "manifest.json").exists()
+        assert (store / "rows.jsonl").exists()
+        assert (store / "tables" / "e4_summary.txt").exists()
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert manifest["unit_count"] == len((store / "rows.jsonl").read_text().splitlines())
+
+    def test_bench_resumes_without_recomputing(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path)) == 0
+        output = capsys.readouterr().out
+        assert ", 0 executed" in output
+
+    def test_bench_rejects_mismatched_plan_without_fresh(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path, "--seed", "99")) == 1
+        assert "plan" in capsys.readouterr().err
+        assert main(self._argv(tmp_path, "--seed", "99", "--fresh")) == 0

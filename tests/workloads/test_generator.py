@@ -1,7 +1,24 @@
 """Unit tests for workload suites."""
 
+import json
+import os
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
 from repro.query.evaluation import evaluate
-from repro.workloads.generator import quick_suite, standard_suite
+from repro.workloads.generator import quick_suite, stable_name_hash, standard_suite
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+#: Printed fingerprint of a small standard suite, run in a fresh process.
+_FINGERPRINT_SNIPPET = """
+import json
+from repro.workloads.generator import standard_suite
+cases = standard_suite(datasets=["figure-1", "transit-small"], per_family=1, seed=11)
+print(json.dumps([[case.dataset, case.goal.family, case.goal.expression] for case in cases]))
+"""
 
 
 class TestSuites:
@@ -29,3 +46,40 @@ class TestSuites:
         first = [case.goal.expression for case in quick_suite(seed=4)]
         second = [case.goal.expression for case in quick_suite(seed=4)]
         assert first == second
+
+
+class TestSeedStability:
+    """Suites must be identical across processes and PYTHONHASHSEED values.
+
+    The seed-derivation bug this pins down: ``seed + hash(name) % 1000``
+    used Python's salted string hash, so every process generated a
+    different "seeded" workload.
+    """
+
+    def _suite_fingerprint(self, hash_seed: int):
+        env = dict(os.environ, PYTHONHASHSEED=str(hash_seed))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = str(SRC_DIR) + (os.pathsep + existing if existing else "")
+        completed = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SNIPPET],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(completed.stdout)
+
+    def test_standard_suite_identical_across_hash_seeds(self):
+        first = self._suite_fingerprint(0)
+        second = self._suite_fingerprint(1)
+        assert first, "fingerprint suite unexpectedly empty"
+        assert first == second
+
+    def test_in_process_suite_matches_subprocess(self):
+        cases = standard_suite(datasets=["figure-1", "transit-small"], per_family=1, seed=11)
+        local = [[case.dataset, case.goal.family, case.goal.expression] for case in cases]
+        assert local == self._suite_fingerprint(0)
+
+    def test_stable_name_hash_is_crc32(self):
+        assert stable_name_hash("figure-1") == zlib.crc32(b"figure-1")
+        assert stable_name_hash("figure-1") != stable_name_hash("figure-2")
