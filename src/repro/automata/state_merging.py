@@ -99,6 +99,7 @@ def _merge_and_fold(pta: DFA, partition: _Partition, red: int, blue: int) -> Opt
     extensions such as negative-state PTAs).
     """
     candidate = partition.copy()
+    transitions = pta._transitions
     worklist: List[Tuple[int, int]] = [(red, blue)]
     while worklist:
         first, second = worklist.pop()
@@ -107,18 +108,22 @@ def _merge_and_fold(pta: DFA, partition: _Partition, red: int, blue: int) -> Opt
             continue
         candidate.union(first_root, second_root)
         merged_root = candidate.find(first_root)
-        # collect the outgoing transitions of every member of the merged block
+        # collect the outgoing transitions of every member of the merged
+        # block (reading members off the union-find directly; the folded
+        # closure is the unique determinising congruence, so the member
+        # iteration order cannot change the result)
+        find = candidate.find
         outgoing: Dict[str, int] = {}
-        for representative, members in candidate.blocks().items():
-            if representative != merged_root:
+        for member in candidate._parent:
+            if find(member) != merged_root:
                 continue
-            for member in members:
-                for symbol, target in pta.outgoing(member).items():
-                    target_root = candidate.find(target)
-                    if symbol in outgoing and candidate.find(outgoing[symbol]) != target_root:
-                        worklist.append((outgoing[symbol], target_root))
-                    else:
-                        outgoing[symbol] = target_root
+            for symbol, target in transitions[member].items():
+                target_root = find(target)
+                known = outgoing.get(symbol)
+                if known is not None and find(known) != target_root:
+                    worklist.append((known, target_root))
+                else:
+                    outgoing[symbol] = target_root
     return candidate
 
 
@@ -135,6 +140,12 @@ def generalize_pta(
     The PTA itself must be compatible — callers are expected to have
     chosen consistent positive words beforehand.
 
+    Compatibility verdicts are memoised per *merge partition signature*
+    (the canonical block decomposition of the candidate): two merge
+    attempts that fold to the same partition denote the same quotient
+    automaton, so the — potentially expensive — predicate runs once per
+    distinct candidate within a generalisation run.
+
     ``max_merges`` optionally caps the number of accepted merges (used by
     ablation benchmarks to study partially generalised hypotheses).
     """
@@ -143,15 +154,31 @@ def generalize_pta(
     partition = _Partition(pta.states)
     red: List[int] = [pta.initial_state]
     merges_done = 0
+    verdicts: Dict[Tuple[int, ...], bool] = {}
+    all_states = sorted(pta.states)
+
+    def partition_signature(candidate: _Partition) -> Tuple[int, ...]:
+        # the root of every state, in state order: a canonical encoding of
+        # the block decomposition (roots are the smallest block members)
+        find = candidate.find
+        return tuple(find(state) for state in all_states)
+
+    transitions = pta._transitions
 
     def blue_states() -> List[int]:
+        # the quotient's frontier, read straight off the PTA transitions
+        # through the partition — building the quotient DFA per loop
+        # iteration (as earlier revisions did) is pure overhead
         frontier: Set[int] = set()
-        red_roots = {partition.find(state) for state in red}
-        current = _quotient(pta, partition)
-        for red_root in red_roots:
-            for _, target in sorted(current.outgoing(red_root).items()):
-                if target not in red_roots:
-                    frontier.add(target)
+        find = partition.find
+        red_roots = {find(state) for state in red}
+        for state in pta.states:
+            if find(state) not in red_roots:
+                continue
+            for target in transitions[state].values():
+                target_root = find(target)
+                if target_root not in red_roots:
+                    frontier.add(target_root)
         return sorted(frontier)
 
     while True:
@@ -165,7 +192,12 @@ def generalize_pta(
                 candidate = _merge_and_fold(pta, partition, red_state, blue)
                 if candidate is None:
                     continue
-                if compatible(_quotient(pta, candidate)):
+                signature = partition_signature(candidate)
+                verdict = verdicts.get(signature)
+                if verdict is None:
+                    verdict = compatible(_quotient(pta, candidate))
+                    verdicts[signature] = verdict
+                if verdict:
                     partition = candidate
                     merges_done += 1
                     merged = True

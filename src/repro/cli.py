@@ -190,8 +190,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             continue
         print(tables[name].render())
         print()
+    latency = _latency_report(result)
+    if latency:
+        import json as _json
+
+        (store_dir / "latency.json").write_text(_json.dumps(latency, indent=2, sort_keys=True))
+        print("per-interaction latency percentiles, worst cell per group (seconds):")
+        for group, summary in sorted(latency.items()):
+            print(
+                f"  {group:28s} worst_p50={summary['worst_p50_seconds']:.4f} "
+                f"worst_p95={summary['worst_p95_seconds']:.4f} "
+                f"worst_max={summary['worst_max_seconds']:.4f} (rows={summary['rows']})"
+            )
+        print(f"latency summary written to {store_dir / 'latency.json'}")
+        print()
     print(f"tables written to {tables_dir}")
     return 0
+
+
+def _latency_report(result) -> dict:
+    """Aggregate per-interaction latency percentile columns per experiment group.
+
+    Any row carrying ``p50_seconds`` (E1 strategy cells, E3 graph sizes)
+    contributes.  Aggregation over a group's cells is worst-case (max of
+    each percentile across rows) so a latency regression in *any* cell is
+    visible in the ``latency.json`` artifact CI uploads; the ``worst_``
+    key prefix makes that explicit — these are not percentiles of the
+    pooled sample.
+    """
+    grouped: dict = {}
+    for experiment in ("e1", "e3"):
+        for row in result.rows(experiment):
+            if "p50_seconds" not in row:
+                continue
+            if experiment == "e1":
+                group = f"e1 [{row.get('strategy', '?')}]"
+            else:
+                group = f"e3 nodes={row.get('nodes', '?')}"
+            summary = grouped.setdefault(
+                group,
+                {
+                    "worst_p50_seconds": 0.0,
+                    "worst_p95_seconds": 0.0,
+                    "worst_max_seconds": 0.0,
+                    "rows": 0,
+                },
+            )
+            summary["worst_p50_seconds"] = max(
+                summary["worst_p50_seconds"], float(row["p50_seconds"])
+            )
+            summary["worst_p95_seconds"] = max(
+                summary["worst_p95_seconds"], float(row["p95_seconds"])
+            )
+            summary["worst_max_seconds"] = max(
+                summary["worst_max_seconds"], float(row.get("max_seconds", 0.0))
+            )
+            summary["rows"] += 1
+    return grouped
 
 
 def build_parser() -> argparse.ArgumentParser:

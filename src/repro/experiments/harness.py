@@ -31,7 +31,7 @@ import zlib
 from statistics import mean
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.experiments.metrics import ResultTable, Row, fraction_true
+from repro.experiments.metrics import ResultTable, Row, fraction_true, latency_summary
 from repro.graph.generators import random_graph
 from repro.graph.labeled_graph import LabeledGraph
 from repro.interactive.oracle import SimulatedUser
@@ -131,17 +131,20 @@ def e1_unit_rows(
             max_interactions=max_interactions,
             max_path_length=max_path_length,
         )
-    return [
-        {
-            "dataset": dataset,
-            "family": family,
-            "goal": str(goal_query),
-            "strategy": strategy,
-            "interactions": report.interactions,
-            "reached": report.metrics.get("f1", 0.0) == 1.0,
-            "f1": round(report.metrics.get("f1", 0.0), 3),
-        }
-    ]
+    row: Row = {
+        "dataset": dataset,
+        "family": family,
+        "goal": str(goal_query),
+        "strategy": strategy,
+        "interactions": report.interactions,
+        "reached": report.metrics.get("f1", 0.0) == 1.0,
+        "f1": round(report.metrics.get("f1", 0.0), 3),
+    }
+    # per-interaction system latency percentiles — the paper's
+    # "time-efficient between interactions" requirement, tracked per cell
+    # so a regression in the incremental loop shows up in CI artifacts
+    row.update(latency_summary(report.interaction_latencies))
+    return [row]
 
 
 def run_e1_interactions_by_strategy(
@@ -291,13 +294,14 @@ def e3_unit_row(
         record = session.step()
         durations.append(record.duration_seconds)
         performed += 1
-    return {
+    row: Row = {
         "nodes": node_count,
         "edges": graph.edge_count,
         "interactions": performed,
         "mean_seconds": round(mean(durations), 4) if durations else 0.0,
-        "max_seconds": round(max(durations), 4) if durations else 0.0,
     }
+    row.update(latency_summary(durations))
+    return row
 
 
 def run_e3_scalability(

@@ -13,6 +13,15 @@ from pathlib import Path
 from statistics import mean, median
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+__all__ = [
+    "Row",
+    "ResultTable",
+    "fraction_true",
+    "percentile",
+    "latency_summary",
+    "AGGREGATORS",
+]
+
 Row = Dict[str, object]
 
 
@@ -112,6 +121,38 @@ def fraction_true(values: List[float]) -> float:
     if not values:
         return 0.0
     return sum(1.0 for value in values if value) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` by linear interpolation.
+
+    ``fraction`` is in ``[0, 1]`` (0.5 = median, 0.95 = p95).  Matches
+    ``statistics.quantiles(..., method='inclusive')`` at the common cut
+    points while accepting any fraction and any non-empty sample size.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def latency_summary(latencies: Sequence[float]) -> Dict[str, float]:
+    """p50 / p95 / max of a per-interaction latency sample (empty-safe)."""
+    if not latencies:
+        return {"p50_seconds": 0.0, "p95_seconds": 0.0, "max_seconds": 0.0}
+    return {
+        "p50_seconds": round(percentile(latencies, 0.50), 4),
+        "p95_seconds": round(percentile(latencies, 0.95), 4),
+        "max_seconds": round(max(latencies), 4),
+    }
 
 
 #: Reducers re-exported for convenience in benchmark scripts.

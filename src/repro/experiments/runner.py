@@ -58,7 +58,9 @@ PathLike = Union[str, Path]
 EXPERIMENTS: Sequence[str] = ("e1", "e2", "e3", "e4", "e5", "scenarios")
 
 #: Columns that measure wall-clock time and therefore differ run-to-run.
-TIMING_COLUMNS = frozenset({"seconds", "mean_seconds", "max_seconds"})
+TIMING_COLUMNS = frozenset(
+    {"seconds", "mean_seconds", "max_seconds", "p50_seconds", "p95_seconds"}
+)
 
 #: Detail-table titles, shared with the serial harness tables.
 TABLE_TITLES: Dict[str, str] = harness.TABLE_TITLES

@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.exceptions import InconsistentExamplesError
 from repro.graph.labeled_graph import LabeledGraph
@@ -54,6 +54,10 @@ class ScenarioReport:
     halted_by: str = ""
     inconsistent: bool = False
     wall_time: float = 0.0
+    #: system compute time of each interaction, in order — the paper's
+    #: "time-efficient between interactions" quantity; the experiment
+    #: harness aggregates these into latency percentiles
+    interaction_latencies: List[float] = field(default_factory=list)
 
     def summary_row(self) -> Dict[str, object]:
         """Flat dictionary for tabular experiment output."""
@@ -79,6 +83,7 @@ def _finalize(
     halted_by: str,
     inconsistent: bool,
     wall_time: float,
+    interaction_latencies: Optional[List[float]] = None,
 ) -> ScenarioReport:
     if learned is None:
         metrics = {"precision": 0.0, "recall": 0.0, "f1": 0.0}
@@ -96,6 +101,7 @@ def _finalize(
         halted_by=halted_by,
         inconsistent=inconsistent,
         wall_time=wall_time,
+        interaction_latencies=list(interaction_latencies or []),
     )
 
 
@@ -128,7 +134,9 @@ def run_static_labeling(
     interactions = 0
     inconsistent = False
     halted_by = "exhausted"
+    latencies: List[float] = []
     for node in order[:budget]:
+        interaction_started = time.perf_counter()
         positive = user.label(node)
         if positive:
             examples.add_positive(node)
@@ -139,8 +147,11 @@ def run_static_labeling(
             learned = learner.learn(examples).query
         except InconsistentExamplesError:
             inconsistent = True
+            latencies.append(time.perf_counter() - interaction_started)
             continue
-        if user.satisfied_with(learned):
+        satisfied = user.satisfied_with(learned)
+        latencies.append(time.perf_counter() - interaction_started)
+        if satisfied:
             halted_by = "user-satisfied"
             break
     return _finalize(
@@ -153,6 +164,7 @@ def run_static_labeling(
         halted_by=halted_by,
         inconsistent=inconsistent,
         wall_time=time.perf_counter() - started,
+        interaction_latencies=latencies,
     )
 
 
@@ -195,6 +207,7 @@ def _run_interactive(
         halted_by=result.halted_by,
         inconsistent=result.inconsistent,
         wall_time=time.perf_counter() - started,
+        interaction_latencies=[record.duration_seconds for record in result.records],
     )
 
 

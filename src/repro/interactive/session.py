@@ -39,7 +39,7 @@ from repro.interactive.halt import HaltCondition, HaltContext, default_halt_cond
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.strategies import MostInformativePathsStrategy, Strategy
 from repro.learning.examples import ExampleSet, Word
-from repro.learning.informativeness import informative_nodes
+from repro.learning.informativeness import session_classifier
 from repro.learning.learner import DEFAULT_MAX_PATH_LENGTH, PathQueryLearner
 from repro.learning.path_selection import candidate_prefix_tree
 from repro.learning.propagation import propagate_to_fixpoint
@@ -130,6 +130,14 @@ class InteractiveSession:
         self.initial_radius = initial_radius
         self.max_radius = max_radius
         self.examples = ExampleSet()
+        #: incremental informativeness classifier shared by the session,
+        #: the proposal strategy, propagation and the halt check — one
+        #: language index and one per-node status table for the whole
+        #: loop, updated per interaction delta (the informativeness
+        #: counterpart of threading one QueryEngine everywhere)
+        self.classifier = session_classifier(
+            graph, self.examples, max_length=self.strategy.max_path_length
+        )
         self.learner = PathQueryLearner(graph, max_path_length=max_path_length, engine=self.engine)
         self.hypothesis: Optional[PathQuery] = None
         self.records: List[InteractionRecord] = []
@@ -141,9 +149,7 @@ class InteractiveSession:
     # loop control
     # ------------------------------------------------------------------
     def _informative_remaining(self) -> int:
-        return len(
-            informative_nodes(self.graph, self.examples, max_length=self.strategy.max_path_length)
-        )
+        return self.classifier.informative_count()
 
     def _halt_context(self) -> HaltContext:
         return HaltContext(

@@ -19,6 +19,12 @@ Implemented strategies:
   rank informative nodes by the number of short uncovered words they have
   ("nodes having an important number of paths that are shorter than a
   fixed bound and not covered by any negative node").
+
+All informativeness lookups resolve to the shared incremental
+:class:`~repro.learning.informativeness.SessionClassifier` of the
+``(graph, examples, max_path_length)`` triple, so a strategy proposing
+inside a session re-ranks from bitset deltas instead of re-enumerating
+every node's path language per interaction.
 """
 
 from __future__ import annotations

@@ -11,11 +11,20 @@ from repro.learning.path_selection import (
 )
 from repro.learning.informativeness import (
     NodeStatus,
+    SessionClassifier,
     classify_all,
+    classify_all_scratch,
     classify_node,
     informative_nodes,
     pruned_nodes,
     pruning_fraction,
+    session_classifier,
+)
+from repro.learning.language_index import (
+    CompatibilityOracle,
+    LanguageIndex,
+    PrefixIdArena,
+    language_index_for,
 )
 from repro.learning.propagation import PropagationResult, propagate_labels, propagate_to_fixpoint
 from repro.learning.learner import (
@@ -44,11 +53,18 @@ __all__ = [
     "select_path",
     "validate_word",
     "NodeStatus",
+    "SessionClassifier",
     "classify_all",
+    "classify_all_scratch",
     "classify_node",
     "informative_nodes",
     "pruned_nodes",
     "pruning_fraction",
+    "session_classifier",
+    "CompatibilityOracle",
+    "LanguageIndex",
+    "PrefixIdArena",
+    "language_index_for",
     "PropagationResult",
     "propagate_labels",
     "propagate_to_fixpoint",

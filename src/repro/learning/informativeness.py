@@ -20,16 +20,39 @@ remaining nodes are *informative*; the strategies in
 and rank them by an informativeness score: the number of short uncovered
 words the node has (nodes with many uncovered short paths constrain the
 learner the most).
+
+Two implementations coexist:
+
+* the **from-scratch** path (:func:`classify_node`,
+  :func:`classify_all_scratch`) re-derives every word set per call — it
+  is the readable reference and the oracle the incremental path is
+  tested against;
+* the **incremental** path (:class:`SessionClassifier`, served
+  transparently through :func:`classify_all` /
+  :func:`informative_nodes`) keeps per-node statuses up to date against
+  the shared :class:`~repro.learning.language_index.LanguageIndex`
+  bitsets and, after each new example, re-scores only the nodes whose
+  status can actually change: a grown negative cover touches only nodes
+  whose language intersects the *delta* bitset, a newly validated word
+  only the nodes that can spell it, a new label only the labelled node.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.paths import words_from
 from repro.learning.examples import ExampleSet, Word
+from repro.learning.language_index import (
+    LanguageIndex,
+    iter_bits,
+    language_index_for,
+    popcount,
+)
 from repro.learning.path_selection import covered_words
 
 
@@ -50,14 +73,19 @@ class NodeStatus:
         return not (self.labeled or self.implied_positive or self.implied_negative)
 
     @property
-    def score(self) -> Tuple[int, int]:
+    def score(self) -> Tuple[int, bool, int]:
         """Ranking key used by the most-informative strategy.
 
-        Higher is better: many uncovered words, and short ones first (the
-        second component is negated length so that shorter is larger).
+        Higher is better: many uncovered words first, then shorter
+        shortest-uncovered word.  The middle component makes the absence
+        of an uncovered word self-describing — ``(count, False, 0)``
+        sorts below any node that still has one — instead of encoding
+        ``None`` as a magic sentinel length.
         """
         shortest = self.shortest_uncovered_length
-        return (self.uncovered_word_count, -(shortest if shortest is not None else 1 << 30))
+        if shortest is None:
+            return (self.uncovered_word_count, False, 0)
+        return (self.uncovered_word_count, True, -shortest)
 
 
 def classify_node(
@@ -69,7 +97,7 @@ def classify_node(
     banned: Optional[Set[Word]] = None,
     validated: Optional[Set[Word]] = None,
 ) -> NodeStatus:
-    """Compute the :class:`NodeStatus` of ``node``.
+    """Compute the :class:`NodeStatus` of ``node`` from scratch.
 
     ``banned`` (words covered by negatives) and ``validated`` (validated
     positive words) can be precomputed by the caller when classifying many
@@ -96,14 +124,19 @@ def classify_node(
     )
 
 
-def classify_all(
+def classify_all_scratch(
     graph: LabeledGraph,
     examples: ExampleSet,
     *,
     max_length: int,
     candidates: Optional[Iterable[Node]] = None,
 ) -> Dict[Node, NodeStatus]:
-    """Classify every node (or just ``candidates``) in one pass."""
+    """Classify every node (or just ``candidates``) by full recomputation.
+
+    This is the pre-index reference implementation; it is kept as the
+    oracle that :class:`SessionClassifier` is verified against (and as
+    the baseline of ``benchmarks/bench_session_loop.py``).
+    """
     banned = covered_words(graph, examples.negative_nodes, max_length)
     validated = set(examples.validated_words().values())
     pool = candidates if candidates is not None else graph.nodes()
@@ -113,6 +146,248 @@ def classify_all(
         )
         for node in pool
     }
+
+
+def _ranked_informative(statuses: Iterable[NodeStatus]) -> List[Node]:
+    """Informative nodes by decreasing score, ties by node id ascending.
+
+    The single home of the ranking contract shared by
+    :meth:`SessionClassifier.informative` and :func:`informative_nodes`.
+    """
+    ranked = [status for status in statuses if status.informative]
+    ranked.sort(key=lambda status: (status.score, str(status.node)), reverse=False)
+    ranked.sort(key=lambda status: status.score, reverse=True)
+    return [status.node for status in ranked]
+
+
+class SessionClassifier:
+    """Incrementally maintained node statuses for one evolving example set.
+
+    The classifier snapshots the example set it last saw; every public
+    accessor first calls :meth:`refresh`, which diffs the current
+    examples against that snapshot and applies only the consequences of
+    the *new* examples:
+
+    * **cover growth** (new negative): only nodes whose language bitset
+      intersects the newly covered word ids are re-scored;
+    * **new validated word**: only the nodes able to spell it can flip to
+      implied-positive;
+    * **new label**: only the labelled node changes (to ``labeled``).
+
+    Example sets only ever grow during a session, so these deltas are the
+    common case; any non-monotone change (a replaced validated word, a
+    mutated graph) is detected and answered with a full rebuild, which
+    keeps the classifier exactly equivalent to
+    :func:`classify_all_scratch` at all times — the property-style tests
+    in ``tests/learning/test_language_index.py`` pin this.
+    """
+
+    def __init__(self, graph: LabeledGraph, examples: ExampleSet, *, max_length: int):
+        self.graph = graph
+        # held weakly: the shared-classifier registry keys on the example
+        # set, so a strong reference here would pin the key (and with it
+        # the classifier, the graph and its language index) forever
+        self._examples_ref = weakref.ref(examples)
+        self.max_length = max_length
+        self._index: Optional[LanguageIndex] = None
+        self._statuses: Dict[Node, NodeStatus] = {}
+        self._cover = 0
+        self._validated_bits = 0
+        self._negatives: FrozenSet[Node] = frozenset()
+        self._validated: Dict[Node, Word] = {}
+        self._labeled: FrozenSet[Node] = frozenset()
+        self._rebuild()
+
+    @property
+    def examples(self) -> ExampleSet:
+        """The example set this classifier tracks."""
+        examples = self._examples_ref()
+        if examples is None:
+            raise RuntimeError("the classified ExampleSet has been garbage-collected")
+        return examples
+
+    @property
+    def index(self) -> LanguageIndex:
+        """The language index backing the current statuses."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # state maintenance
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> None:
+        self._negatives = self.examples.negative_nodes
+        self._validated = dict(self.examples.validated_words())
+        self._labeled = self.examples.labeled_nodes
+
+    def _status_of(
+        self, node: Node, language: int, cover: int, validated_bits: int, labeled: FrozenSet[Node]
+    ) -> NodeStatus:
+        uncovered = language & ~cover
+        count = popcount(uncovered)
+        shortest = self._index.shortest_length(uncovered)
+        is_labeled = node in labeled
+        implied_positive = not is_labeled and bool(language & validated_bits)
+        implied_negative = not is_labeled and not implied_positive and count == 0
+        return NodeStatus(
+            node=node,
+            labeled=is_labeled,
+            implied_positive=implied_positive,
+            implied_negative=implied_negative,
+            uncovered_word_count=count,
+            shortest_uncovered_length=shortest,
+        )
+
+    def _rebuild(self) -> None:
+        self._index = language_index_for(self.graph, self.max_length)
+        index = self._index
+        self._snapshot()
+        cover = index.cover(self._negatives)
+        validated_bits = index.words_bitset(self._validated.values())
+        labeled = self._labeled
+        self._cover = cover
+        self._validated_bits = validated_bits
+        self._statuses = {
+            node: self._status_of(node, index.language(node), cover, validated_bits, labeled)
+            for node in index.nodes
+        }
+
+    def refresh(self) -> None:
+        """Bring the statuses up to date with the examples and the graph."""
+        index = self._index
+        if index is None or index.version != self.graph.version:
+            self._rebuild()
+            return
+        examples = self.examples
+        negatives = examples.negative_nodes
+        validated = examples.validated_words()
+        labeled = examples.labeled_nodes
+        if not (negatives >= self._negatives and labeled >= self._labeled):
+            self._rebuild()  # labels were removed: not a session flow
+            return
+        for node, word in self._validated.items():
+            if validated.get(node) != word:
+                self._rebuild()  # a validated word was replaced
+                return
+        new_negatives = negatives - self._negatives
+        new_validated = [word for node, word in validated.items() if node not in self._validated]
+        new_labeled = labeled - self._labeled
+        if not (new_negatives or new_validated or new_labeled):
+            return
+
+        cover = self._cover
+        if new_negatives:
+            cover |= index.cover(new_negatives)
+        cover_delta = cover & ~self._cover
+        validated_bits = self._validated_bits | index.words_bitset(new_validated)
+        validated_delta = validated_bits & ~self._validated_bits
+
+        statuses = self._statuses
+        language_of = index.language
+        if cover_delta:
+            # a grown cover can re-score any node whose language meets the
+            # delta — one bit-and per node finds them
+            for node in index.nodes:
+                language = language_of(node)
+                if (language & cover_delta) or (language & validated_delta) or node in new_labeled:
+                    statuses[node] = self._status_of(node, language, cover, validated_bits, labeled)
+        else:
+            # no cover change: only the nodes spelling a newly validated
+            # word and the newly labelled nodes can differ
+            speller_bits = 0
+            for word_id in iter_bits(validated_delta):
+                speller_bits |= index.spellers(word_id)
+            affected = set(index.nodes_of(speller_bits))
+            # labelled nodes absent from the graph classify nothing (the
+            # scratch path never visits them either)
+            affected.update(node for node in new_labeled if node in index)
+            for node in affected:
+                statuses[node] = self._status_of(
+                    node, language_of(node), cover, validated_bits, labeled
+                )
+        self._cover = cover
+        self._validated_bits = validated_bits
+        self._snapshot()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def statuses(self) -> Dict[Node, NodeStatus]:
+        """Current classification of every node (a fresh dict snapshot)."""
+        self.refresh()
+        return dict(self._statuses)
+
+    def informative(self) -> List[Node]:
+        """Informative nodes sorted by decreasing score (ties by node id)."""
+        self.refresh()
+        return _ranked_informative(self._statuses.values())
+
+    def informative_count(self) -> int:
+        """Number of informative nodes remaining."""
+        self.refresh()
+        return sum(1 for status in self._statuses.values() if status.informative)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SessionClassifier bound={self.max_length} "
+            f"{len(self._statuses)} nodes, cover={popcount(self._cover)} words>"
+        )
+
+
+#: examples -> [(graph weakref, max_length, classifier)]; keyed weakly so a
+#: finished session's classifier is garbage-collected with its examples
+_SESSION_CLASSIFIERS: "weakref.WeakKeyDictionary[ExampleSet, list]" = weakref.WeakKeyDictionary()
+
+
+def session_classifier(
+    graph: LabeledGraph, examples: ExampleSet, *, max_length: int
+) -> SessionClassifier:
+    """The shared :class:`SessionClassifier` of ``(graph, examples, bound)``.
+
+    Every call site that classifies the same evolving example set — the
+    session loop, the proposal strategies, propagation, the halt check —
+    resolves to one classifier and therefore pays only the incremental
+    delta per interaction, exactly the way they share one
+    :class:`~repro.query.engine.QueryEngine` for evaluation.
+    """
+    entries = _SESSION_CLASSIFIERS.get(examples)
+    if entries is None:
+        entries = []
+        _SESSION_CLASSIFIERS[examples] = entries
+    for entry_graph, bound, classifier in entries:
+        if entry_graph is graph and bound == max_length:
+            return classifier
+    classifier = SessionClassifier(graph, examples, max_length=max_length)
+    # the classifier already references the graph strongly, so the entry
+    # may too; the whole list dies with the (weakly held) example set
+    entries.append((graph, max_length, classifier))
+    return classifier
+
+
+def classify_all(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    *,
+    max_length: int,
+    candidates: Optional[Iterable[Node]] = None,
+) -> Dict[Node, NodeStatus]:
+    """Classify every node (or just ``candidates``) against the examples.
+
+    Served from the shared incremental :class:`SessionClassifier` of
+    ``(graph, examples, max_length)``: the first call per example set
+    builds the language index, subsequent calls only re-derive what the
+    newest examples changed.  Results are identical to
+    :func:`classify_all_scratch`.
+    """
+    statuses = session_classifier(graph, examples, max_length=max_length).statuses()
+    if candidates is None:
+        return statuses
+    restricted: Dict[Node, NodeStatus] = {}
+    for node in candidates:
+        status = statuses.get(node)
+        if status is None:
+            raise NodeNotFoundError(node)
+        restricted[node] = status
+    return restricted
 
 
 def informative_nodes(
@@ -126,11 +401,10 @@ def informative_nodes(
 
     Ties are broken by node identifier so the ordering is deterministic.
     """
+    if candidates is None:
+        return session_classifier(graph, examples, max_length=max_length).informative()
     statuses = classify_all(graph, examples, max_length=max_length, candidates=candidates)
-    ranked = [status for status in statuses.values() if status.informative]
-    ranked.sort(key=lambda status: (status.score, str(status.node)), reverse=False)
-    ranked.sort(key=lambda status: status.score, reverse=True)
-    return [status.node for status in ranked]
+    return _ranked_informative(statuses.values())
 
 
 def pruned_nodes(

@@ -30,6 +30,7 @@ from repro.exceptions import InconsistentExamplesError, NoConsistentPathError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.consistency import ConsistencyReport, check_consistency
 from repro.learning.examples import ExampleSet, Word
+from repro.learning.language_index import CompatibilityOracle, language_index_for
 from repro.learning.path_selection import select_path
 from repro.query.engine import QueryEngine, shared_engine
 from repro.query.rpq import PathQuery
@@ -64,14 +65,28 @@ class PathQueryLearner:
         max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
         generalize: bool = True,
         engine: Optional[QueryEngine] = None,
+        compatibility: str = "indexed",
     ):
         self.graph = graph
         self.max_path_length = max_path_length
         #: when False the learner returns the ungeneralised disjunction of
         #: sample words (used by ablation experiments)
         self.generalize = generalize
-        #: query engine used for compatibility and consistency checks
+        #: query engine used for consistency checks (and compatibility in
+        #: ``"engine"`` mode)
         self.engine = engine or shared_engine()
+        if compatibility not in ("indexed", "engine"):
+            raise ValueError(
+                f"unknown compatibility mode {compatibility!r}; expected 'indexed' or 'engine'"
+            )
+        #: how merge candidates are checked against the negative examples:
+        #: ``"indexed"`` (default) intersects each candidate DFA with the
+        #: precompiled negative word-id cover of the shared language index
+        #: (one graph product pass at most, shared by all negatives);
+        #: ``"engine"`` re-walks the graph per negative per candidate —
+        #: the pre-index behaviour, kept for ablations and benchmarks.
+        #: Both modes accept and reject exactly the same candidates.
+        self.compatibility = compatibility
 
     # ------------------------------------------------------------------
     # step (i): choose one uncovered word per positive node
@@ -86,7 +101,11 @@ class PathQueryLearner:
         length bound).
         """
         chosen: Dict[Node, Word] = {}
-        negatives = examples.negative_nodes
+        graph = self.graph
+        negatives = [node for node in examples.negative_nodes if node in graph]
+        # one negative-cover bitset serves every positive node of this call
+        # (select_path would otherwise re-derive it per positive)
+        banned = language_index_for(graph, self.max_path_length).cover(negatives)
         for node in sorted(examples.positive_nodes, key=str):
             validated = examples.validated_word(node)
             if validated is not None:
@@ -94,7 +113,7 @@ class PathQueryLearner:
                 continue
             try:
                 chosen[node] = select_path(
-                    self.graph, node, negatives, max_length=self.max_path_length
+                    graph, node, negatives, max_length=self.max_path_length, cover_bits=banned
                 )
             except NoConsistentPathError as error:
                 raise InconsistentExamplesError(
@@ -110,6 +129,11 @@ class PathQueryLearner:
     def _compatible(self, examples: ExampleSet):
         """Compatibility predicate: the hypothesis must select no negative node."""
         negatives = sorted(examples.negative_nodes, key=str)
+        if self.compatibility == "indexed":
+            oracle = CompatibilityOracle(
+                self.graph, negatives, max_length=self.max_path_length
+            )
+            return oracle.compatible
         graph = self.graph
         selects = self.engine.selects
 

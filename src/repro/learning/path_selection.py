@@ -20,7 +20,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.automata.prefix_tree import PathPrefixTree, build_path_prefix_tree
 from repro.exceptions import NoConsistentPathError
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.graph.paths import has_word, words_from
+from repro.graph.paths import has_word
+from repro.learning.language_index import language_index_for
 
 Word = Tuple[str, ...]
 
@@ -32,12 +33,20 @@ def covered_words(
 
     A word in this set is "covered by a negative": making the hypothesis
     accept it would select a negative node.
+
+    Every negative must be a node of ``graph``; an unknown node raises
+    :class:`NodeNotFoundError`, consistent with
+    :func:`repro.graph.paths.words_from`.  (Earlier versions silently
+    skipped unknown negatives, which let a typo in an example set shrink
+    the cover — and therefore weaken pruning and path selection — without
+    any signal.)  Callers with speculative negative sets must pre-filter,
+    as :func:`consistent_words_for` does.
     """
-    covered: Set[Word] = set()
+    index = language_index_for(graph, max_length)
+    bits = 0
     for node in negatives:
-        if node in graph:
-            covered |= words_from(graph, node, max_length)
-    return covered
+        bits |= index.language(node)  # raises NodeNotFoundError when absent
+    return index.decode(bits)
 
 
 def consistent_words_for(
@@ -61,12 +70,20 @@ def consistent_words_for(
     negative-free example set.)
     """
     negative_nodes = [item for item in negatives if item in graph]
-    banned = covered_words(graph, negative_nodes, max_length)
-    own_words = words_from(graph, node, max_length)
-    candidates = sorted(
-        (word for word in own_words if word not in banned),
-        key=lambda word: (len(word), word),
-    )
+    index = language_index_for(graph, max_length)
+    banned = index.cover(negative_nodes)
+    uncovered = index.language(node) & ~banned
+    if limit is not None and limit <= 0:
+        return []
+    if limit == 1:
+        # the consistency checker probes per-positive non-emptiness this
+        # way; pick_word reads the answer off the bitset without decoding
+        # (and sorting) the node's whole uncovered language
+        word = index.pick_word(uncovered)
+        if word is not None:
+            return [word]
+        return [()] if not negative_nodes else []
+    candidates = sorted(index.decode(uncovered), key=lambda word: (len(word), word))
     if not candidates and not negative_nodes:
         candidates = [()]
     if limit is not None:
@@ -81,6 +98,7 @@ def select_path(
     *,
     max_length: int,
     preferred_length: Optional[int] = None,
+    cover_bits: Optional[int] = None,
 ) -> Word:
     """Pick the candidate word for a positive node.
 
@@ -89,17 +107,25 @@ def select_path(
     user inspected), words of exactly that length are preferred, matching
     the heuristic the paper uses to pre-highlight a path in Figure 3(c).
 
+    ``cover_bits`` optionally passes a precomputed negative-cover bitset
+    (``language_index_for(graph, max_length).cover(...)``) so callers
+    selecting words for many positive nodes — the learner's step (i) —
+    derive the cover once instead of once per node.
+
     Raises :class:`NoConsistentPathError` when every word of the node up to
     ``max_length`` is covered by a negative.
     """
-    candidates = consistent_words_for(graph, node, negatives, max_length=max_length)
-    if not candidates:
-        raise NoConsistentPathError(node, max_length)
-    if preferred_length is not None:
-        preferred = [word for word in candidates if len(word) == preferred_length]
-        if preferred:
-            return preferred[0]
-    return candidates[0]
+    negative_nodes = [item for item in negatives if item in graph]
+    index = language_index_for(graph, max_length)
+    if cover_bits is None:
+        cover_bits = index.cover(negative_nodes)
+    uncovered = index.language(node) & ~cover_bits
+    word = index.pick_word(uncovered, preferred_length)
+    if word is not None:
+        return word
+    if not negative_nodes:
+        return ()  # the empty-word fallback of consistent_words_for
+    raise NoConsistentPathError(node, max_length)
 
 
 def candidate_prefix_tree(
@@ -160,11 +186,16 @@ def validate_word(
 
     The word must be spellable from the node and not covered by any
     negative example (the interactive UI only offers such words, but the
-    programmatic API re-checks before trusting a caller).
+    programmatic API re-checks before trusting a caller).  Negatives
+    absent from the graph are ignored, like in
+    :func:`consistent_words_for` — this function validates caller input,
+    so a speculative negative set must not turn the check into an error.
     """
     if not has_word(graph, node, word):
         return False
     if len(word) > max_length:
         return False
-    banned = covered_words(graph, negatives, max_length)
-    return tuple(word) not in banned
+    index = language_index_for(graph, max_length)
+    banned = index.cover(node for node in negatives if node in graph)
+    word_id = index.arena.lookup(word)
+    return word_id is None or not (banned >> word_id) & 1

@@ -13,6 +13,12 @@ propagates the consequences of that label to the rest of the graph:
 Propagated labels are recorded in the example set with ``propagated=True``
 so they never count as user interactions, and the pruning statistics of
 experiment E2 report them separately.
+
+Each pass classifies through :func:`repro.learning.informativeness.classify_all`,
+which is served by the shared incremental
+:class:`~repro.learning.informativeness.SessionClassifier`: the first
+fixpoint round after a user answer pays only that answer's delta, and
+every later round only the delta of the labels the previous round added.
 """
 
 from __future__ import annotations

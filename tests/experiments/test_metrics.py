@@ -3,7 +3,15 @@
 import json
 from statistics import mean
 
-from repro.experiments.metrics import AGGREGATORS, ResultTable, fraction_true
+import pytest
+
+from repro.experiments.metrics import (
+    AGGREGATORS,
+    ResultTable,
+    fraction_true,
+    latency_summary,
+    percentile,
+)
 
 
 class TestResultTable:
@@ -64,3 +72,37 @@ class TestResultTable:
         table = ResultTable("demo")
         table.extend([{"x": 1}, {"x": 2}])
         assert [row["x"] for row in table] == [1, 2]
+
+
+class TestLatencyPercentiles:
+    def test_percentile_endpoints_and_median(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 2.5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 0.95) == pytest.approx(9.5)
+
+    def test_percentile_single_sample(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_latency_summary_columns(self):
+        summary = latency_summary([0.1, 0.2, 0.3, 0.4])
+        assert set(summary) == {"p50_seconds", "p95_seconds", "max_seconds"}
+        assert summary["p50_seconds"] == pytest.approx(0.25)
+        assert summary["max_seconds"] == pytest.approx(0.4)
+        assert summary["p50_seconds"] <= summary["p95_seconds"] <= summary["max_seconds"]
+
+    def test_latency_summary_empty_safe(self):
+        assert latency_summary([]) == {
+            "p50_seconds": 0.0,
+            "p95_seconds": 0.0,
+            "max_seconds": 0.0,
+        }

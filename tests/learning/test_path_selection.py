@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.exceptions import NoConsistentPathError
+from repro.exceptions import NoConsistentPathError, NodeNotFoundError
 from repro.learning.path_selection import (
     candidate_prefix_tree,
     consistent_words_for,
@@ -25,8 +25,17 @@ class TestCoveredWords:
         assert ("cinema",) in covered
         assert ("tram",) in covered
 
-    def test_unknown_negative_ignored(self, figure1_graph):
-        assert covered_words(figure1_graph, ["ghost"], 2) == set()
+    def test_unknown_negative_raises(self, figure1_graph):
+        # a negative node absent from the graph used to be skipped
+        # silently, shrinking the cover without any signal; the contract
+        # now matches words_from and fails loudly
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            covered_words(figure1_graph, ["ghost"], 2)
+        assert excinfo.value.node == "ghost"
+
+    def test_known_negatives_unaffected_by_contract(self, figure1_graph):
+        covered = covered_words(figure1_graph, ["N5", "N4"], 2)
+        assert ("cinema",) in covered and ("tram",) in covered
 
     def test_no_negatives(self, figure1_graph):
         assert covered_words(figure1_graph, [], 3) == set()
@@ -50,6 +59,20 @@ class TestConsistentWordsFor:
     def test_limit(self, figure1_graph):
         words = consistent_words_for(figure1_graph, "N2", ["N5"], max_length=3, limit=2)
         assert len(words) == 2
+
+    def test_limit_one_matches_full_head(self, figure1_graph):
+        # limit=1 takes the bitset fast path; it must agree with the
+        # sorted full enumeration
+        for node in ("N2", "N4", "N6"):
+            full = consistent_words_for(figure1_graph, node, ["N5"], max_length=3)
+            head = consistent_words_for(figure1_graph, node, ["N5"], max_length=3, limit=1)
+            assert head == full[:1]
+        assert consistent_words_for(figure1_graph, "C1", [], max_length=3, limit=1) == [()]
+        assert consistent_words_for(figure1_graph, "C1", ["C2"], max_length=3, limit=1) == []
+
+    def test_limit_zero_is_empty(self, figure1_graph):
+        assert consistent_words_for(figure1_graph, "N2", ["N5"], max_length=3, limit=0) == []
+        assert consistent_words_for(figure1_graph, "C1", [], max_length=3, limit=0) == []
 
     def test_sink_node_with_no_negatives_gets_empty_word(self, figure1_graph):
         assert consistent_words_for(figure1_graph, "C1", [], max_length=3) == [()]
@@ -126,3 +149,12 @@ class TestValidateWord:
 
     def test_word_covered_by_negative(self, figure1_graph):
         assert not validate_word(figure1_graph, "N2", ("bus",), ["N1"], max_length=3)
+
+    def test_unknown_negatives_are_ignored(self, figure1_graph):
+        # validate_word re-checks caller input, so unlike covered_words it
+        # tolerates speculative negative sets (same contract as
+        # consistent_words_for)
+        assert validate_word(
+            figure1_graph, "N2", ("bus", "bus", "cinema"), ["ghost"], max_length=3
+        )
+        assert not validate_word(figure1_graph, "N2", ("bus",), ["N1", "ghost"], max_length=3)
