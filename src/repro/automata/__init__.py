@@ -30,6 +30,12 @@ from repro.automata.prefix_tree import (
 )
 from repro.automata.state_merging import generalize_pta, rpni
 from repro.automata.regex_synthesis import dfa_to_regex, dfa_to_regex_string
+from repro.automata.canonical import (
+    CanonicalFormCache,
+    canonical_form,
+    shared_canonical_cache,
+    structural_fingerprint,
+)
 from repro.automata import membership
 from repro.automata import visualization
 
@@ -64,6 +70,10 @@ __all__ = [
     "rpni",
     "dfa_to_regex",
     "dfa_to_regex_string",
+    "CanonicalFormCache",
+    "canonical_form",
+    "shared_canonical_cache",
+    "structural_fingerprint",
     "membership",
     "visualization",
 ]

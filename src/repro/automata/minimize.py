@@ -3,11 +3,21 @@
 Minimisation is used to canonicalise learned queries (two hypotheses are
 the same query iff their minimal DFAs are isomorphic) and to keep the
 automata produced by repeated unions and products small.
+
+The refinement runs on a dense integer encoding of the completed
+automaton: blocks are member sets addressed through a ``state → block``
+array, a splitter touches only the blocks containing predecessor states
+(collected through a per-symbol preimage index), and each split schedules
+the smaller half per symbol — the classic Hopcroft worklist discipline.
+Earlier revisions rebuilt the whole partition list for every splitter and
+pushed every alphabet symbol eagerly, which made refinement quadratic in
+the partition size.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from collections import deque
+from typing import Dict, List, Set
 
 from repro.automata.dfa import DFA, State, symbol_sort_key
 
@@ -26,62 +36,89 @@ def minimize(dfa: DFA) -> DFA:
         return empty
     total = dfa.trim().completed()
     alphabet = sorted(total.alphabet(), key=symbol_sort_key)
-    states = list(total.states)
-    accepting = set(total.accepting_states)
-    rejecting = set(states) - accepting
+    states: List[State] = list(total.states)
+    n = len(states)
+    index_of: Dict[State, int] = {state: index for index, state in enumerate(states)}
 
-    # initial partition
-    partition: List[Set[State]] = [block for block in (accepting, rejecting) if block]
-    worklist: List[Tuple[FrozenSet[State], str]] = [
-        (frozenset(block), symbol) for block in partition for symbol in alphabet
-    ]
-
-    # reverse transition index: symbol -> target -> set of sources
-    reverse: Dict[str, Dict[State, Set[State]]] = {symbol: {} for symbol in alphabet}
+    # preimage index: per symbol, target index -> list of source indices
+    preimage: List[List[List[int]]] = [[[] for _ in range(n)] for _ in alphabet]
+    symbol_index = {symbol: position for position, symbol in enumerate(alphabet)}
     for source, symbol, target in total.transitions():
-        reverse[symbol].setdefault(target, set()).add(source)
+        preimage[symbol_index[symbol]][index_of[target]].append(index_of[source])
+
+    accepting = {index_of[state] for state in total.accepting_states}
+    rejecting = set(range(n)) - accepting
+
+    blocks: List[Set[int]] = []
+    block_of = [0] * n
+    for group in (accepting, rejecting):
+        if group:
+            block_id = len(blocks)
+            for member in group:
+                block_of[member] = block_id
+            blocks.append(group)
+
+    # worklist of (block id, symbol position); seeding the smaller initial
+    # block per symbol suffices (splitting on a set refines exactly like
+    # splitting on its complement within the current partition)
+    worklist: deque = deque()
+    scheduled: Set[int] = set()
+
+    def schedule(block_id: int, symbol_position: int) -> None:
+        key = block_id * len(alphabet) + symbol_position
+        if key not in scheduled:
+            scheduled.add(key)
+            worklist.append((block_id, symbol_position))
+
+    seed = min(range(len(blocks)), key=lambda block_id: len(blocks[block_id]))
+    for position in range(len(alphabet)):
+        schedule(seed, position)
 
     while worklist:
-        splitter, symbol = worklist.pop()
-        # states with a `symbol` transition into the splitter
-        movers: Set[State] = set()
-        for target in splitter:
-            movers.update(reverse[symbol].get(target, ()))
+        splitter_id, position = worklist.popleft()
+        scheduled.discard(splitter_id * len(alphabet) + position)
+        pre = preimage[position]
+        movers: List[int] = []
+        for target in blocks[splitter_id]:
+            movers.extend(pre[target])
         if not movers:
             continue
-        next_partition: List[Set[State]] = []
-        for block in partition:
-            inside = block & movers
-            outside = block - movers
-            if inside and outside:
-                next_partition.append(inside)
-                next_partition.append(outside)
-                smaller = inside if len(inside) <= len(outside) else outside
-                for refinement_symbol in alphabet:
-                    worklist.append((frozenset(smaller), refinement_symbol))
-            else:
-                next_partition.append(block)
-        partition = next_partition
+        # group the movers by their current block; only those blocks can split
+        touched: Dict[int, List[int]] = {}
+        for mover in movers:
+            touched.setdefault(block_of[mover], []).append(mover)
+        for block_id, inside in touched.items():
+            block = blocks[block_id]
+            if len(inside) == len(block):
+                continue
+            new_id = len(blocks)
+            inside_set = set(inside)
+            block -= inside_set
+            blocks.append(inside_set)
+            for member in inside_set:
+                block_of[member] = new_id
+            smaller_id = new_id if len(inside_set) <= len(block) else block_id
+            for refinement_position in range(len(alphabet)):
+                if block_id * len(alphabet) + refinement_position in scheduled:
+                    # both halves of an already-pending splitter stay pending
+                    schedule(new_id, refinement_position)
+                else:
+                    schedule(smaller_id, refinement_position)
 
     # build the quotient automaton
-    block_of: Dict[State, int] = {}
-    for block_index, block in enumerate(partition):
-        for state in block:
-            block_of[state] = block_index
-
-    quotient = DFA(block_of[total.initial_state])
+    quotient = DFA(block_of[index_of[total.initial_state]])
     quotient.declare_alphabet(alphabet)
-    for block_index in range(len(partition)):
-        quotient.add_state(block_index)
-    quotient.set_initial(block_of[total.initial_state])
-    for block_index, block in enumerate(partition):
-        representative = next(iter(block))
+    for block_id in range(len(blocks)):
+        quotient.add_state(block_id)
+    quotient.set_initial(block_of[index_of[total.initial_state]])
+    for block_id, block in enumerate(blocks):
+        representative = states[next(iter(block))]
         if total.is_accepting(representative):
-            quotient.set_accepting(block_index)
+            quotient.set_accepting(block_id)
         for symbol in alphabet:
             target = total.target(representative, symbol)
             if target is not None:
-                quotient.add_transition(block_index, symbol, block_of[target])
+                quotient.add_transition(block_id, symbol, block_of[index_of[target]])
 
     # drop the dead (sink) class when it cannot accept, then relabel
     trimmed = _drop_dead_states(quotient)

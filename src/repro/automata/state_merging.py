@@ -36,10 +36,18 @@ class _Partition:
     The representative of a block is its smallest member (PTA states are
     integers in BFS order), which keeps the merge order — and therefore
     the learned automaton — deterministic across runs.
+
+    Every block additionally tracks an explicit member list, so folding
+    (:func:`_merge_and_fold`), frontier computation and partition
+    signatures iterate only over the blocks they touch instead of
+    re-walking the whole union-find per step.
     """
+
+    __slots__ = ("_parent", "_members")
 
     def __init__(self, states: Iterable[int]):
         self._parent: Dict[int, int] = {state: state for state in states}
+        self._members: Dict[int, List[int]] = {state: [state] for state in self._parent}
 
     def find(self, state: int) -> int:
         root = state
@@ -56,37 +64,49 @@ class _Partition:
             return first_root
         keep, drop = (first_root, second_root) if first_root < second_root else (second_root, first_root)
         self._parent[drop] = keep
+        self._members[keep].extend(self._members.pop(drop))
         return keep
 
     def copy(self) -> "_Partition":
         clone = _Partition(())
         clone._parent = dict(self._parent)
+        clone._members = {root: list(members) for root, members in self._members.items()}
         return clone
+
+    def members(self, state: int) -> List[int]:
+        """The member list of the block containing ``state`` (do not mutate)."""
+        return self._members[self.find(state)]
+
+    def roots(self) -> Iterable[int]:
+        """The block representatives (one per block, unordered)."""
+        return self._members.keys()
 
     def blocks(self) -> Dict[int, List[int]]:
         """Mapping representative -> sorted members."""
-        grouped: Dict[int, List[int]] = {}
-        for state in self._parent:
-            grouped.setdefault(self.find(state), []).append(state)
-        for members in grouped.values():
-            members.sort()
-        return grouped
+        return {root: sorted(members) for root, members in self._members.items()}
 
 
 def _quotient(pta: DFA, partition: _Partition) -> DFA:
     """Build the quotient DFA of ``pta`` under ``partition``.
 
-    Assumes the partition has already been folded to determinism.
+    Assumes the partition has already been folded to determinism.  The
+    transition table is read block by block off the partition's member
+    lists — the source root is the block root, so only targets need a
+    ``find``.
     """
-    quotient = DFA(partition.find(pta.initial_state))
-    for representative in partition.blocks():
+    transitions = pta._transitions
+    find = partition.find
+    quotient = DFA(find(pta.initial_state))
+    for representative in partition.roots():
         quotient.add_state(representative)
-    quotient.set_initial(partition.find(pta.initial_state))
+    quotient.set_initial(find(pta.initial_state))
     quotient.declare_alphabet(pta.alphabet())
-    for source, symbol, target in pta.transitions():
-        quotient.add_transition(partition.find(source), symbol, partition.find(target))
+    for root, members in partition._members.items():
+        for member in members:
+            for symbol, target in transitions[member].items():
+                quotient.add_transition(root, symbol, find(target))
     for state in pta.accepting_states:
-        quotient.set_accepting(partition.find(state))
+        quotient.set_accepting(find(state))
     return quotient
 
 
@@ -106,17 +126,14 @@ def _merge_and_fold(pta: DFA, partition: _Partition, red: int, blue: int) -> Opt
         first_root, second_root = candidate.find(first), candidate.find(second)
         if first_root == second_root:
             continue
-        candidate.union(first_root, second_root)
-        merged_root = candidate.find(first_root)
+        merged_root = candidate.union(first_root, second_root)
         # collect the outgoing transitions of every member of the merged
-        # block (reading members off the union-find directly; the folded
-        # closure is the unique determinising congruence, so the member
-        # iteration order cannot change the result)
+        # block (reading its member list directly; the folded closure is
+        # the unique determinising congruence, so the member iteration
+        # order cannot change the result)
         find = candidate.find
         outgoing: Dict[str, int] = {}
-        for member in candidate._parent:
-            if find(member) != merged_root:
-                continue
+        for member in candidate.members(merged_root):
             for symbol, target in transitions[member].items():
                 target_root = find(target)
                 known = outgoing.get(symbol)
@@ -155,30 +172,34 @@ def generalize_pta(
     red: List[int] = [pta.initial_state]
     merges_done = 0
     verdicts: Dict[Tuple[int, ...], bool] = {}
-    all_states = sorted(pta.states)
+    state_count = pta.state_count()
 
     def partition_signature(candidate: _Partition) -> Tuple[int, ...]:
         # the root of every state, in state order: a canonical encoding of
-        # the block decomposition (roots are the smallest block members)
-        find = candidate.find
-        return tuple(find(state) for state in all_states)
+        # the block decomposition (roots are the smallest block members;
+        # PTA states are exactly 0..n-1, so an array scatter beats n finds)
+        signature = [0] * state_count
+        for root, members in candidate._members.items():
+            for member in members:
+                signature[member] = root
+        return tuple(signature)
 
     transitions = pta._transitions
 
     def blue_states() -> List[int]:
         # the quotient's frontier, read straight off the PTA transitions
-        # through the partition — building the quotient DFA per loop
-        # iteration (as earlier revisions did) is pure overhead
+        # through the partition — only the members of red blocks are
+        # visited (earlier revisions walked every PTA state per round, or
+        # worse, built the whole quotient DFA per loop iteration)
         frontier: Set[int] = set()
         find = partition.find
         red_roots = {find(state) for state in red}
-        for state in pta.states:
-            if find(state) not in red_roots:
-                continue
-            for target in transitions[state].values():
-                target_root = find(target)
-                if target_root not in red_roots:
-                    frontier.add(target_root)
+        for red_root in red_roots:
+            for member in partition.members(red_root):
+                for target in transitions[member].values():
+                    target_root = find(target)
+                    if target_root not in red_roots:
+                        frontier.add(target_root)
         return sorted(frontier)
 
     while True:

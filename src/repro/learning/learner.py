@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.automata.dfa import DFA, word_sort_key
-from repro.automata.minimize import minimize
 from repro.automata.state_merging import generalize_pta
 from repro.exceptions import InconsistentExamplesError, NoConsistentPathError
 from repro.graph.labeled_graph import LabeledGraph, Node
@@ -166,10 +165,12 @@ class PathQueryLearner:
             from repro.automata.prefix_tree import build_pta
 
             learned = build_pta(words)
-        learned = minimize(learned)
+        # from_dfa serves minimisation and regex synthesis from the
+        # canonical-form cache, so re-learning an unchanged hypothesis —
+        # the common case between interactions — does no automata work
         query = PathQuery.from_dfa(learned)
         report = check_consistency(self.graph, query, examples, engine=self.engine)
-        return LearningOutcome(query, learned, words, report, self.generalize)
+        return LearningOutcome(query, query.dfa, words, report, self.generalize)
 
 
 def learn_query(

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import weakref
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.automata.dfa import DFA, symbol_sort_key
@@ -206,7 +206,9 @@ class QueryEngine:
         self._dfa_plans: "weakref.WeakKeyDictionary[DFA, Tuple[int, QueryPlan]]" = (
             weakref.WeakKeyDictionary()
         )
-        self._expression_plans: Dict[str, QueryPlan] = {}
+        # LRU: hits move entries to the back, eviction pops the front —
+        # a hot plan survives arbitrary eviction pressure
+        self._expression_plans: "OrderedDict[str, QueryPlan]" = OrderedDict()
         #: cache statistics, exposed through :meth:`stats`
         self._answer_hits = 0
         self._answer_misses = 0
@@ -248,10 +250,11 @@ class QueryEngine:
                 self._plan_misses += 1
                 plan = QueryPlan(PathQuery(query).dfa, assume_minimal=True)
                 if len(self._expression_plans) >= self._max_expression_plans:
-                    self._expression_plans.pop(next(iter(self._expression_plans)))
+                    self._expression_plans.popitem(last=False)
                 self._expression_plans[query] = plan
             else:
                 self._plan_hits += 1
+                self._expression_plans.move_to_end(query)
             return plan
         # Regex AST (rare; not identity-cached — wrap in a PathQuery to reuse)
         self._plan_misses += 1

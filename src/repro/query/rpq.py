@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from repro.automata.canonical import canonical_form
 from repro.automata.determinize import regex_to_dfa
 from repro.automata.dfa import DFA
 from repro.automata.equivalence import equivalent
 from repro.automata.minimize import minimize
-from repro.automata.regex_synthesis import dfa_to_regex
 from repro.regex.ast import Regex
 from repro.regex.parser import parse
 from repro.regex.printer import to_string
@@ -47,9 +47,16 @@ class PathQuery:
     # ------------------------------------------------------------------
     @classmethod
     def from_dfa(cls, dfa: DFA, *, name: Optional[str] = None) -> "PathQuery":
-        """Wrap a learned DFA as a query (the expression is synthesised)."""
-        query = cls(dfa_to_regex(dfa), name=name)
-        query._dfa = minimize(dfa)
+        """Wrap a learned DFA as a query (the expression is synthesised).
+
+        Minimisation and synthesis are served from the process-wide
+        canonical-form cache (:mod:`repro.automata.canonical`), so
+        wrapping the same hypothesis again — the common case between
+        interactions — costs one structural fingerprint.
+        """
+        minimal, expression = canonical_form(dfa)
+        query = cls(expression, name=name)
+        query._dfa = minimal
         return query
 
     @classmethod

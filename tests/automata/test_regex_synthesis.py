@@ -64,3 +64,47 @@ class TestSynthesis:
     def test_output_not_exponentially_large(self):
         expr = dfa_to_regex(minimize(regex_to_dfa("(a + b + c)* . a")))
         assert expr.size() < 60
+
+
+class TestLoopStarGuard:
+    """Pin the self-loop handling of state elimination.
+
+    The eliminated state's self-loop expression becomes ``loop*`` between
+    every bridged in/out pair; a state without a self-loop contributes
+    epsilon (``loop != EMPTY`` is the entire guard).
+    """
+
+    def test_self_loop_is_starred(self):
+        # 0 -a-> 1, 1 -b-> 1 (self-loop), 1 -c-> 2: eliminating 1 must
+        # produce a . b* . c
+        dfa = DFA(0)
+        for state in (1, 2):
+            dfa.add_state(state)
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(1, "b", 1)
+        dfa.add_transition(1, "c", 2)
+        dfa.set_accepting(2)
+        expr = dfa_to_regex(dfa)
+        rebuilt = regex_to_dfa(expr)
+        assert rebuilt.accepts(("a", "c"))
+        assert rebuilt.accepts(("a", "b", "c"))
+        assert rebuilt.accepts(("a", "b", "b", "b", "c"))
+        assert not rebuilt.accepts(("a",))
+        assert not rebuilt.accepts(("b", "c"))
+
+    def test_no_self_loop_bridges_with_epsilon(self):
+        # 0 -a-> 1, 1 -c-> 2 with no self-loop: eliminating 1 must give
+        # exactly a . c (an EMPTY* mistake would accept either too much
+        # or nothing at all)
+        dfa = DFA(0)
+        for state in (1, 2):
+            dfa.add_state(state)
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(1, "c", 2)
+        dfa.set_accepting(2)
+        expr = dfa_to_regex(dfa)
+        rebuilt = regex_to_dfa(expr)
+        assert rebuilt.accepts(("a", "c"))
+        assert not rebuilt.accepts(("a",))
+        assert not rebuilt.accepts(("a", "c", "c"))
+        assert not rebuilt.accepts(())

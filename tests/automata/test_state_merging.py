@@ -76,6 +76,42 @@ class TestRpni:
         assert first.accepting_states == second.accepting_states
 
 
+class TestPartitionBlocks:
+    """The union-find's explicit block-member lists stay consistent."""
+
+    def test_member_lists_track_unions(self):
+        from repro.automata.state_merging import _Partition
+
+        partition = _Partition(range(6))
+        partition.union(0, 3)
+        partition.union(3, 5)
+        partition.union(2, 4)
+        blocks = partition.blocks()
+        assert blocks == {0: [0, 3, 5], 1: [1], 2: [2, 4]}
+        assert sorted(partition.roots()) == [0, 1, 2]
+        assert partition.members(5) == partition.members(0)
+        assert sorted(partition.members(4)) == [2, 4]
+
+    def test_copy_is_independent(self):
+        from repro.automata.state_merging import _Partition
+
+        partition = _Partition(range(4))
+        partition.union(0, 1)
+        clone = partition.copy()
+        clone.union(2, 3)
+        assert partition.blocks() == {0: [0, 1], 2: [2], 3: [3]}
+        assert clone.blocks() == {0: [0, 1], 2: [2, 3]}
+
+    def test_representative_is_smallest_member(self):
+        from repro.automata.state_merging import _Partition
+
+        partition = _Partition(range(5))
+        partition.union(4, 2)
+        partition.union(2, 0)
+        assert partition.find(4) == 0
+        assert set(partition.members(4)) == {0, 2, 4}
+
+
 class TestGeneralizePta:
     def test_custom_compatibility_predicate(self):
         # forbid any automaton accepting the word ('b',)

@@ -196,6 +196,29 @@ class TestPlanFingerprints:
         engine.plan("c")
         assert len(engine._expression_plans) <= 2
 
+    def test_expression_plan_eviction_is_lru(self):
+        # a repeatedly-used plan must survive eviction pressure: each hit
+        # refreshes its position, so the cold entry is evicted instead
+        engine = QueryEngine(max_cached_expression_plans=2)
+        hot = engine.plan("a")
+        engine.plan("b")
+        for filler in ("c", "d", "e"):
+            assert engine.plan("a") is hot  # hit refreshes recency
+            engine.plan(filler)  # evicts the cold entry, never "a"
+        assert "a" in engine._expression_plans
+        misses_before = engine.stats()["plan_misses"]
+        assert engine.plan("a") is hot
+        assert engine.stats()["plan_misses"] == misses_before
+
+    def test_expression_plan_eviction_drops_least_recent(self):
+        engine = QueryEngine(max_cached_expression_plans=2)
+        engine.plan("a")
+        engine.plan("b")
+        engine.plan("b")  # "a" is now the least recently used
+        engine.plan("c")
+        assert "a" not in engine._expression_plans
+        assert set(engine._expression_plans) == {"b", "c"}
+
 
 class TestAnswerCache:
     def test_second_evaluation_is_a_cache_hit(self):
