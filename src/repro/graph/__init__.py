@@ -12,6 +12,8 @@ from repro.graph.paths import (
     words_from,
 )
 from repro.graph.neighborhood import (
+    NeighborhoodIndex,
+    neighborhood_index,
     Neighborhood,
     NeighborhoodDelta,
     eccentricity_bound,
@@ -34,6 +36,8 @@ __all__ = [
     "words_from",
     "Neighborhood",
     "NeighborhoodDelta",
+    "NeighborhoodIndex",
+    "neighborhood_index",
     "eccentricity_bound",
     "extract_neighborhood",
     "neighborhood_chain",

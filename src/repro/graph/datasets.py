@@ -18,14 +18,32 @@ All generators are deterministic under an explicit ``seed``.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.generators import grid_graph, scale_free_graph
-from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.labeled_graph import Edge, LabeledGraph
+from repro.graph.sampling import FenwickSampler
 
 TRANSPORT_LABELS: Tuple[str, ...] = ("tram", "bus")
 FACILITY_LABELS: Tuple[str, ...] = ("cinema", "restaurant", "museum", "park")
 BIO_LABELS: Tuple[str, ...] = ("interacts", "encodes", "regulates", "expresses", "binds")
+
+#: joint redraws before the protein-interaction sampler falls back to
+#: enumerating untaken triples (only reachable near saturation)
+_MAX_REDRAWS = 64
+
+
+def _component_rng(seed: int, component: str) -> random.Random:
+    """A generator for one independent component of a dataset.
+
+    The sub-seed mixes the full ``seed`` with a CRC32 of the component
+    name (``PYTHONHASHSEED``-independent, unlike ``hash``), so each
+    component has its own random stream: adding a bus line, for
+    instance, never reshuffles the edges of earlier lines or the
+    facility placement.
+    """
+    return random.Random((seed << 32) ^ zlib.crc32(component.encode("utf-8")))
 
 
 def motivating_example() -> LabeledGraph:
@@ -93,6 +111,11 @@ def transit_city(
     random walks over neighbourhoods (bidirectional edges, as real lines
     run both ways), and facility nodes (cinemas, restaurants, …) hanging
     off neighbourhoods via facility-labelled edges.
+
+    Every line (and the facility placement) draws from its own
+    CRC32-derived sub-seed, so the city is stable under extension:
+    ``transit_city(n, bus_lines=k + 1, seed=s)`` contains every edge of
+    ``transit_city(n, bus_lines=k, seed=s)``.
     """
     if neighborhood_count <= 1:
         raise ValueError("neighborhood_count must be at least 2")
@@ -100,23 +123,25 @@ def transit_city(
         raise ValueError("line_length must be at least 2")
     if not 0.0 <= facility_probability <= 1.0:
         raise ValueError("facility_probability must be within [0, 1]")
-    rng = random.Random(seed)
+    if seed is None:
+        seed = random.Random().randrange(1 << 32)
     graph = LabeledGraph(name)
     neighborhoods = [f"N{index}" for index in range(neighborhood_count)]
     for node in neighborhoods:
         graph.add_node(node, kind="neighborhood")
+    edges: List[Edge] = []
 
     def lay_line(label: str, line_index: int) -> None:
-        start = rng.choice(neighborhoods)
-        current = start
+        rng = _component_rng(seed, f"line:{label}:{line_index}")
+        current = rng.choice(neighborhoods)
         visited = {current}
         for _ in range(line_length - 1):
             candidates = [node for node in neighborhoods if node not in visited]
             if not candidates:
                 break
             target = rng.choice(candidates)
-            graph.add_edge(current, label, target)
-            graph.add_edge(target, label, current)
+            edges.append((current, label, target))
+            edges.append((target, label, current))
             visited.add(target)
             current = target
 
@@ -125,14 +150,16 @@ def transit_city(
     for line in range(bus_lines):
         lay_line("bus", line)
 
+    facility_rng = _component_rng(seed, "facilities")
     facility_counter: Dict[str, int] = {label: 0 for label in facility_labels}
     for node in neighborhoods:
-        if rng.random() < facility_probability:
-            label = rng.choice(list(facility_labels))
+        if facility_rng.random() < facility_probability:
+            label = facility_rng.choice(list(facility_labels))
             facility_counter[label] += 1
             facility = f"{label[:1].upper()}{facility_counter[label]}"
             graph.add_node(facility, kind=label)
-            graph.add_edge(node, label, facility)
+            edges.append((node, label, facility))
+    graph.add_edges_bulk(edges)
     return graph
 
 
@@ -153,6 +180,12 @@ def biological_network(
     follow a preferential-attachment pattern so the graph has hubs, which
     matters for the informativeness strategies (hub nodes have many short
     paths).
+
+    The protein-protein layer contains **exactly**
+    ``int(interaction_density * protein_count)`` distinct edges (capped
+    at the number of possible non-self-loop triples): self-loop and
+    duplicate draws are resampled rather than skipped — the seed
+    implementation silently dropped them and under-delivered.
     """
     if protein_count <= 1 or gene_count <= 0:
         raise ValueError("protein_count must be >= 2 and gene_count >= 1")
@@ -169,30 +202,72 @@ def biological_network(
         graph.add_node(node, kind="gene")
     for node in tissues:
         graph.add_node(node, kind="tissue")
+    edges: List[Edge] = []
 
-    # protein-protein interactions with preferential attachment
+    # protein-protein interactions with preferential attachment: uniform
+    # source, Fenwick-sampled target (weight = in-degree + 1), uniform
+    # label; resample on self-loop or duplicate until the quota is met
+    pp_labels = ["interacts", "binds"] if "binds" in labels else ["interacts"]
+    pp_label_count = len(pp_labels)
+    possible = protein_count * (protein_count - 1) * pp_label_count
+    interaction_edges = min(int(interaction_density * protein_count), possible)
     weights = [1] * protein_count
-    interaction_edges = int(interaction_density * protein_count)
-    for _ in range(interaction_edges):
+    sampler = FenwickSampler.from_weights(weights)
+    taken: set = set()
+    attempts_left = _MAX_REDRAWS * interaction_edges + 1000
+    while len(taken) < interaction_edges and attempts_left > 0:
+        attempts_left -= 1
         source_index = rng.randrange(protein_count)
-        target_index = rng.choices(range(protein_count), weights=weights, k=1)[0]
+        target_index = sampler.sample(rng)
+        label_index = rng.randrange(pp_label_count)
         if source_index == target_index:
             continue
-        label = rng.choice(["interacts", "binds"]) if "binds" in labels else "interacts"
-        graph.add_edge(proteins[source_index], label, proteins[target_index])
+        triple = (source_index, target_index, label_index)
+        if triple in taken:
+            continue
+        taken.add(triple)
+        edges.append((proteins[source_index], pp_labels[label_index], proteins[target_index]))
         weights[target_index] += 1
+        sampler.add(target_index, 1)
+    if len(taken) < interaction_edges:
+        # attempt budget exhausted (only possible near saturation): draw
+        # the shortfall from the enumerated untaken triples through a
+        # Fenwick sampler over the weights frozen at this point (each
+        # drawn triple's weight drops to zero so it is never redrawn) —
+        # O(shortfall · log possible) instead of rebuilding the weight
+        # table per edge
+        untaken = [
+            (source_index, target_index, label_index)
+            for source_index in range(protein_count)
+            for target_index in range(protein_count)
+            if source_index != target_index
+            for label_index in range(pp_label_count)
+            if (source_index, target_index, label_index) not in taken
+        ]
+        shortfall_sampler = FenwickSampler.from_weights(
+            [weights[target_index] for _, target_index, _ in untaken]
+        )
+        while len(taken) < interaction_edges:
+            pick = shortfall_sampler.sample(rng)
+            shortfall_sampler.add(pick, -shortfall_sampler.weight(pick))
+            source_index, target_index, label_index = untaken[pick]
+            taken.add((source_index, target_index, label_index))
+            edges.append(
+                (proteins[source_index], pp_labels[label_index], proteins[target_index])
+            )
+            weights[target_index] += 1
 
     # genes encode proteins
     for gene in genes:
-        target = rng.choice(proteins)
-        graph.add_edge(gene, "encodes", target)
+        edges.append((gene, "encodes", rng.choice(proteins)))
 
     # some proteins regulate genes
     for protein in proteins:
         if rng.random() < 0.3:
-            graph.add_edge(protein, "regulates", rng.choice(genes))
+            edges.append((protein, "regulates", rng.choice(genes)))
         if rng.random() < 0.2:
-            graph.add_edge(protein, "expresses", rng.choice(tissues))
+            edges.append((protein, "expresses", rng.choice(tissues)))
+    graph.add_edges_bulk(edges)
     return graph
 
 

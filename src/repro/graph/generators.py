@@ -16,15 +16,32 @@ Every generator takes an explicit ``seed`` so experiments are repeatable.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.labeled_graph import Edge, LabeledGraph
+from repro.graph.sampling import FenwickSampler, sample_distinct_ints
 
 DEFAULT_ALPHABET: Sequence[str] = ("a", "b", "c", "d")
+
+#: joint (target, label) redraws before a preferential-attachment step
+#: falls back to enumerating the untaken pairs (guarantees termination
+#: even on adversarial weight distributions)
+_MAX_REDRAWS = 64
 
 
 def _rng(seed: Optional[int]) -> random.Random:
     return random.Random(seed)
+
+
+def scale_free_edge_count(node_count: int, edges_per_node: int) -> int:
+    """The exact number of edges :func:`scale_free_graph` delivers.
+
+    Node ``i`` attaches ``min(edges_per_node, i)`` distinct edges, so the
+    total is ``sum(min(edges_per_node, i) for i in range(node_count))``.
+    """
+    full = max(node_count - edges_per_node, 0)
+    ramp = node_count - 1 - full
+    return full * edges_per_node + ramp * (ramp + 1) // 2
 
 
 def random_graph(
@@ -41,10 +58,11 @@ def random_graph(
     uniformly (self-loops allowed, as in RDF-style data).  When the
     requested number of edges exceeds the number of possible triples the
     generator saturates at the number of possible triples; otherwise it
-    always returns exactly ``edge_count`` edges.  Near saturation, where
-    rejection sampling starts colliding constantly, the generator falls
-    back to sampling uniformly from the not-yet-taken triples instead of
-    silently returning a smaller graph.
+    always returns exactly ``edge_count`` edges.
+
+    Triples are sampled as integers from ``range(n·n·|Σ|)`` and decoded,
+    so construction is O(m) time and O(m) memory even at saturation —
+    the full triple space is never materialised.
     """
     if node_count <= 0:
         raise ValueError("node_count must be positive")
@@ -53,33 +71,49 @@ def random_graph(
     if not alphabet:
         raise ValueError("alphabet must not be empty")
     rng = _rng(seed)
-    graph = LabeledGraph(name)
     nodes = [f"n{index}" for index in range(node_count)]
-    graph.add_nodes(nodes)
-    possible = node_count * node_count * len(alphabet)
+    labels = list(alphabet)
+    label_count = len(labels)
+    possible = node_count * node_count * label_count
     target_edges = min(edge_count, possible)
-    attempts = 0
-    max_attempts = max(20 * target_edges, 1000)
-    while graph.edge_count < target_edges and attempts < max_attempts:
-        source = rng.choice(nodes)
-        target = rng.choice(nodes)
-        label = rng.choice(list(alphabet))
-        graph.add_edge(source, label, target)
-        attempts += 1
-    if graph.edge_count < target_edges:
-        # rejection sampling exhausted its attempt budget (we are close to
-        # saturation): sample the shortfall from the untaken triples
-        taken = set(graph.edges())
-        remaining = [
-            (source, label, target)
-            for source in nodes
-            for label in alphabet
-            for target in nodes
-            if (source, label, target) not in taken
-        ]
-        for source, label, target in rng.sample(remaining, target_edges - graph.edge_count):
-            graph.add_edge(source, label, target)
+    per_source = node_count * label_count
+    edges: List[Edge] = []
+    for code in sample_distinct_ints(rng, possible, target_edges):
+        source_index, rest = divmod(code, per_source)
+        target_index, label_index = divmod(rest, label_count)
+        edges.append((nodes[source_index], labels[label_index], nodes[target_index]))
+    graph = LabeledGraph(name)
+    graph.add_edges_bulk(edges, nodes=nodes)
     return graph
+
+
+def _attach_preferential(
+    rng: random.Random,
+    sampler: FenwickSampler,
+    weights: List[int],
+    taken: set,
+    candidate_count: int,
+    label_count: int,
+) -> Tuple[int, int]:
+    """Draw one fresh ``(target, label)`` pair proportionally to ``weights``.
+
+    Collisions with ``taken`` are redrawn (both components) so the caller
+    delivers its exact edge quota; after :data:`_MAX_REDRAWS` collisions
+    the untaken pairs are enumerated and one is drawn with the same
+    weights, which bounds the worst case without changing determinism.
+    """
+    for _ in range(_MAX_REDRAWS):
+        pair = (sampler.sample(rng), rng.randrange(label_count))
+        if pair not in taken:
+            return pair
+    untaken = [
+        (target, label_index)
+        for target in range(candidate_count)
+        for label_index in range(label_count)
+        if (target, label_index) not in taken
+    ]
+    pair_weights = [weights[target] for target, _ in untaken]
+    return rng.choices(untaken, weights=pair_weights, k=1)[0]
 
 
 def scale_free_graph(
@@ -92,30 +126,44 @@ def scale_free_graph(
 ) -> LabeledGraph:
     """Preferential-attachment graph with labelled edges.
 
-    Each new node attaches ``edges_per_node`` outgoing edges whose targets
-    are chosen proportionally to the current in-degree (plus one), which
-    yields the hub-dominated degree distribution typical of biological and
-    social networks.
+    Each new node attaches ``min(edges_per_node, i)`` outgoing edges whose
+    targets are chosen proportionally to the current in-degree (plus one),
+    which yields the hub-dominated degree distribution typical of
+    biological and social networks.  Duplicate ``(target, label)`` draws
+    within one node's attachments are redrawn, so the graph has exactly
+    :func:`scale_free_edge_count` edges — the seed implementation silently
+    dropped duplicates as ``add_edge`` no-ops and under-delivered.
+
+    Targets are drawn through a Fenwick-tree sampler (O(log n) per draw);
+    the seed path rebuilt a cumulative-weight table per edge.
     """
     if node_count <= 0:
         raise ValueError("node_count must be positive")
     if edges_per_node <= 0:
         raise ValueError("edges_per_node must be positive")
     rng = _rng(seed)
-    graph = LabeledGraph(name)
     nodes = [f"n{index}" for index in range(node_count)]
-    graph.add_nodes(nodes)
-    # weights[i] = in-degree(nodes[i]) + 1; updated incrementally
+    labels = list(alphabet)
+    label_count = len(labels)
+    # weights[i] = in-degree(nodes[i]) + 1, mirrored into the Fenwick tree;
+    # node i - 1 becomes a candidate when node i starts attaching
     weights: List[int] = [1] * node_count
+    sampler = FenwickSampler(node_count)
+    edges: List[Edge] = []
     for index in range(1, node_count):
+        sampler.add(index - 1, 1)
         source = nodes[index]
-        candidates = list(range(index))
-        candidate_weights = [weights[target] for target in candidates]
+        taken: set = set()
         for _ in range(min(edges_per_node, index)):
-            target_index = rng.choices(candidates, weights=candidate_weights, k=1)[0]
-            label = rng.choice(list(alphabet))
-            graph.add_edge(source, label, nodes[target_index])
+            target_index, label_index = _attach_preferential(
+                rng, sampler, weights, taken, index, label_count
+            )
+            taken.add((target_index, label_index))
+            edges.append((source, labels[label_index], nodes[target_index]))
             weights[target_index] += 1
+            sampler.add(target_index, 1)
+    graph = LabeledGraph(name)
+    graph.add_edges_bulk(edges, nodes=nodes)
     return graph
 
 
@@ -140,20 +188,21 @@ def layered_dag(
     if not 0.0 <= edge_probability <= 1.0:
         raise ValueError("edge_probability must be within [0, 1]")
     rng = _rng(seed)
-    graph = LabeledGraph(name)
+    labels = list(alphabet)
     grid = [[f"L{layer}_{slot}" for slot in range(width)] for layer in range(layers)]
-    for row in grid:
-        graph.add_nodes(row)
+    edges: List[Edge] = []
     for layer in range(layers - 1):
         for source in grid[layer]:
             added = False
             for target in grid[layer + 1]:
                 if rng.random() < edge_probability:
-                    graph.add_edge(source, rng.choice(list(alphabet)), target)
+                    edges.append((source, rng.choice(labels), target))
                     added = True
             if not added:
                 target = rng.choice(grid[layer + 1])
-                graph.add_edge(source, rng.choice(list(alphabet)), target)
+                edges.append((source, rng.choice(labels), target))
+    graph = LabeledGraph(name)
+    graph.add_edges_bulk(edges, nodes=[node for row in grid for node in row])
     return graph
 
 
@@ -178,19 +227,21 @@ def grid_graph(
     for row in range(rows):
         for column in range(columns):
             graph.add_node(f"g{row}_{column}", row=row, column=column)
+    edges: List[Edge] = []
     for row in range(rows):
         for column in range(columns):
             node = f"g{row}_{column}"
             if column + 1 < columns:
                 east = f"g{row}_{column + 1}"
-                graph.add_edge(node, horizontal_label, east)
+                edges.append((node, horizontal_label, east))
                 if bidirectional:
-                    graph.add_edge(east, horizontal_label, node)
+                    edges.append((east, horizontal_label, node))
             if row + 1 < rows:
                 south = f"g{row + 1}_{column}"
-                graph.add_edge(node, vertical_label, south)
+                edges.append((node, vertical_label, south))
                 if bidirectional:
-                    graph.add_edge(south, vertical_label, node)
+                    edges.append((south, vertical_label, node))
+    graph.add_edges_bulk(edges)
     return graph
 
 
@@ -199,9 +250,9 @@ def chain_graph(length: int, label: str = "next", *, name: str = "chain") -> Lab
     if length < 0:
         raise ValueError("length must be non-negative")
     graph = LabeledGraph(name)
-    graph.add_node("c0")
-    for index in range(length):
-        graph.add_edge(f"c{index}", label, f"c{index + 1}")
+    graph.add_edges_bulk(
+        ((f"c{index}", label, f"c{index + 1}") for index in range(length)), nodes=("c0",)
+    )
     return graph
 
 
@@ -210,8 +261,9 @@ def cycle_graph(length: int, label: str = "next", *, name: str = "cycle") -> Lab
     if length <= 0:
         raise ValueError("length must be positive")
     graph = LabeledGraph(name)
-    for index in range(length):
-        graph.add_edge(f"c{index}", label, f"c{(index + 1) % length}")
+    graph.add_edges_bulk(
+        (f"c{index}", label, f"c{(index + 1) % length}") for index in range(length)
+    )
     return graph
 
 
@@ -231,9 +283,8 @@ def star_graph(
     if branch_count <= 0 or depth <= 0:
         raise ValueError("branch_count and depth must be positive")
     rng = _rng(seed) if seed is not None else None
-    graph = LabeledGraph(name)
-    graph.add_node("hub")
     label_list = list(labels)
+    edges: List[Edge] = []
     for branch in range(branch_count):
         previous = "hub"
         for level in range(depth):
@@ -242,6 +293,8 @@ def star_graph(
                 label = label_list[(branch + level) % len(label_list)]
             else:
                 label = rng.choice(label_list)
-            graph.add_edge(previous, label, node)
+            edges.append((previous, label, node))
             previous = node
+    graph = LabeledGraph(name)
+    graph.add_edges_bulk(edges, nodes=("hub",))
     return graph

@@ -126,8 +126,56 @@ class LabeledGraph:
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Add every ``(source, label, target)`` triple of ``edges``."""
+        self.add_edges_bulk(edges)
+
+    def add_edges_bulk(self, edges: Iterable[Edge], *, nodes: Iterable[Node] = ()) -> int:
+        """Add many edges (and optionally isolated ``nodes``) in one pass.
+
+        This is the construction hot path used by every synthetic
+        generator: it writes the ``_succ`` / ``_pred`` / ``_labels``
+        indexes directly, dedupes against existing edges, and bumps
+        :attr:`version` **once** for the whole batch instead of once per
+        element, so derived caches (label index, query answers,
+        neighbourhood layers) are invalidated a single time.
+
+        Returns the number of edges that were actually new.
+        """
+        succ = self._succ
+        pred = self._pred
+        labels = self._labels
+        added = 0
+        changed = False
+        for node in nodes:
+            if node not in succ:
+                succ[node] = {}
+                pred[node] = {}
+                changed = True
         for source, label, target in edges:
-            self.add_edge(source, label, target)
+            by_label = succ.get(source)
+            if by_label is None:
+                by_label = succ[source] = {}
+                pred[source] = {}
+            targets = by_label.get(label)
+            if targets is None:
+                targets = by_label[label] = set()
+            elif target in targets:
+                continue
+            targets.add(target)
+            if target not in succ:
+                succ[target] = {}
+                pred[target] = {}
+            by_label_pred = pred[target]
+            sources = by_label_pred.get(label)
+            if sources is None:
+                by_label_pred[label] = {source}
+            else:
+                sources.add(source)
+            labels[label] = labels.get(label, 0) + 1
+            added += 1
+        if added or changed:
+            self._edge_count += added
+            self._version += 1
+        return added
 
     def remove_edge(self, source: Node, label: Label, target: Node) -> None:
         """Remove an edge; raise :class:`EdgeNotFoundError` if absent."""
@@ -306,12 +354,24 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     # copies / views
     # ------------------------------------------------------------------
+    @staticmethod
+    def _copy_adjacency(
+        adjacency: Dict[Node, Dict[Label, Set[Node]]]
+    ) -> Dict[Node, Dict[Label, Set[Node]]]:
+        return {
+            node: {label: set(others) for label, others in by_label.items()}
+            for node, by_label in adjacency.items()
+        }
+
     def copy(self, name: Optional[str] = None) -> "LabeledGraph":
         """Return an independent copy of the graph."""
         clone = LabeledGraph(name or self.name)
-        for node in self._succ:
-            clone.add_node(node, **self._node_attrs.get(node, {}))
-        clone.add_edges(self.edges())
+        clone._succ = self._copy_adjacency(self._succ)
+        clone._pred = self._copy_adjacency(self._pred)
+        clone._node_attrs = {node: dict(attrs) for node, attrs in self._node_attrs.items()}
+        clone._labels = dict(self._labels)
+        clone._edge_count = self._edge_count
+        clone._version = 1
         return clone
 
     def subgraph(self, nodes: Iterable[Node], name: Optional[str] = None) -> "LabeledGraph":
@@ -323,22 +383,46 @@ class LabeledGraph:
         """
         keep = {node for node in nodes if node in self._succ}
         sub = LabeledGraph(name or f"{self.name}-sub")
+        succ = sub._succ
+        pred = sub._pred
+        labels = sub._labels
+        attrs = self._node_attrs
+        edge_count = 0
         for node in keep:
-            sub.add_node(node, **self._node_attrs.get(node, {}))
+            succ[node] = {}
+            pred[node] = {}
+            node_attrs = attrs.get(node)
+            if node_attrs:
+                sub._node_attrs[node] = dict(node_attrs)
         for node in keep:
+            by_label = succ[node]
             for label, targets in self._succ[node].items():
-                for target in targets:
-                    if target in keep:
-                        sub.add_edge(node, label, target)
+                kept = targets & keep
+                if not kept:
+                    continue
+                by_label[label] = kept
+                for target in kept:
+                    by_label_pred = pred[target]
+                    sources = by_label_pred.get(label)
+                    if sources is None:
+                        by_label_pred[label] = {node}
+                    else:
+                        sources.add(node)
+                labels[label] = labels.get(label, 0) + len(kept)
+                edge_count += len(kept)
+        sub._edge_count = edge_count
+        sub._version = 1 if keep else 0
         return sub
 
     def reverse(self, name: Optional[str] = None) -> "LabeledGraph":
         """Return a copy with every edge direction flipped."""
         rev = LabeledGraph(name or f"{self.name}-reversed")
-        for node in self._succ:
-            rev.add_node(node, **self._node_attrs.get(node, {}))
-        for source, label, target in self.edges():
-            rev.add_edge(target, label, source)
+        rev._succ = self._copy_adjacency(self._pred)
+        rev._pred = self._copy_adjacency(self._succ)
+        rev._node_attrs = {node: dict(attrs) for node, attrs in self._node_attrs.items()}
+        rev._labels = dict(self._labels)
+        rev._edge_count = self._edge_count
+        rev._version = 1
         return rev
 
     # ------------------------------------------------------------------

@@ -9,18 +9,29 @@ Figure 3(a)).  The user may *zoom out*, which increases ``k`` by one
 The neighbourhood also records its *frontier*: the nodes of the fragment
 that still have edges leaving the fragment.  The front-end renders those
 as ``...`` continuations, exactly as in the figures of the paper.
+
+Since the zoom-index PR the module is incremental: a
+:class:`NeighborhoodIndex` caches BFS **layers** per
+``(graph.version, center, directed)``, so zooming out extends the last
+frontier by ``step`` layers instead of re-running BFS from radius 0, the
+zoom delta is read off the layer structure instead of diffing full
+fragment snapshots, and :func:`eccentricity_bound` shares the same
+layers.  :class:`Neighborhood` materialises its induced subgraph (and
+edge set) lazily — a simulated session that only asks "is this witness
+node visible?" never pays for fragment construction at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set, Tuple
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import Edge, LabeledGraph, Node
 
 
-@dataclass(frozen=True)
 class Neighborhood:
     """A bounded fragment of the graph centred on a node.
 
@@ -31,33 +42,139 @@ class Neighborhood:
     radius:
         The distance bound used to build the fragment.
     graph:
-        The induced subgraph (a :class:`LabeledGraph`).
+        The induced subgraph (a :class:`LabeledGraph`), materialised on
+        first access.
     distances:
-        Mapping node -> distance from the centre (ignoring edge direction).
+        Mapping node -> distance from the centre (ignoring edge direction
+        unless the fragment was extracted with ``directed=True``).
     frontier:
         Nodes of the fragment that have at least one edge (in either
-        direction) to a node outside the fragment; rendered as ``...``.
+        direction; outgoing only for directed fragments) to a node
+        outside the fragment; rendered as ``...``.
+
+    The fragment is a value snapshot of the graph at extraction time:
+    the node set, distances and frontier are fixed eagerly, while the
+    induced subgraph and edge set are derived lazily from the base graph
+    and raise a :class:`RuntimeError` if the base graph was mutated
+    before their first access (materialise before mutating).
     """
 
-    center: Node
-    radius: int
-    graph: LabeledGraph
-    distances: Dict[Node, int] = field(compare=False)
-    frontier: FrozenSet[Node] = frozenset()
+    __slots__ = (
+        "center",
+        "radius",
+        "frontier",
+        "_layers",
+        "_directed",
+        "_source",
+        "_source_version",
+        "_distances",
+        "_node_set",
+        "_graph",
+        "_edge_set",
+    )
+
+    def __init__(
+        self,
+        center: Node,
+        radius: int,
+        *,
+        layers: Tuple[Tuple[Node, ...], ...],
+        directed: bool,
+        source: LabeledGraph,
+        source_version: int,
+        frontier: FrozenSet[Node],
+    ):
+        self.center = center
+        self.radius = radius
+        self.frontier = frontier
+        self._layers = layers
+        self._directed = directed
+        self._source: Optional[LabeledGraph] = source
+        self._source_version = source_version
+        self._distances: Optional[Dict[Node, int]] = None
+        self._node_set: Optional[FrozenSet[Node]] = None
+        self._graph: Optional[LabeledGraph] = None
+        self._edge_set: Optional[FrozenSet[Edge]] = None
+
+    # ------------------------------------------------------------------
+    # derived views (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def distances(self) -> Dict[Node, int]:
+        """Node -> distance-from-centre for every fragment node."""
+        distances = self._distances
+        if distances is None:
+            distances = {
+                node: distance
+                for distance, layer in enumerate(self._layers)
+                for node in layer
+            }
+            self._distances = distances
+        return distances
 
     @property
     def nodes(self) -> FrozenSet[Node]:
         """The node set of the fragment."""
-        return frozenset(self.graph.nodes())
+        node_set = self._node_set
+        if node_set is None:
+            node_set = frozenset(node for layer in self._layers for node in layer)
+            self._node_set = node_set
+        return node_set
+
+    def _check_fresh(self) -> None:
+        if self._source.version != self._source_version:
+            raise RuntimeError(
+                "the base graph mutated since this neighbourhood was extracted; "
+                "materialise `.graph` / `.edges` before mutating, or re-extract"
+            )
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The induced subgraph, built on first access.
+
+        Materialising releases the reference to the base graph: a
+        retained fragment then pins only itself, not the full graph.
+        """
+        fragment = self._graph
+        if fragment is None:
+            self._check_fresh()
+            fragment = self._source.subgraph(
+                self.nodes, name=f"{self._source.name}:N({self.center},{self.radius})"
+            )
+            self._graph = fragment
+            self._source = None
+        return fragment
 
     @property
     def edges(self) -> FrozenSet[Edge]:
         """The edge set of the fragment."""
-        return frozenset(self.graph.edges())
+        edge_set = self._edge_set
+        if edge_set is None:
+            if self._graph is None:
+                self._check_fresh()
+                node_set = self.nodes
+                succ = self._source._succ
+                edge_set = frozenset(
+                    (node, label, target)
+                    for node in node_set
+                    for label, targets in succ[node].items()
+                    for target in targets
+                    if target in node_set
+                )
+            else:
+                edge_set = frozenset(self._graph.edges())
+            self._edge_set = edge_set
+        return edge_set
 
     def contains(self, node: Node) -> bool:
         """True when ``node`` belongs to the fragment."""
-        return node in self.graph
+        return node in self.nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Neighborhood center={self.center!r} radius={self.radius} "
+            f"nodes={len(self.nodes)}>"
+        )
 
 
 @dataclass(frozen=True)
@@ -79,6 +196,285 @@ class NeighborhoodDelta:
         return bool(self.new_nodes or self.new_edges)
 
 
+def _induced_edges(graph: LabeledGraph, nodes: FrozenSet[Node]) -> FrozenSet[Edge]:
+    """Edges of ``graph`` with both endpoints in ``nodes`` (missing nodes skipped)."""
+    succ = graph._succ
+    return frozenset(
+        (node, label, target)
+        for node in nodes
+        if node in succ
+        for label, targets in succ[node].items()
+        for target in targets
+        if target in nodes
+    )
+
+
+class _BfsState:
+    """Append-only BFS layer structure for one ``(center, directed)`` pair.
+
+    ``layers[d]`` holds the nodes at distance exactly ``d``; the structure
+    only ever *extends* (one layer at a time), so every
+    :class:`Neighborhood` built from a prefix of the layers stays valid
+    as later zooms deepen the BFS.
+    """
+
+    __slots__ = ("center", "directed", "layers", "distances", "exhausted")
+
+    def __init__(self, center: Node, directed: bool):
+        self.center = center
+        self.directed = directed
+        self.layers: List[Tuple[Node, ...]] = [(center,)]
+        self.distances: Dict[Node, int] = {center: 0}
+        self.exhausted = False
+
+    def ensure_radius(self, graph: LabeledGraph, radius: int) -> None:
+        """Extend the layer structure until it covers ``radius`` (or the component)."""
+        succ = graph._succ
+        pred = graph._pred
+        distances = self.distances
+        layers = self.layers
+        directed = self.directed
+        while not self.exhausted and len(layers) - 1 < radius:
+            depth = len(layers)
+            next_layer: List[Node] = []
+            append = next_layer.append
+            for node in layers[-1]:
+                for targets in succ[node].values():
+                    for other in targets:
+                        if other not in distances:
+                            distances[other] = depth
+                            append(other)
+                if not directed:
+                    for sources in pred[node].values():
+                        for other in sources:
+                            if other not in distances:
+                                distances[other] = depth
+                                append(other)
+            if next_layer:
+                layers.append(tuple(next_layer))
+            else:
+                self.exhausted = True
+
+    def ensure_exhausted(self, graph: LabeledGraph) -> None:
+        """Run the BFS to the end of the component."""
+        while not self.exhausted:
+            self.ensure_radius(graph, len(self.layers))
+
+    def boundary(self, graph: LabeledGraph, radius: int) -> FrozenSet[Node]:
+        """Fragment nodes with an edge leaving the radius-``radius`` fragment.
+
+        Only nodes at distance exactly ``radius`` can have outside
+        neighbours (an outside neighbour of a depth-``d`` node would be
+        at depth ``d + 1 <= radius``), and their outside neighbours sit
+        exactly in layer ``radius + 1`` — so the boundary falls out of
+        the layer structure without scanning the fragment.  Requires the
+        layers to cover ``radius + 1`` (call ``ensure_radius`` first).
+        """
+        layers = self.layers
+        if len(layers) <= radius + 1:
+            return frozenset()
+        outside_depth = radius + 1
+        distances = self.distances
+        succ = graph._succ
+        pred = graph._pred
+        boundary: List[Node] = []
+        for node in layers[radius]:
+            found = False
+            for targets in succ[node].values():
+                for other in targets:
+                    if distances.get(other) == outside_depth:
+                        found = True
+                        break
+                if found:
+                    break
+            if not found and not self.directed:
+                for sources in pred[node].values():
+                    for other in sources:
+                        if distances.get(other) == outside_depth:
+                            found = True
+                            break
+                    if found:
+                        break
+            if found:
+                boundary.append(node)
+        return frozenset(boundary)
+
+
+class NeighborhoodIndex:
+    """Incremental neighbourhood/zoom index of one :class:`LabeledGraph`.
+
+    Caches BFS layer structures per ``(graph.version, center, directed)``
+    so that, within one graph version:
+
+    * zooming out from radius ``r`` to ``r + step`` explores only the new
+      layers (the seed path re-ran the whole BFS from radius 0);
+    * the zoom delta (new nodes / new edges) is read off the layer
+      structure instead of diffing full fragment snapshots;
+    * :meth:`eccentricity_bound` and every later extraction around the
+      same centre share one BFS.
+
+    The index holds the graph weakly: it dies with the graph, and a
+    structural mutation (version bump) simply drops all cached states.
+    Layer states are kept in a bounded LRU (like the engine's plan
+    cache), so a long session proposing many distinct centres cannot
+    retain O(n) BFS state per centre indefinitely.
+    """
+
+    #: retained (center, directed) layer structures; a session's zoom
+    #: ladder touches one centre at a time, so a small bound loses
+    #: nothing while capping memory at ~bound x component size
+    MAX_STATES = 64
+
+    __slots__ = ("_graph_ref", "_version", "_states", "__weakref__")
+
+    def __init__(self, graph: LabeledGraph):
+        self._graph_ref = weakref.ref(graph)
+        self._version = graph.version
+        self._states: "OrderedDict[Tuple[Node, bool], _BfsState]" = OrderedDict()
+
+    @property
+    def graph(self) -> LabeledGraph:
+        graph = self._graph_ref()
+        if graph is None:
+            raise RuntimeError("the graph of this NeighborhoodIndex was garbage-collected")
+        return graph
+
+    def owns(self, graph: LabeledGraph) -> bool:
+        """True when this index was built for ``graph`` (and it is alive)."""
+        return self._graph_ref() is graph
+
+    def _state(self, graph: LabeledGraph, center: Node, directed: bool) -> _BfsState:
+        if center not in graph:
+            raise NodeNotFoundError(center)
+        if graph.version != self._version:
+            self._states.clear()
+            self._version = graph.version
+        key = (center, directed)
+        state = self._states.get(key)
+        if state is None:
+            state = _BfsState(center, directed)
+            self._states[key] = state
+            while len(self._states) > self.MAX_STATES:
+                self._states.popitem(last=False)
+        else:
+            self._states.move_to_end(key)
+        return state
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def neighborhood(self, center: Node, radius: int, *, directed: bool = False) -> Neighborhood:
+        """The neighbourhood of ``center`` at distance at most ``radius``."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        graph = self.graph
+        state = self._state(graph, center, directed)
+        # +1 so the boundary frontier is known from the layer structure
+        state.ensure_radius(graph, radius + 1)
+        return Neighborhood(
+            center,
+            radius,
+            layers=tuple(state.layers[: radius + 1]),
+            directed=directed,
+            source=graph,
+            source_version=graph.version,
+            frontier=state.boundary(graph, radius),
+        )
+
+    def zoom(self, neighborhood: Neighborhood, *, step: int = 1, directed: bool = False) -> NeighborhoodDelta:
+        """Grow ``neighborhood`` by ``step`` layers and report what appeared.
+
+        The enlarged fragment reuses the cached layers; the delta is the
+        slice of layers beyond the previous radius plus the induced edges
+        incident to it.
+        """
+        if step < 1:
+            raise ValueError(f"zoom step must be positive, got {step}")
+        graph = self.graph
+        previous_radius = neighborhood.radius
+        enlarged = self.neighborhood(
+            neighborhood.center, previous_radius + step, directed=directed
+        )
+        if (
+            neighborhood._source is not graph
+            or neighborhood._source_version != graph.version
+            or neighborhood._directed != directed
+        ):
+            # `previous` snapshots a different structure (another graph,
+            # an older version, a released source, or the other
+            # directedness): fall back to the generic full-diff delta so
+            # the contract still holds
+            try:
+                previous_edges = neighborhood.edges
+            except RuntimeError:
+                # the previous fragment was never materialised and its
+                # base graph has mutated: its exact edge snapshot is
+                # unrecoverable, so diff against its nodes as they stand
+                # in the current graph (what the user's stale view would
+                # show after a refresh)
+                previous_edges = _induced_edges(graph, neighborhood.nodes)
+            new_nodes = enlarged.nodes - neighborhood.nodes
+            new_edges = enlarged.edges - previous_edges
+            return NeighborhoodDelta(
+                previous=neighborhood,
+                current=enlarged,
+                new_nodes=frozenset(new_nodes),
+                new_edges=frozenset(new_edges),
+            )
+        new_layers = enlarged._layers[previous_radius + 1 :]
+        new_nodes = frozenset(node for layer in new_layers for node in layer)
+        node_set = enlarged.nodes
+        succ = graph._succ
+        pred = graph._pred
+        new_edges = set()
+        add = new_edges.add
+        for node in new_nodes:
+            for label, targets in succ[node].items():
+                for target in targets:
+                    if target in node_set:
+                        add((node, label, target))
+            for label, sources in pred[node].items():
+                for source in sources:
+                    if source in node_set:
+                        add((source, label, node))
+        return NeighborhoodDelta(
+            previous=neighborhood,
+            current=enlarged,
+            new_nodes=new_nodes,
+            new_edges=frozenset(new_edges),
+        )
+
+    def eccentricity_bound(self, center: Node, *, directed: bool = False) -> int:
+        """Smallest radius whose neighbourhood covers everything reachable."""
+        graph = self.graph
+        state = self._state(graph, center, directed)
+        state.ensure_exhausted(graph)
+        return len(state.layers) - 1
+
+
+#: graph -> shared NeighborhoodIndex; keyed weakly (and the index holds
+#: the graph weakly too) so indexes die with their graphs
+_SHARED_INDEXES: "weakref.WeakKeyDictionary[LabeledGraph, NeighborhoodIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def neighborhood_index(graph: LabeledGraph) -> NeighborhoodIndex:
+    """The shared :class:`NeighborhoodIndex` of ``graph``.
+
+    Every call site that extracts or zooms on the same graph — the
+    session loop, the simulated user, the figure harness, the benches —
+    resolves to one index and therefore shares one BFS per
+    ``(version, center, directed)``, the neighbourhood counterpart of
+    sharing one :class:`~repro.query.engine.QueryEngine`.
+    """
+    index = _SHARED_INDEXES.get(graph)
+    if index is None:
+        index = NeighborhoodIndex(graph)
+        _SHARED_INDEXES[graph] = index
+    return index
+
+
 def extract_neighborhood(
     graph: LabeledGraph,
     center: Node,
@@ -91,46 +487,12 @@ def extract_neighborhood(
     By default distance is measured ignoring edge direction (as in the
     paper's figures, where incoming and outgoing context both help the
     user decide); pass ``directed=True`` to only follow outgoing edges.
+
+    Served from the shared :class:`NeighborhoodIndex` of ``graph``, so
+    repeated extractions around the same centre (a zoom ladder, the
+    eccentricity probe of the session) pay one BFS between them.
     """
-    if center not in graph:
-        raise NodeNotFoundError(center)
-    if radius < 0:
-        raise ValueError(f"radius must be non-negative, got {radius}")
-
-    distances: Dict[Node, int] = {center: 0}
-    frontier: Set[Node] = {center}
-    for step in range(1, radius + 1):
-        next_frontier: Set[Node] = set()
-        for node in frontier:
-            neighbors: Set[Node] = set(graph.successors(node))
-            if not directed:
-                neighbors |= graph.predecessors(node)
-            for other in neighbors:
-                if other not in distances:
-                    distances[other] = step
-                    next_frontier.add(other)
-        frontier = next_frontier
-        if not frontier:
-            break
-
-    fragment = graph.subgraph(distances, name=f"{graph.name}:N({center},{radius})")
-
-    boundary: Set[Node] = set()
-    for node in fragment.nodes():
-        outside_out = any(target not in distances for target in graph.successors(node))
-        outside_in = False
-        if not directed:
-            outside_in = any(source not in distances for source in graph.predecessors(node))
-        if outside_out or outside_in:
-            boundary.add(node)
-
-    return Neighborhood(
-        center=center,
-        radius=radius,
-        graph=fragment,
-        distances=distances,
-        frontier=frozenset(boundary),
-    )
+    return neighborhood_index(graph).neighborhood(center, radius, directed=directed)
 
 
 def zoom_out(
@@ -145,21 +507,9 @@ def zoom_out(
     Returns a :class:`NeighborhoodDelta` whose ``current`` field is the
     enlarged neighbourhood and whose ``new_nodes`` / ``new_edges`` are the
     elements absent from the previous fragment (the blue elements of
-    Figure 3(b)).
+    Figure 3(b)).  Incremental: only the new layers are explored.
     """
-    if step < 1:
-        raise ValueError(f"zoom step must be positive, got {step}")
-    enlarged = extract_neighborhood(
-        graph, neighborhood.center, neighborhood.radius + step, directed=directed
-    )
-    new_nodes = enlarged.nodes - neighborhood.nodes
-    new_edges = enlarged.edges - neighborhood.edges
-    return NeighborhoodDelta(
-        previous=neighborhood,
-        current=enlarged,
-        new_nodes=frozenset(new_nodes),
-        new_edges=frozenset(new_edges),
-    )
+    return neighborhood_index(graph).zoom(neighborhood, step=step, directed=directed)
 
 
 def neighborhood_chain(
@@ -172,13 +522,13 @@ def neighborhood_chain(
     """Convenience: build neighbourhoods of ``center`` at each radius in ``radii``.
 
     Used by the figure-reproduction harness to produce the Figure 3(a)
-    and 3(b) fragments in one call.
+    and 3(b) fragments in one call; the shared index runs one BFS for
+    the whole chain.
     """
+    index = neighborhood_index(graph)
     if center not in graph:
         raise NodeNotFoundError(center)
-    return tuple(
-        extract_neighborhood(graph, center, radius, directed=directed) for radius in radii
-    )
+    return tuple(index.neighborhood(center, radius, directed=directed) for radius in radii)
 
 
 def eccentricity_bound(graph: LabeledGraph, center: Node, *, directed: bool = False) -> int:
@@ -187,22 +537,4 @@ def eccentricity_bound(graph: LabeledGraph, center: Node, *, directed: bool = Fa
     Zooming out beyond this radius never reveals anything new, so the
     interactive session uses it to disable the zoom action.
     """
-    if center not in graph:
-        raise NodeNotFoundError(center)
-    distances: Dict[Node, int] = {center: 0}
-    frontier: Set[Node] = {center}
-    radius = 0
-    while frontier:
-        next_frontier: Set[Node] = set()
-        for node in frontier:
-            neighbors: Set[Node] = set(graph.successors(node))
-            if not directed:
-                neighbors |= graph.predecessors(node)
-            for other in neighbors:
-                if other not in distances:
-                    distances[other] = radius + 1
-                    next_frontier.add(other)
-        if next_frontier:
-            radius += 1
-        frontier = next_frontier
-    return radius
+    return neighborhood_index(graph).eccentricity_bound(center, directed=directed)

@@ -87,7 +87,9 @@ class SimulatedUser:
             witness = witness_path(self.graph, self.goal, node)
             if witness is None:
                 return False
-            visible = all(step_node in neighborhood.graph for step_node in witness.nodes)
+            # membership goes through the fragment's node set, so asking
+            # "can I see the witness?" never materialises the subgraph
+            visible = all(neighborhood.contains(step_node) for step_node in witness.nodes)
             if not visible and neighborhood.radius < len(witness) :
                 self.zooms_requested += 1
                 return True

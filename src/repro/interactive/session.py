@@ -34,7 +34,7 @@ from repro.exceptions import (
     SessionFinishedError,
 )
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.graph.neighborhood import Neighborhood, eccentricity_bound, extract_neighborhood
+from repro.graph.neighborhood import Neighborhood, neighborhood_index
 from repro.interactive.halt import HaltCondition, HaltContext, default_halt_condition
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.strategies import MostInformativePathsStrategy, Strategy
@@ -121,8 +121,14 @@ class InteractiveSession:
         #: query engine shared by the learner, halt conditions and metrics
         #: of this session — one answer cache for the whole loop
         self.engine = engine or shared_engine()
+        #: incremental neighbourhood/zoom index shared by the session's
+        #: zoom ladder, the eccentricity cap and the figure harness —
+        #: one BFS per (version, center, directed) for the whole loop
+        self.neighborhoods = neighborhood_index(graph)
         self.strategy = strategy or MostInformativePathsStrategy(
-            max_path_length=max_path_length, engine=self.engine
+            max_path_length=max_path_length,
+            engine=self.engine,
+            neighborhood_index=self.neighborhoods,
         )
         self.halt_condition = halt_condition or default_halt_condition(max_interactions)
         self.path_validation = path_validation
@@ -249,14 +255,22 @@ class InteractiveSession:
     # sub-steps
     # ------------------------------------------------------------------
     def _present_neighborhood(self, node: Node) -> Tuple[Neighborhood, int]:
-        """Show neighbourhoods of increasing radius while the user asks to zoom."""
-        radius_cap = min(self.max_radius, max(self.initial_radius, eccentricity_bound(self.graph, node)))
+        """Show neighbourhoods of increasing radius while the user asks to zoom.
+
+        The whole ladder (eccentricity cap + every zoom level) runs on
+        the session's shared :class:`NeighborhoodIndex`, so it costs one
+        BFS per proposed node instead of one per zoom level.
+        """
+        index = self.neighborhoods
+        radius_cap = min(
+            self.max_radius, max(self.initial_radius, index.eccentricity_bound(node))
+        )
         radius = min(self.initial_radius, radius_cap)
-        neighborhood = extract_neighborhood(self.graph, node, radius)
+        neighborhood = index.neighborhood(node, radius)
         zooms = 0
         while radius < radius_cap and self.user.wants_zoom(node, neighborhood):
             radius += 1
-            neighborhood = extract_neighborhood(self.graph, node, radius)
+            neighborhood = index.neighborhood(node, radius)
             zooms += 1
         return neighborhood, zooms
 

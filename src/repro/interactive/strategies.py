@@ -36,6 +36,7 @@ from typing import List, Optional
 
 from repro.exceptions import NoCandidateNodeError
 from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.graph.neighborhood import NeighborhoodIndex, neighborhood_index
 from repro.learning.examples import ExampleSet
 from repro.learning.informativeness import classify_all, informative_nodes
 from repro.query.engine import QueryEngine, shared_engine
@@ -47,7 +48,13 @@ class Strategy(ABC):
     #: short identifier used in experiment tables
     name: str = "abstract"
 
-    def __init__(self, *, max_path_length: int = 4, engine: Optional[QueryEngine] = None):
+    def __init__(
+        self,
+        *,
+        max_path_length: int = 4,
+        engine: Optional[QueryEngine] = None,
+        neighborhood_index: Optional[NeighborhoodIndex] = None,
+    ):
         self.max_path_length = max_path_length
         #: query engine for strategies that rank candidates by answer
         #: sets.  None of the built-in strategies evaluates queries (they
@@ -55,6 +62,21 @@ class Strategy(ABC):
         #: session threads its engine here so subclasses that do evaluate
         #: share the session's plan and answer caches.
         self.engine = engine or shared_engine()
+        #: optional pre-resolved neighbourhood/zoom index; the session
+        #: threads its own here so strategies that rank by locality
+        #: reuse the BFS layers the zoom ladder already paid for
+        self._neighborhood_index = neighborhood_index
+
+    def neighborhoods(self, graph: LabeledGraph) -> NeighborhoodIndex:
+        """The shared :class:`NeighborhoodIndex` of ``graph``.
+
+        Returns the index the session threaded in when it belongs to
+        ``graph``, and the process-wide shared index otherwise.
+        """
+        index = self._neighborhood_index
+        if index is not None and index.owns(graph):
+            return index
+        return neighborhood_index(graph)
 
     @abstractmethod
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
@@ -83,8 +105,13 @@ class RandomStrategy(Strategy):
         seed: Optional[int] = None,
         max_path_length: int = 4,
         engine: Optional[QueryEngine] = None,
+        neighborhood_index: Optional[NeighborhoodIndex] = None,
     ):
-        super().__init__(max_path_length=max_path_length, engine=engine)
+        super().__init__(
+            max_path_length=max_path_length,
+            engine=engine,
+            neighborhood_index=neighborhood_index,
+        )
         self._rng = random.Random(seed)
 
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
@@ -105,8 +132,13 @@ class RandomInformativeStrategy(Strategy):
         seed: Optional[int] = None,
         max_path_length: int = 4,
         engine: Optional[QueryEngine] = None,
+        neighborhood_index: Optional[NeighborhoodIndex] = None,
     ):
-        super().__init__(max_path_length=max_path_length, engine=engine)
+        super().__init__(
+            max_path_length=max_path_length,
+            engine=engine,
+            neighborhood_index=neighborhood_index,
+        )
         self._rng = random.Random(seed)
 
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:

@@ -8,6 +8,7 @@ from repro.graph.generators import (
     grid_graph,
     layered_dag,
     random_graph,
+    scale_free_edge_count,
     scale_free_graph,
     star_graph,
 )
@@ -53,8 +54,46 @@ class TestRandomGraph:
         with pytest.raises(ValueError):
             random_graph(5, 5, ())
 
+    def test_saturated_graph_exact(self):
+        # m == n^2 * |alphabet|: the complement sampler returns every
+        # triple without ever materialising the triple space
+        graph = random_graph(120, 120 * 120 * 2, ("a", "b"), seed=11)
+        assert graph.edge_count == 120 * 120 * 2
+        assert graph.out_degree("n0") == 120 * 2
+
+    def test_dense_regime_exact_and_deterministic(self):
+        # above the 50% density switch point the complement sampler runs
+        requested = (60 * 60 * 2 * 3) // 4
+        first = random_graph(60, requested, ("a", "b"), seed=12)
+        second = random_graph(60, requested, ("a", "b"), seed=12)
+        assert first.edge_count == requested
+        assert first.structurally_equal(second)
+
+    def test_single_version_bump(self):
+        graph = random_graph(30, 90, seed=13)
+        assert graph.version == 1
+
 
 class TestScaleFree:
+    def test_exact_edge_count_contract(self):
+        """Regression: duplicate preferential-attachment draws used to be
+        silently dropped as ``add_edge`` no-ops, under-delivering edges."""
+        for node_count, edges_per_node, seed in [(50, 2, 1), (80, 3, 2), (40, 5, 3), (10, 40, 4)]:
+            graph = scale_free_graph(node_count, edges_per_node=edges_per_node, seed=seed)
+            expected = sum(min(edges_per_node, index) for index in range(node_count))
+            assert graph.edge_count == expected, (node_count, edges_per_node)
+            assert scale_free_edge_count(node_count, edges_per_node) == expected
+
+    def test_exact_edge_count_on_tiny_alphabet(self):
+        # one label: node i has only i distinct (target, label) pairs, so
+        # the collision-heavy regime must still deliver the full quota
+        graph = scale_free_graph(12, ("only",), edges_per_node=8, seed=5)
+        assert graph.edge_count == scale_free_edge_count(12, 8)
+
+    def test_out_degree_per_node_is_exact(self):
+        graph = scale_free_graph(30, edges_per_node=3, seed=6)
+        for index in range(30):
+            assert graph.out_degree(f"n{index}") == min(3, index)
     def test_size(self):
         graph = scale_free_graph(40, seed=1)
         assert graph.node_count == 40

@@ -77,6 +77,52 @@ class TestConstruction:
         assert graph.edge_count == 2
         assert graph.node_count == 3
 
+    def test_add_edges_bulk_bumps_version_once(self):
+        graph = LabeledGraph()
+        before = graph.version
+        added = graph.add_edges_bulk(
+            [("a", "x", "b"), ("b", "y", "c"), ("a", "x", "b")], nodes=["isolated"]
+        )
+        assert added == 2
+        assert graph.version == before + 1
+        assert graph.node_count == 4
+        assert "isolated" in graph
+
+    def test_add_edges_bulk_dedupes_against_existing(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "b")
+        version = graph.version
+        added = graph.add_edges_bulk([("a", "x", "b"), ("a", "y", "b")])
+        assert added == 1
+        assert graph.edge_count == 2
+        assert graph.version == version + 1
+
+    def test_add_edges_bulk_noop_keeps_version(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "x", "b")
+        version = graph.version
+        assert graph.add_edges_bulk([("a", "x", "b")]) == 0
+        assert graph.version == version
+
+    def test_add_edges_bulk_matches_per_edge_construction(self):
+        edges = [
+            ("a", "x", "b"),
+            ("b", "x", "c"),
+            ("c", "y", "a"),
+            ("a", "x", "b"),
+            ("a", "z", "a"),
+        ]
+        bulk = LabeledGraph()
+        bulk.add_edges_bulk(edges)
+        per_edge = LabeledGraph()
+        for source, label, target in edges:
+            per_edge.add_edge(source, label, target)
+        assert bulk.structurally_equal(per_edge)
+        assert bulk.label_counts() == per_edge.label_counts()
+        assert {node: bulk.in_degree(node) for node in bulk.nodes()} == {
+            node: per_edge.in_degree(node) for node in per_edge.nodes()
+        }
+
     def test_from_edges_constructor(self):
         graph = LabeledGraph.from_edges([("a", "x", "b"), ("b", "x", "c")], name="test")
         assert graph.name == "test"

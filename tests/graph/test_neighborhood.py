@@ -1,14 +1,208 @@
-"""Unit tests for neighbourhood extraction and zooming (Figure 3(a)/(b))."""
+"""Unit tests for neighbourhood extraction and zooming (Figure 3(a)/(b)).
+
+The incremental :class:`NeighborhoodIndex` is pinned against a verbatim
+reproduction of the seed (scratch) BFS: for random graphs × centers ×
+radii, fragments, frontiers, distances and zoom deltas must be
+identical — the index is an optimisation, not a semantics change.
+"""
 
 import pytest
 
 from repro.exceptions import NodeNotFoundError
+from repro.graph.generators import random_graph, scale_free_graph
 from repro.graph.neighborhood import (
+    NeighborhoodIndex,
     eccentricity_bound,
     extract_neighborhood,
     neighborhood_chain,
+    neighborhood_index,
     zoom_out,
 )
+
+
+# ----------------------------------------------------------------------
+# the seed implementation, reproduced verbatim as the oracle
+# ----------------------------------------------------------------------
+def _scratch_extract(graph, center, radius, *, directed=False):
+    """Seed ``extract_neighborhood``: full BFS + eager subgraph + scan."""
+    distances = {center: 0}
+    frontier = {center}
+    for step in range(1, radius + 1):
+        next_frontier = set()
+        for node in frontier:
+            neighbors = set(graph.successors(node))
+            if not directed:
+                neighbors |= graph.predecessors(node)
+            for other in neighbors:
+                if other not in distances:
+                    distances[other] = step
+                    next_frontier.add(other)
+        frontier = next_frontier
+        if not frontier:
+            break
+    fragment = graph.subgraph(distances)
+    boundary = set()
+    for node in fragment.nodes():
+        outside_out = any(target not in distances for target in graph.successors(node))
+        outside_in = False
+        if not directed:
+            outside_in = any(source not in distances for source in graph.predecessors(node))
+        if outside_out or outside_in:
+            boundary.add(node)
+    return distances, fragment, frozenset(boundary)
+
+
+def _assert_matches_scratch(graph, neighborhood, *, directed=False):
+    distances, fragment, boundary = _scratch_extract(
+        graph, neighborhood.center, neighborhood.radius, directed=directed
+    )
+    assert neighborhood.distances == distances
+    assert neighborhood.nodes == frozenset(fragment.nodes())
+    assert neighborhood.edges == frozenset(fragment.edges())
+    assert neighborhood.frontier == boundary
+    assert neighborhood.graph.structurally_equal(fragment)
+
+
+class TestIndexMatchesScratchOracle:
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_random_graphs_centers_radii(self, directed):
+        for seed in range(4):
+            graph = random_graph(40, 120, ("a", "b", "c"), seed=seed)
+            index = NeighborhoodIndex(graph)
+            centers = sorted(graph.nodes(), key=str)[:: 13]
+            for center in centers:
+                for radius in (0, 1, 2, 4):
+                    neighborhood = index.neighborhood(center, radius, directed=directed)
+                    _assert_matches_scratch(graph, neighborhood, directed=directed)
+
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_zoom_delta_equals_scratch_delta(self, directed):
+        for seed in range(4):
+            graph = scale_free_graph(45, edges_per_node=2, seed=seed)
+            index = NeighborhoodIndex(graph)
+            for center in sorted(graph.nodes(), key=str)[:: 17]:
+                previous = index.neighborhood(center, 1, directed=directed)
+                for step in (1, 2):
+                    delta = index.zoom(previous, step=step, directed=directed)
+                    _, prev_fragment, _ = _scratch_extract(
+                        graph, center, previous.radius, directed=directed
+                    )
+                    _, cur_fragment, _ = _scratch_extract(
+                        graph, center, previous.radius + step, directed=directed
+                    )
+                    assert delta.current.radius == previous.radius + step
+                    assert delta.new_nodes == (
+                        frozenset(cur_fragment.nodes()) - frozenset(prev_fragment.nodes())
+                    )
+                    assert delta.new_edges == (
+                        frozenset(cur_fragment.edges()) - frozenset(prev_fragment.edges())
+                    )
+                    previous = delta.current
+
+    def test_eccentricity_bound_consistency(self):
+        for seed in range(3):
+            graph = random_graph(30, 60, ("a", "b"), seed=seed)
+            index = NeighborhoodIndex(graph)
+            for center in sorted(graph.nodes(), key=str)[:: 11]:
+                for directed in (False, True):
+                    bound = index.eccentricity_bound(center, directed=directed)
+                    full = index.neighborhood(center, bound, directed=directed)
+                    bigger = index.neighborhood(center, bound + 1, directed=directed)
+                    assert full.nodes == bigger.nodes
+                    # at the bound nothing leaves the fragment any more
+                    assert not full.frontier
+                    if bound > 0:
+                        smaller = index.neighborhood(center, bound - 1, directed=directed)
+                        assert smaller.nodes < full.nodes
+
+    def test_frontier_directed_vs_undirected(self):
+        graph = random_graph(35, 90, ("a", "b", "c"), seed=9)
+        index = NeighborhoodIndex(graph)
+        for center in sorted(graph.nodes(), key=str)[:: 9]:
+            for radius in (1, 2):
+                undirected = index.neighborhood(center, radius)
+                directed = index.neighborhood(center, radius, directed=True)
+                _assert_matches_scratch(graph, undirected)
+                _assert_matches_scratch(graph, directed, directed=True)
+
+
+class TestIndexBehaviour:
+    def test_shared_index_is_per_graph(self, figure1_graph):
+        assert neighborhood_index(figure1_graph) is neighborhood_index(figure1_graph)
+
+    def test_mutation_invalidates_states(self, figure1_graph):
+        graph = figure1_graph.copy()
+        index = neighborhood_index(graph)
+        before = index.neighborhood("N2", 2)
+        before_nodes = before.nodes  # materialise the snapshot
+        graph.add_edge("N2", "tram", "C1")
+        after = index.neighborhood("N2", 2)
+        assert "C1" in after.nodes
+        assert "C1" not in before_nodes
+
+    def test_lazy_fragment_raises_after_mutation(self, figure1_graph):
+        graph = figure1_graph.copy()
+        neighborhood = extract_neighborhood(graph, "N2", 2)
+        graph.add_edge("N2", "tram", "C1")
+        with pytest.raises(RuntimeError):
+            neighborhood.graph  # noqa: B018 - materialisation is the side effect
+
+    def test_materialised_fragment_survives_mutation(self, figure1_graph):
+        graph = figure1_graph.copy()
+        neighborhood = extract_neighborhood(graph, "N2", 2)
+        fragment = neighborhood.graph
+        graph.add_edge("N2", "tram", "C1")
+        assert "C1" not in fragment
+        assert neighborhood.graph is fragment
+
+    def test_unknown_center_raises(self, figure1_graph):
+        index = NeighborhoodIndex(figure1_graph)
+        with pytest.raises(NodeNotFoundError):
+            index.neighborhood("ghost", 1)
+        with pytest.raises(NodeNotFoundError):
+            index.eccentricity_bound("ghost")
+
+    def test_zoom_after_mutation_still_returns_a_delta(self, figure1_graph):
+        """Regression: the stale-previous fallback must not raise."""
+        graph = figure1_graph.copy()
+        base = extract_neighborhood(graph, "N2", 1)
+        graph.add_edge("N2", "tram", "C2")
+        delta = zoom_out(graph, base)
+        assert delta.current.radius == 2
+        assert "C2" in delta.current.nodes
+        assert ("N2", "tram", "C2") in delta.new_edges
+
+    def test_zoom_with_mismatched_directedness_falls_back_to_full_diff(self):
+        """Regression: a directed fragment zoomed undirected (or vice
+        versa) must produce the honest set-difference delta, not a
+        layer-slice of the wrong BFS."""
+        graph = random_graph(30, 80, ("a", "b"), seed=3)
+        index = NeighborhoodIndex(graph)
+        for center in sorted(graph.nodes(), key=str)[:: 7]:
+            directed_base = index.neighborhood(center, 1, directed=True)
+            delta = index.zoom(directed_base, step=1, directed=False)
+            _, prev_fragment, _ = _scratch_extract(graph, center, 1, directed=True)
+            _, cur_fragment, _ = _scratch_extract(graph, center, 2, directed=False)
+            assert delta.current.nodes == frozenset(cur_fragment.nodes())
+            assert delta.new_nodes == (
+                frozenset(cur_fragment.nodes()) - frozenset(prev_fragment.nodes())
+            )
+            assert delta.new_edges == (
+                frozenset(cur_fragment.edges()) - frozenset(prev_fragment.edges())
+            )
+
+    def test_materialising_the_fragment_releases_the_base_graph(self):
+        import weakref
+
+        graph = random_graph(20, 40, seed=5)
+        neighborhood = extract_neighborhood(graph, "n0", 2)
+        fragment = neighborhood.graph  # materialise -> base reference dropped
+        graph_ref = weakref.ref(graph)
+        del graph
+        assert graph_ref() is None
+        assert neighborhood.contains("n0")
+        assert fragment.node_count == len(neighborhood.nodes)
+        assert neighborhood.edges == frozenset(fragment.edges())
 
 
 class TestExtractNeighborhood:

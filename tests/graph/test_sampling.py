@@ -1,0 +1,146 @@
+"""Unit tests for the generator sampling primitives."""
+
+import random
+import tracemalloc
+
+import pytest
+
+from repro.graph.sampling import FenwickSampler, sample_distinct_ints
+
+
+class TestSampleDistinctInts:
+    def test_exact_count_and_range(self):
+        rng = random.Random(1)
+        values = sample_distinct_ints(rng, 1000, 100)
+        assert len(values) == 100
+        assert len(set(values)) == 100
+        assert all(0 <= value < 1000 for value in values)
+
+    def test_dense_regime_exact_count(self):
+        rng = random.Random(2)
+        values = sample_distinct_ints(rng, 100, 97)
+        assert len(values) == 97
+        assert len(set(values)) == 97
+
+    def test_full_saturation_returns_everything(self):
+        rng = random.Random(3)
+        assert sorted(sample_distinct_ints(rng, 50, 50)) == list(range(50))
+
+    def test_zero_sample(self):
+        assert sample_distinct_ints(random.Random(4), 10, 0) == []
+
+    def test_deterministic(self):
+        first = sample_distinct_ints(random.Random(5), 10_000, 500)
+        second = sample_distinct_ints(random.Random(5), 10_000, 500)
+        assert first == second
+
+    def test_every_regime_is_uniform_ish(self):
+        # crude sanity: over many draws each value appears with similar
+        # frequency in both the sparse and the dense branch
+        counts_sparse = [0] * 10
+        counts_dense = [0] * 10
+        for seed in range(200):
+            for value in sample_distinct_ints(random.Random(seed), 10, 3):
+                counts_sparse[value] += 1
+            for value in sample_distinct_ints(random.Random(seed), 10, 8):
+                counts_dense[value] += 1
+        assert min(counts_sparse) > 0.5 * max(counts_sparse)
+        assert min(counts_dense) > 0.75 * max(counts_dense)
+
+    def test_invalid_args(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            sample_distinct_ints(rng, -1, 0)
+        with pytest.raises(ValueError):
+            sample_distinct_ints(rng, 10, 11)
+        with pytest.raises(ValueError):
+            sample_distinct_ints(rng, 10, -1)
+
+    def test_near_saturation_memory_is_output_bound(self):
+        """The dense branch never materialises the population.
+
+        Peak allocation for a near-saturated draw must stay within a
+        small multiple of the output list itself (the seed-era fallback
+        built the full untaken-triple list instead).
+        """
+        population = 500_000
+        k = population - 10
+        rng = random.Random(6)
+        tracemalloc.start()
+        values = sample_distinct_ints(rng, population, k)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(values) == k
+        output_bytes = values.__sizeof__() + sum(value.__sizeof__() for value in values[:1000]) / 1000 * k
+        assert peak < 3 * output_bytes
+
+
+class TestFenwickSampler:
+    def test_prefix_sums(self):
+        sampler = FenwickSampler.from_weights([3, 0, 2, 5])
+        assert sampler.total == 10
+        assert [sampler.prefix_sum(count) for count in range(5)] == [0, 3, 3, 5, 10]
+
+    def test_find_maps_value_to_slot(self):
+        sampler = FenwickSampler.from_weights([3, 0, 2, 5])
+        expected = [0, 0, 0, 2, 2, 3, 3, 3, 3, 3]
+        assert [sampler.find(value) for value in range(10)] == expected
+
+    def test_add_updates_distribution(self):
+        sampler = FenwickSampler(3)
+        sampler.add(1, 4)
+        sampler.add(2, 1)
+        assert sampler.total == 5
+        assert sampler.find(0) == 1
+        assert sampler.find(3) == 1
+        assert sampler.find(4) == 2
+
+    def test_sample_matches_find(self):
+        weights = [1, 7, 2, 0, 5]
+        sampler = FenwickSampler.from_weights(weights)
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        for _ in range(50):
+            assert sampler.sample(rng_a) == sampler.find(rng_b.randrange(sampler.total))
+
+    def test_sample_respects_weights(self):
+        sampler = FenwickSampler.from_weights([1, 99])
+        rng = random.Random(13)
+        draws = [sampler.sample(rng) for _ in range(500)]
+        assert draws.count(1) > 400
+
+    def test_zero_weight_slot_never_drawn(self):
+        sampler = FenwickSampler.from_weights([5, 0, 5])
+        rng = random.Random(17)
+        assert all(sampler.sample(rng) != 1 for _ in range(200))
+
+    def test_matches_cumulative_scan_on_random_instances(self):
+        rng = random.Random(19)
+        for _ in range(25):
+            size = rng.randrange(1, 40)
+            weights = [rng.randrange(0, 6) for _ in range(size)]
+            if sum(weights) == 0:
+                weights[rng.randrange(size)] = 1
+            sampler = FenwickSampler.from_weights(weights)
+            assert sampler.total == sum(weights)
+            for value in range(sampler.total):
+                running, expected_slot = 0, None
+                for slot, weight in enumerate(weights):
+                    running += weight
+                    if value < running:
+                        expected_slot = slot
+                        break
+                assert sampler.find(value) == expected_slot
+
+    def test_invalid_usage(self):
+        with pytest.raises(ValueError):
+            FenwickSampler(0)
+        with pytest.raises(ValueError):
+            FenwickSampler.from_weights([1, -2])
+        sampler = FenwickSampler(2)
+        with pytest.raises(IndexError):
+            sampler.add(2, 1)
+        with pytest.raises(ValueError):
+            sampler.sample(random.Random(0))
+        sampler.add(0, 1)
+        with pytest.raises(ValueError):
+            sampler.find(1)
