@@ -1,0 +1,247 @@
+"""Many-session serving benchmark: the acceptance gates of the serving core.
+
+Drives N ∈ {1, 16, 64, 256} simulated users over **one** shared graph
+through a :class:`~repro.serving.manager.SessionManager` on one
+:class:`~repro.serving.workspace.GraphWorkspace`, and asserts the three
+acceptance criteria of the serving PR:
+
+* **Throughput** — with 64 concurrent sessions over one workspace, the
+  per-session throughput is at least ``0.7×`` the single-session
+  baseline (in practice it is *higher*: the N sessions share one
+  language index, one neighbourhood index and one answer cache, so the
+  cold-build cost is paid once instead of N times).  Goals are cycled
+  from a pool so cross-session dedup is not what is being measured
+  (dedup is off for the throughput runs).
+* **Memory** — the marginal tracemalloc footprint per extra session
+  (N=64 vs N=16, fresh workspace each) stays bounded: sessions keep only
+  their example set, hypothesis and records; everything heavy lives in
+  the shared workspace.
+* **Fidelity** — per-session traces under the manager are bit-identical
+  to sequential :meth:`InteractiveSession.run` baselines, with dedup on
+  and off.
+
+Timings land in ``BENCH_concurrency.json`` (pytest-benchmark) and the
+scaling table in ``benchmarks/results/concurrency_scaling.json``.
+"""
+
+import json
+import tracemalloc
+
+from repro.graph.generators import random_graph
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.serving import GraphWorkspace, SessionManager
+
+from conftest import write_artifact
+
+import time
+
+NODES = 200
+EDGES = 600
+ALPHABET = ("a", "b", "c")
+SEED = 11
+MAX_PATH_LENGTH = 3
+MAX_INTERACTIONS = 8
+USER_COUNTS = (1, 16, 64, 256)
+
+#: acceptance floor: per-session throughput at N=64 vs the N=1 baseline
+THROUGHPUT_FLOOR = 0.7
+#: acceptance ceiling on marginal memory per extra session (bytes)
+MEMORY_PER_SESSION_CEILING = 512 * 1024
+
+GOALS = (
+    "a . b",
+    "b . c",
+    "a* . b",
+    "(a + b) . c",
+    "c . a",
+    "b* . a",
+    "a . c",
+    "(b + c) . a",
+)
+
+
+def make_graph():
+    return random_graph(NODES, EDGES, ALPHABET, seed=SEED, name="serving-bench")
+
+
+def admit_users(manager, graph, count, *, goal_offset=0):
+    for index in range(count):
+        goal = GOALS[(goal_offset + index) % len(GOALS)]
+        manager.admit(
+            graph,
+            SimulatedUser(graph, goal, workspace=manager.workspace),
+            max_interactions=MAX_INTERACTIONS,
+            max_path_length=MAX_PATH_LENGTH,
+        )
+
+
+def run_fleet(count, *, dedup=False, goal_offset=0):
+    """Admit and drive ``count`` users on a fresh workspace; return seconds."""
+    graph = make_graph()
+    manager = SessionManager(GraphWorkspace(), dedup=dedup)
+    admit_users(manager, graph, count, goal_offset=goal_offset)
+    started = time.perf_counter()
+    results = manager.run_all()
+    elapsed = time.perf_counter() - started
+    assert len(results) == count
+    return elapsed, manager
+
+
+def single_session_baseline_seconds():
+    """Mean single-session time over the same goal mix the fleets run.
+
+    One fresh workspace per session, exactly like a server admitting one
+    user at a time with nothing shared — the N=1 throughput reference.
+    """
+    total = 0.0
+    for offset in range(len(GOALS)):
+        elapsed, _manager = run_fleet(1, goal_offset=offset)
+        total += elapsed
+    return total / len(GOALS)
+
+
+def trace(result):
+    return (
+        result.interaction_trace(),
+        [record.validated_word for record in result.records],
+        str(result.learned_query),
+        result.halted_by,
+    )
+
+
+# ----------------------------------------------------------------------
+# gate 1: throughput scaling
+# ----------------------------------------------------------------------
+def test_throughput_scaling(results_dir):
+    baseline = single_session_baseline_seconds()
+    rows = []
+    per_session = {}
+    for count in USER_COUNTS:
+        elapsed, manager = run_fleet(count)
+        per_session[count] = elapsed / count
+        rows.append(
+            {
+                "sessions": count,
+                "total_seconds": round(elapsed, 4),
+                "seconds_per_session": round(elapsed / count, 5),
+                "throughput_sessions_per_s": round(count / elapsed, 2),
+                "language_index_builds": manager.workspace.stats()[
+                    "language_index_builds"
+                ],
+            }
+        )
+    ratio = baseline / per_session[64]
+    write_artifact(
+        results_dir,
+        "concurrency_scaling.json",
+        json.dumps(
+            {
+                "single_session_baseline_seconds": round(baseline, 5),
+                "rows": rows,
+                "n64_vs_n1_throughput_ratio": round(ratio, 3),
+            },
+            indent=2,
+        ),
+    )
+    assert ratio >= THROUGHPUT_FLOOR, (
+        f"per-session throughput at N=64 is {ratio:.2f}x the N=1 baseline "
+        f"(floor {THROUGHPUT_FLOOR}x)"
+    )
+
+
+# ----------------------------------------------------------------------
+# gate 2: bounded marginal memory per session
+# ----------------------------------------------------------------------
+def measure_fleet_memory(count):
+    graph = make_graph()
+    tracemalloc.start()
+    manager = SessionManager(GraphWorkspace(), dedup=False)
+    admit_users(manager, graph, count)
+    manager.run_all()
+    current, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return current
+
+
+def test_marginal_memory_per_session_bounded(results_dir):
+    small = measure_fleet_memory(16)
+    large = measure_fleet_memory(64)
+    per_session = max(0, large - small) / (64 - 16)
+    write_artifact(
+        results_dir,
+        "concurrency_memory.json",
+        json.dumps(
+            {
+                "retained_bytes_n16": small,
+                "retained_bytes_n64": large,
+                "marginal_bytes_per_session": round(per_session),
+                "ceiling_bytes": MEMORY_PER_SESSION_CEILING,
+            },
+            indent=2,
+        ),
+    )
+    assert per_session <= MEMORY_PER_SESSION_CEILING, (
+        f"each extra session retains {per_session / 1024:.0f} KiB "
+        f"(ceiling {MEMORY_PER_SESSION_CEILING / 1024:.0f} KiB)"
+    )
+
+
+# ----------------------------------------------------------------------
+# gate 3: bit-identical traces vs sequential baselines (dedup on and off)
+# ----------------------------------------------------------------------
+def sequential_traces(graph, count):
+    traces = []
+    for index in range(count):
+        workspace = GraphWorkspace()
+        goal = GOALS[index % len(GOALS)]
+        session = InteractiveSession(
+            graph,
+            SimulatedUser(graph, goal, workspace=workspace),
+            max_interactions=MAX_INTERACTIONS,
+            max_path_length=MAX_PATH_LENGTH,
+            workspace=workspace,
+        )
+        traces.append(trace(session.run()))
+    return traces
+
+
+def test_traces_bit_identical_to_sequential():
+    count = 16
+    graph = make_graph()
+    baseline = sequential_traces(graph, count)
+    for dedup in (False, True):
+        manager = SessionManager(GraphWorkspace(), dedup=dedup)
+        admit_users(manager, graph, count)
+        results = manager.run_all()
+        managed = [results[sid] for sid in sorted(results, key=lambda s: int(s[1:]))]
+        assert [trace(result) for result in managed] == baseline, (
+            f"managed traces diverge from sequential baselines (dedup={dedup})"
+        )
+
+
+def test_dedup_collapses_identical_sessions():
+    graph = make_graph()
+    manager = SessionManager(GraphWorkspace(), dedup=True)
+    # 16 users, only len(GOALS)=8 distinct behaviours
+    admit_users(manager, graph, 16)
+    results = manager.run_all()
+    assert sum(result.deduped for result in results.values()) == 16 - len(GOALS)
+    assert manager.stats()["deduped"] == 16 - len(GOALS)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings (recorded in BENCH_concurrency.json)
+# ----------------------------------------------------------------------
+def test_fleet_16_shared_workspace(benchmark):
+    def run():
+        return run_fleet(16)[0]
+
+    benchmark.pedantic(run, rounds=3)
+
+
+def test_fleet_16_deduped(benchmark):
+    def run():
+        return run_fleet(16, dedup=True)[0]
+
+    benchmark.pedantic(run, rounds=3)

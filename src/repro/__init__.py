@@ -14,7 +14,8 @@ The package is organised bottom-up:
 * :mod:`repro.learning`    — the two-step learning algorithm, informativeness, pruning;
 * :mod:`repro.interactive` — strategies, the Figure 2 session loop, oracles, scenarios;
 * :mod:`repro.workloads`   — goal-query workloads and experiment cases;
-* :mod:`repro.experiments` — figure regeneration and the E1–E5 evaluation harness.
+* :mod:`repro.experiments` — figure regeneration and the E1–E5 evaluation harness;
+* :mod:`repro.serving`     — the many-session serving core (workspace + manager).
 
 Quickstart::
 
@@ -26,6 +27,16 @@ Quickstart::
     session = InteractiveSession(graph, user)
     result = session.run()
     print(result.learned_query)          # a query equivalent on the instance
+
+Serving many users concurrently over one shared graph::
+
+    from repro.serving import GraphWorkspace, SessionManager
+
+    workspace = GraphWorkspace()
+    manager = SessionManager(workspace)
+    for goal in goals:
+        manager.admit(graph, SimulatedUser(graph, goal, workspace=workspace))
+    results = manager.run_all()
 """
 
 from repro.graph.labeled_graph import LabeledGraph
@@ -34,11 +45,16 @@ from repro.query.engine import QueryEngine, shared_engine
 from repro.query.evaluation import evaluate
 from repro.learning.learner import PathQueryLearner, learn_query
 from repro.learning.examples import ExampleSet
-from repro.interactive.session import InteractiveSession
-from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession, SessionResult
+from repro.interactive.oracle import NoisyUser, SimulatedUser
+from repro.serving import GraphWorkspace, SessionHandle, SessionManager, default_workspace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
+#: The supported public surface.  ``shared_engine`` and ``evaluate`` are
+#: deprecated shims kept for one release; new code holds a
+#: :class:`GraphWorkspace` (or lets :class:`InteractiveSession` create
+#: one) and reaches everything through it.
 __all__ = [
     "LabeledGraph",
     "PathQuery",
@@ -49,6 +65,12 @@ __all__ = [
     "learn_query",
     "ExampleSet",
     "InteractiveSession",
+    "SessionResult",
     "SimulatedUser",
+    "NoisyUser",
+    "GraphWorkspace",
+    "SessionManager",
+    "SessionHandle",
+    "default_workspace",
     "__version__",
 ]

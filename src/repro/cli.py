@@ -42,7 +42,8 @@ from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import STRATEGY_REGISTRY, make_strategy
 from repro.interactive.transcript import record_session
 from repro.learning.learner import learn_query
-from repro.query.evaluation import evaluate, witness_path
+from repro.query.engine import shared_engine
+from repro.query.evaluation import witness_path
 from repro.query.rpq import PathQuery
 
 
@@ -73,7 +74,7 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.dataset)
     query = PathQuery(args.query)
-    answer = sorted(evaluate(graph, query), key=str)
+    answer = sorted(shared_engine().evaluate(graph, query), key=str)
     print(f"query   : {query}")
     print(f"answer  : {len(answer)} node(s)")
     for node in answer:
@@ -93,7 +94,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         negative=list(args.negative),
         max_path_length=args.max_path_length,
     )
-    answer = sorted(evaluate(graph, learned), key=str)
+    answer = sorted(shared_engine().evaluate(graph, learned), key=str)
     print(f"learned query : {learned}")
     print(f"selects       : {', '.join(str(node) for node in answer) or '(nothing)'}")
     return 0
@@ -117,7 +118,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"interactions    : {result.interactions}")
     print(f"halted by       : {result.halted_by}")
     print(f"learned query   : {result.learned_query}")
-    learned_answer = sorted(evaluate(graph, result.learned_query), key=str) if result.learned_query else []
+    learned_answer = (
+        sorted(shared_engine().evaluate(graph, result.learned_query), key=str)
+        if result.learned_query
+        else []
+    )
     print(f"learned answer  : {', '.join(str(node) for node in learned_answer) or '(nothing)'}")
     print(f"goal answer     : {', '.join(str(node) for node in sorted(user.goal_answer, key=str))}")
     print("transcript:")

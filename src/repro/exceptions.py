@@ -123,6 +123,14 @@ class NoCandidateNodeError(SessionError):
     """Raised when a strategy cannot propose any informative node."""
 
 
+class SessionNotFoundError(SessionError):
+    """Raised when a session id is unknown to the session manager."""
+
+    def __init__(self, session_id):
+        super().__init__(f"unknown session id: {session_id!r}")
+        self.session_id = session_id
+
+
 class OracleError(GPSError):
     """Raised when a simulated user cannot answer a request."""
 

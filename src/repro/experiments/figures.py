@@ -32,7 +32,8 @@ from repro.interactive.visualization import (
 )
 from repro.automata.prefix_tree import PathPrefixTree
 from repro.learning.path_selection import candidate_prefix_tree
-from repro.query.evaluation import evaluate, witness_path
+from repro.query.engine import shared_engine
+from repro.query.evaluation import witness_path
 from repro.query.rpq import PathQuery
 
 #: The paper's goal query on the motivating example.
@@ -70,7 +71,7 @@ def figure1() -> Figure1Result:
     """Recompute the Figure 1 answer and per-node witness paths."""
     graph = motivating_example()
     query = PathQuery(FIGURE1_QUERY)
-    answer = frozenset(evaluate(graph, query))
+    answer = frozenset(shared_engine().evaluate(graph, query))
     witnesses = {
         str(node): witness_path(graph, query, node) for node in sorted(answer, key=str)
     }
@@ -120,9 +121,10 @@ def figure2(*, path_validation: bool = True) -> Figure2Result:
     result = session.run()
     learned = result.learned_query
     exact = learned is not None and learned.same_language(goal)
-    instance_match = learned is not None and frozenset(evaluate(graph, learned)) == frozenset(
-        evaluate(graph, goal)
-    )
+    engine = shared_engine()
+    instance_match = learned is not None and frozenset(
+        engine.evaluate(graph, learned)
+    ) == frozenset(engine.evaluate(graph, goal))
     return Figure2Result(result, goal, exact, instance_match)
 
 

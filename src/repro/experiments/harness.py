@@ -45,8 +45,8 @@ from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import make_strategy
 from repro.learning.informativeness import pruned_nodes
 from repro.automata.state_merging import rpni
-from repro.query.evaluation import evaluate
 from repro.query.rpq import PathQuery
+from repro.serving.workspace import GraphWorkspace, default_workspace
 from repro.workloads.generator import WorkloadCase, quick_suite
 
 QueryLike = Union[str, PathQuery]
@@ -111,17 +111,22 @@ def e1_unit_rows(
     max_interactions: int = E1_DEFAULTS["max_interactions"],
     max_path_length: int = E1_DEFAULTS["max_path_length"],
     seed: int = 17,
+    workspace: Optional[GraphWorkspace] = None,
 ) -> List[Row]:
     """One E1 cell: one (dataset, goal) case under one strategy.
 
     ``strategy`` may be ``"static"`` for the static-labelling baseline or
-    any name from the strategy registry.
+    any name from the strategy registry.  Every unit draws its shared
+    components (query engine, language indexes, classifiers) from
+    ``workspace`` — the process-wide default when omitted, so serial runs
+    on the same graph keep hitting warm caches.
     """
     goal_query = _coerce_query(goal)
+    workspace = workspace if workspace is not None else default_workspace()
     if strategy == "static":
         report = run_static_labeling(
             graph, goal_query, seed=seed, max_path_length=max_path_length,
-            label_budget=max_interactions,
+            label_budget=max_interactions, workspace=workspace,
         )
     else:
         report = run_interactive_with_validation(
@@ -130,6 +135,7 @@ def e1_unit_rows(
             strategy=make_strategy(strategy, seed=seed, max_path_length=max_path_length),
             max_interactions=max_interactions,
             max_path_length=max_path_length,
+            workspace=workspace,
         )
     row: Row = {
         "dataset": dataset,
@@ -195,15 +201,18 @@ def e2_unit_rows(
     dataset: str,
     max_interactions: int = E2_DEFAULTS["max_interactions"],
     max_path_length: int = E2_DEFAULTS["max_path_length"],
+    workspace: Optional[GraphWorkspace] = None,
 ) -> List[Row]:
     """One E2 case: per-interaction pruning/propagation rows for one goal."""
     goal_query = _coerce_query(goal)
-    user = SimulatedUser(graph, goal_query)
+    workspace = workspace if workspace is not None else default_workspace()
+    user = SimulatedUser(graph, goal_query, workspace=workspace)
     session = InteractiveSession(
         graph,
         user,
         max_path_length=max_path_length,
         max_interactions=max_interactions,
+        workspace=workspace,
     )
     node_count = graph.node_count
     rows: List[Row] = []
@@ -272,21 +281,24 @@ def e3_unit_row(
     max_path_length: int = E3_DEFAULTS["max_path_length"],
     interactions: int = E3_DEFAULTS["interactions"],
     seed: int = 23,
+    workspace: Optional[GraphWorkspace] = None,
 ) -> Row:
     """One E3 cell: latency of a few interactions on one random graph size."""
     alphabet = [chr(ord("a") + index) for index in range(alphabet_size)]
     graph = random_graph(
         node_count, node_count * edge_factor, alphabet, seed=seed, name=f"random-{node_count}"
     )
+    workspace = workspace if workspace is not None else default_workspace()
     goal = PathQuery(f"({alphabet[0]} + {alphabet[1]})* . {alphabet[2]}")
-    if not evaluate(graph, goal):
+    if not workspace.engine.evaluate(graph, goal):
         goal = PathQuery(alphabet[0])
-    user = SimulatedUser(graph, goal)
+    user = SimulatedUser(graph, goal, workspace=workspace)
     session = InteractiveSession(
         graph,
         user,
         max_path_length=max_path_length,
         max_interactions=interactions,
+        workspace=workspace,
     )
     durations: List[float] = []
     performed = 0
@@ -345,16 +357,20 @@ def e4_unit_rows(
     variant: str,
     max_interactions: int = E4_DEFAULTS["max_interactions"],
     max_path_length: int = E4_DEFAULTS["max_path_length"],
+    workspace: Optional[GraphWorkspace] = None,
 ) -> List[Row]:
     """One E4 cell: one (dataset, goal) case with or without path validation."""
     goal_query = _coerce_query(goal)
+    workspace = workspace if workspace is not None else default_workspace()
     if variant == "validation":
         report = run_interactive_with_validation(
-            graph, goal_query, max_interactions=max_interactions, max_path_length=max_path_length
+            graph, goal_query, max_interactions=max_interactions,
+            max_path_length=max_path_length, workspace=workspace,
         )
     elif variant == "no-validation":
         report = run_interactive_without_validation(
-            graph, goal_query, max_interactions=max_interactions, max_path_length=max_path_length
+            graph, goal_query, max_interactions=max_interactions,
+            max_path_length=max_path_length, workspace=workspace,
         )
     else:
         raise ValueError(f"unknown E4 variant {variant!r}")
@@ -486,15 +502,18 @@ def scenario_unit_rows(
     max_interactions: int = SCENARIO_DEFAULTS["max_interactions"],
     max_path_length: int = SCENARIO_DEFAULTS["max_path_length"],
     seed: int = 37,
+    workspace: Optional[GraphWorkspace] = None,
 ) -> List[Row]:
     """One scenario-comparison case: all three Section 3 scenarios on one goal."""
     goal_query = _coerce_query(goal)
+    workspace = workspace if workspace is not None else default_workspace()
     reports = run_all_scenarios(
         graph,
         goal_query,
         max_path_length=max_path_length,
         seed=seed,
         max_interactions=max_interactions,
+        workspace=workspace,
     )
     rows: List[Row] = []
     for report in reports.values():

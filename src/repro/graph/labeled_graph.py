@@ -196,15 +196,64 @@ class LabeledGraph:
         self._edge_count -= 1
         self._version += 1
 
+    def remove_edges_bulk(self, edges: Iterable[Edge]) -> int:
+        """Remove many edges in one pass — the mirror of :meth:`add_edges_bulk`.
+
+        Edges not present (and duplicates within ``edges``) are skipped
+        silently; :attr:`version` is bumped **once** for the whole batch
+        when anything was removed, so derived caches are invalidated a
+        single time instead of once per edge.
+
+        Returns the number of edges that were actually removed.
+        """
+        succ = self._succ
+        pred = self._pred
+        labels = self._labels
+        removed = 0
+        for source, label, target in edges:
+            by_label = succ.get(source)
+            if by_label is None:
+                continue
+            targets = by_label.get(label)
+            if targets is None or target not in targets:
+                continue
+            targets.remove(target)
+            if not targets:
+                del by_label[label]
+            sources = pred[target][label]
+            sources.remove(source)
+            if not sources:
+                del pred[target][label]
+            labels[label] -= 1
+            if labels[label] == 0:
+                del labels[label]
+            removed += 1
+        if removed:
+            self._edge_count -= removed
+            self._version += 1
+        return removed
+
     def remove_node(self, node: Node) -> None:
-        """Remove ``node`` and every incident edge."""
+        """Remove ``node`` and every incident edge.
+
+        Incident edges go through :meth:`remove_edges_bulk`, so the whole
+        removal costs **one** version bump (plus one for the node itself),
+        not one per incident edge.
+        """
         self._require(node)
-        for label, targets in list(self._succ[node].items()):
-            for target in list(targets):
-                self.remove_edge(node, label, target)
-        for label, sources in list(self._pred[node].items()):
-            for source in list(sources):
-                self.remove_edge(source, label, node)
+        incident = [
+            (node, label, target)
+            for label, targets in self._succ[node].items()
+            for target in targets
+        ]
+        incident.extend(
+            (source, label, node)
+            for label, sources in self._pred[node].items()
+            for source in sources
+            # self-loops already appear in the successor sweep
+            if source != node
+        )
+        self.remove_edges_bulk(incident)
         del self._succ[node]
         del self._pred[node]
         self._node_attrs.pop(node, None)

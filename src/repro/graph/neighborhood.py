@@ -452,13 +452,6 @@ class NeighborhoodIndex:
         return len(state.layers) - 1
 
 
-#: graph -> shared NeighborhoodIndex; keyed weakly (and the index holds
-#: the graph weakly too) so indexes die with their graphs
-_SHARED_INDEXES: "weakref.WeakKeyDictionary[LabeledGraph, NeighborhoodIndex]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
 def neighborhood_index(graph: LabeledGraph) -> NeighborhoodIndex:
     """The shared :class:`NeighborhoodIndex` of ``graph``.
 
@@ -467,12 +460,16 @@ def neighborhood_index(graph: LabeledGraph) -> NeighborhoodIndex:
     resolves to one index and therefore shares one BFS per
     ``(version, center, directed)``, the neighbourhood counterpart of
     sharing one :class:`~repro.query.engine.QueryEngine`.
+
+    .. deprecated:: 1.2
+        This is now a shim over
+        :meth:`repro.serving.workspace.GraphWorkspace.neighborhoods` of
+        the process default workspace.  New code should hold a workspace
+        explicitly.
     """
-    index = _SHARED_INDEXES.get(graph)
-    if index is None:
-        index = NeighborhoodIndex(graph)
-        _SHARED_INDEXES[graph] = index
-    return index
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().neighborhoods(graph)
 
 
 def extract_neighborhood(

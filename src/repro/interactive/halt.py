@@ -45,6 +45,16 @@ class HaltCondition(ABC):
     def satisfied(self, context: HaltContext) -> bool:
         """True when the session should stop."""
 
+    def signature(self) -> Optional[tuple]:
+        """Hashable description of the halting behaviour (or ``None``).
+
+        Used by cross-session deduplication: sessions only share a
+        result when their halt conditions provably stop at the same
+        interaction.  The base default ``None`` marks unknown subclasses
+        as not dedup-eligible.
+        """
+        return None
+
     def __call__(self, context: HaltContext) -> bool:
         return self.satisfied(context)
 
@@ -58,6 +68,9 @@ class NoInformativeNodeLeft(HaltCondition):
     """
 
     name = "no-informative-node"
+
+    def signature(self) -> Optional[tuple]:
+        return (self.name,)
 
     def satisfied(self, context: HaltContext) -> bool:
         return context.informative_remaining == 0
@@ -75,6 +88,9 @@ class UserSatisfied(HaltCondition):
 
     def __init__(self, target_answer):
         self.target_answer = frozenset(target_answer)
+
+    def signature(self) -> Optional[tuple]:
+        return (self.name, tuple(sorted(self.target_answer, key=str)))
 
     def satisfied(self, context: HaltContext) -> bool:
         if context.hypothesis is None:
@@ -95,6 +111,12 @@ class GoalQueryReached(HaltCondition):
     def __init__(self, goal: PathQuery):
         self.goal = goal
 
+    def signature(self) -> Optional[tuple]:
+        # the rendered expression pins the goal language (conservatively:
+        # two spellings of one language get distinct signatures, which
+        # only costs a dedup opportunity, never correctness)
+        return (self.name, str(self.goal))
+
     def satisfied(self, context: HaltContext) -> bool:
         if context.hypothesis is None:
             return False
@@ -111,6 +133,9 @@ class MaxInteractions(HaltCondition):
             raise ValueError("interaction limit must be positive")
         self.limit = limit
 
+    def signature(self) -> Optional[tuple]:
+        return (self.name, self.limit)
+
     def satisfied(self, context: HaltContext) -> bool:
         return context.interactions >= self.limit
 
@@ -122,6 +147,9 @@ class AnyOf(HaltCondition):
 
     def __init__(self, conditions: Sequence[HaltCondition]):
         self.conditions = list(conditions)
+
+    def signature(self) -> Optional[tuple]:
+        return _combined_signature(self.name, self.conditions)
 
     def satisfied(self, context: HaltContext) -> bool:
         return any(condition.satisfied(context) for condition in self.conditions)
@@ -135,8 +163,24 @@ class AllOf(HaltCondition):
     def __init__(self, conditions: Sequence[HaltCondition]):
         self.conditions = list(conditions)
 
+    def signature(self) -> Optional[tuple]:
+        return _combined_signature(self.name, self.conditions)
+
     def satisfied(self, context: HaltContext) -> bool:
         return all(condition.satisfied(context) for condition in self.conditions)
+
+
+def _combined_signature(
+    name: str, conditions: Sequence[HaltCondition]
+) -> Optional[tuple]:
+    """Signature of a combinator: defined iff every child's is."""
+    parts = []
+    for condition in conditions:
+        part = condition.signature()
+        if part is None:
+            return None
+        parts.append(part)
+    return (name, tuple(parts))
 
 
 def default_halt_condition(max_interactions: Optional[int] = None) -> HaltCondition:

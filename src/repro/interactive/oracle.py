@@ -48,11 +48,14 @@ class SimulatedUser:
         *,
         zoom_patience: int = 2,
         engine: Optional[QueryEngine] = None,
+        workspace=None,
     ):
         self.graph = graph
         self.goal = goal if isinstance(goal, PathQuery) else PathQuery(goal)
         self.zoom_patience = zoom_patience
-        self.engine = engine or shared_engine()
+        if engine is None:
+            engine = workspace.engine if workspace is not None else shared_engine()
+        self.engine = engine
         self._answer = frozenset(self.engine.evaluate(graph, self.goal))
         #: statistics the experiment harness reads back
         self.labels_answered = 0
@@ -122,6 +125,22 @@ class SimulatedUser:
         """Instance-level satisfaction: the hypothesis returns her answer set."""
         return frozenset(self.engine.evaluate(self.graph, hypothesis)) == self._answer
 
+    def dedup_signature(self) -> Optional[tuple]:
+        """Hashable description of every answer this oracle can give.
+
+        This is the *example signature* of cross-session deduplication:
+        together with the graph fingerprint it determines the labels,
+        zoom answers and path validations of the whole session, so two
+        oracles with equal signatures drive byte-identical sessions.
+        ``None`` (e.g. an unseeded :class:`NoisyUser`) disables dedup.
+        """
+        return (
+            type(self).__name__,
+            str(self.goal),
+            self.zoom_patience,
+            tuple(sorted(self._answer, key=str)),
+        )
+
     def statistics(self) -> dict:
         """Interaction counters (for experiment reports)."""
         return {
@@ -149,13 +168,26 @@ class NoisyUser(SimulatedUser):
         seed: Optional[int] = None,
         zoom_patience: int = 2,
         engine: Optional[QueryEngine] = None,
+        workspace=None,
     ):
-        super().__init__(graph, goal, zoom_patience=zoom_patience, engine=engine)
+        super().__init__(
+            graph, goal, zoom_patience=zoom_patience, engine=engine, workspace=workspace
+        )
         if not 0.0 <= noise <= 1.0:
             raise ValueError("noise must be within [0, 1]")
         self.noise = noise
+        self.seed = seed
         self._rng = random.Random(seed)
         self.flipped_labels = 0
+
+    def dedup_signature(self) -> Optional[tuple]:
+        if self.seed is None:
+            return None  # unseeded flips are not reproducible: never dedup
+        base = super().dedup_signature()
+        # the rng-state hash distinguishes a fresh oracle from one whose
+        # stream was already consumed by an earlier session, so reusing
+        # one oracle object across sessions can never dedup incorrectly
+        return base + (self.noise, self.seed, hash(self._rng.getstate()))
 
     def label(self, node: Node) -> bool:
         truthful = super().label(node)

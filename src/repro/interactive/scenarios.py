@@ -112,6 +112,7 @@ def run_static_labeling(
     label_budget: Optional[int] = None,
     max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
     seed: Optional[int] = None,
+    workspace=None,
 ) -> ScenarioReport:
     """Scenario 1: the user labels nodes in her own (random) order.
 
@@ -119,17 +120,20 @@ def run_static_labeling(
     labels returns exactly her intended answer — but since nothing guides
     her node choice or prunes uninformative nodes, she typically needs to
     label a large fraction of the graph to get there.
+
+    ``workspace`` is the :class:`~repro.serving.workspace.GraphWorkspace`
+    to draw shared components from (the process default when omitted).
     """
     started = time.perf_counter()
     goal_query = goal if isinstance(goal, PathQuery) else PathQuery(goal)
-    user = SimulatedUser(graph, goal_query)
+    user = SimulatedUser(graph, goal_query, workspace=workspace)
     rng = random.Random(seed)
     order = sorted(graph.nodes(), key=str)
     rng.shuffle(order)
     budget = label_budget if label_budget is not None else len(order)
 
     examples = ExampleSet()
-    learner = PathQueryLearner(graph, max_path_length=max_path_length)
+    learner = PathQueryLearner(graph, max_path_length=max_path_length, workspace=workspace)
     learned: Optional[PathQuery] = None
     interactions = 0
     inconsistent = False
@@ -178,10 +182,11 @@ def _run_interactive(
     max_interactions: Optional[int] = None,
     max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
     stop_when_satisfied: bool = True,
+    workspace=None,
 ) -> ScenarioReport:
     started = time.perf_counter()
     goal_query = goal if isinstance(goal, PathQuery) else PathQuery(goal)
-    user = SimulatedUser(graph, goal_query)
+    user = SimulatedUser(graph, goal_query, workspace=workspace)
     conditions = []
     if stop_when_satisfied:
         conditions.append(UserSatisfied(user.goal_answer))
@@ -195,6 +200,7 @@ def _run_interactive(
         halt_condition=halt,
         path_validation=path_validation,
         max_path_length=max_path_length,
+        workspace=workspace,
     )
     result = session.run()
     return _finalize(
@@ -218,6 +224,7 @@ def run_interactive_without_validation(
     strategy: Optional[Strategy] = None,
     max_interactions: Optional[int] = None,
     max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
+    workspace=None,
 ) -> ScenarioReport:
     """Scenario 2: interactive labelling, the system picks paths itself."""
     return _run_interactive(
@@ -228,6 +235,7 @@ def run_interactive_without_validation(
         strategy=strategy,
         max_interactions=max_interactions,
         max_path_length=max_path_length,
+        workspace=workspace,
     )
 
 
@@ -238,6 +246,7 @@ def run_interactive_with_validation(
     strategy: Optional[Strategy] = None,
     max_interactions: Optional[int] = None,
     max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
+    workspace=None,
 ) -> ScenarioReport:
     """Scenario 3: the full GPS loop with path validation (the core system)."""
     return _run_interactive(
@@ -248,6 +257,7 @@ def run_interactive_with_validation(
         strategy=strategy,
         max_interactions=max_interactions,
         max_path_length=max_path_length,
+        workspace=workspace,
     )
 
 
@@ -258,16 +268,30 @@ def run_all_scenarios(
     max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
     seed: Optional[int] = None,
     max_interactions: Optional[int] = None,
+    workspace=None,
 ) -> Dict[str, ScenarioReport]:
     """Run the three demonstration scenarios on the same (graph, goal) pair."""
     return {
         "static": run_static_labeling(
-            graph, goal, max_path_length=max_path_length, seed=seed, label_budget=max_interactions
+            graph,
+            goal,
+            max_path_length=max_path_length,
+            seed=seed,
+            label_budget=max_interactions,
+            workspace=workspace,
         ),
         "interactive": run_interactive_without_validation(
-            graph, goal, max_path_length=max_path_length, max_interactions=max_interactions
+            graph,
+            goal,
+            max_path_length=max_path_length,
+            max_interactions=max_interactions,
+            workspace=workspace,
         ),
         "interactive+validation": run_interactive_with_validation(
-            graph, goal, max_path_length=max_path_length, max_interactions=max_interactions
+            graph,
+            goal,
+            max_path_length=max_path_length,
+            max_interactions=max_interactions,
+            workspace=workspace,
         ),
     }

@@ -25,6 +25,7 @@ adapter), so the same loop serves both experiments and the console demo.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -34,16 +35,15 @@ from repro.exceptions import (
     SessionFinishedError,
 )
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.graph.neighborhood import Neighborhood, neighborhood_index
+from repro.graph.neighborhood import Neighborhood
 from repro.interactive.halt import HaltCondition, HaltContext, default_halt_condition
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.strategies import MostInformativePathsStrategy, Strategy
 from repro.learning.examples import ExampleSet, Word
-from repro.learning.informativeness import session_classifier
 from repro.learning.learner import DEFAULT_MAX_PATH_LENGTH, PathQueryLearner
 from repro.learning.path_selection import candidate_prefix_tree
 from repro.learning.propagation import propagate_to_fixpoint
-from repro.query.engine import QueryEngine, shared_engine
+from repro.query.engine import QueryEngine
 from repro.query.rpq import PathQuery
 
 #: Initial neighbourhood radius shown to the user (Figure 3(a)).
@@ -78,6 +78,9 @@ class SessionResult:
     records: List[InteractionRecord] = field(default_factory=list)
     halted_by: str = "exhausted"
     inconsistent: bool = False
+    #: True when this result was adopted from an identical session's run
+    #: (cross-session deduplication) instead of executing the loop itself
+    deduped: bool = False
 
     @property
     def interactions(self) -> int:
@@ -100,7 +103,29 @@ class SessionResult:
 
 
 class InteractiveSession:
-    """Drives the Figure 2 loop on one graph with one (simulated) user."""
+    """Drives the Figure 2 loop on one graph with one (simulated) user.
+
+    Shared, read-mostly components — the query engine, language indexes,
+    the neighbourhood index, the informativeness classifier registry —
+    are drawn from a :class:`~repro.serving.workspace.GraphWorkspace`.
+    Pass ``workspace=`` to make sharing explicit (a
+    :class:`~repro.serving.manager.SessionManager` admits every session
+    over its own workspace); without one the session uses the process
+    default workspace, which is what the old module-level registries now
+    delegate to, so single-session scripts behave exactly as before.
+
+    Per-session state is only the :class:`ExampleSet`, the current
+    hypothesis and the interaction records.
+
+    Migration note: ``engine=`` is deprecated.  Where you previously
+    isolated a session with ``InteractiveSession(graph, user,
+    engine=QueryEngine())``, pass
+    ``workspace=GraphWorkspace(engine=QueryEngine())`` instead — the
+    workspace isolates the language/neighbourhood indexes along with the
+    engine, which is almost always what isolation was meant to achieve.
+    ``engine=`` still works (wrapping itself in an ad-hoc workspace) but
+    emits a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
@@ -115,16 +140,36 @@ class InteractiveSession:
         max_radius: int = DEFAULT_MAX_RADIUS,
         max_interactions: Optional[int] = None,
         engine: Optional[QueryEngine] = None,
+        workspace=None,
     ):
+        from repro.serving.workspace import GraphWorkspace, default_workspace
+
         self.graph = graph
         self.user = user
+        if engine is not None:
+            warnings.warn(
+                "InteractiveSession(engine=...) is deprecated; pass "
+                "workspace=GraphWorkspace(engine=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if workspace is None:
+                workspace = GraphWorkspace(engine=engine)
+            elif workspace.engine is not engine:
+                raise ValueError(
+                    "conflicting engine= and workspace= (the workspace owns its engine)"
+                )
+        if workspace is None:
+            workspace = default_workspace()
+        #: the GraphWorkspace every shared component is drawn from
+        self.workspace = workspace
         #: query engine shared by the learner, halt conditions and metrics
         #: of this session — one answer cache for the whole loop
-        self.engine = engine or shared_engine()
+        self.engine = workspace.engine
         #: incremental neighbourhood/zoom index shared by the session's
         #: zoom ladder, the eccentricity cap and the figure harness —
         #: one BFS per (version, center, directed) for the whole loop
-        self.neighborhoods = neighborhood_index(graph)
+        self.neighborhoods = workspace.neighborhoods(graph)
         self.strategy = strategy or MostInformativePathsStrategy(
             max_path_length=max_path_length,
             engine=self.engine,
@@ -141,10 +186,15 @@ class InteractiveSession:
         #: language index and one per-node status table for the whole
         #: loop, updated per interaction delta (the informativeness
         #: counterpart of threading one QueryEngine everywhere)
-        self.classifier = session_classifier(
+        self.classifier = workspace.classifier(
             graph, self.examples, max_length=self.strategy.max_path_length
         )
-        self.learner = PathQueryLearner(graph, max_path_length=max_path_length, engine=self.engine)
+        # strategies rank through the session's classifier (and therefore
+        # the workspace's language index) instead of the module registry
+        self.strategy.use_classifier(self.classifier)
+        self.learner = PathQueryLearner(
+            graph, max_path_length=max_path_length, workspace=workspace
+        )
         self.hypothesis: Optional[PathQuery] = None
         self.records: List[InteractionRecord] = []
         self._finished = False
@@ -182,12 +232,36 @@ class InteractiveSession:
         """Run interactions until the halt condition is satisfied."""
         if self._finished:
             raise SessionFinishedError("this session has already been run")
-        while not self.should_halt():
-            try:
-                self.step()
-            except NoCandidateNodeError:
-                self._halted_by = "no-candidate"
-                break
+        while self.advance():
+            pass
+        return self.finish()
+
+    def advance(self) -> bool:
+        """Perform one interaction; ``False`` when the session has halted.
+
+        This is the unit the async :class:`~repro.serving.manager
+        .SessionManager` drives — one ``advance()`` per scheduler slot,
+        with an await point in between.  Halting by candidate exhaustion
+        (the strategy has nothing left to propose) is absorbed here, like
+        in :meth:`run`.
+        """
+        if self._finished:
+            raise SessionFinishedError("this session has already been run")
+        if self.should_halt():
+            return False
+        try:
+            self.step()
+        except NoCandidateNodeError:
+            self._halted_by = "no-candidate"
+            return False
+        return True
+
+    def finish(self) -> SessionResult:
+        """Seal the session and return its :class:`SessionResult`.
+
+        Idempotent once the loop is over; :meth:`run` is exactly
+        ``while self.advance(): pass`` followed by ``finish()``.
+        """
         self._finished = True
         return SessionResult(
             learned_query=self.hypothesis,
@@ -218,7 +292,10 @@ class InteractiveSession:
             self.examples.add_negative(node)
 
         propagation_rounds = propagate_to_fixpoint(
-            self.graph, self.examples, max_length=self.strategy.max_path_length
+            self.graph,
+            self.examples,
+            max_length=self.strategy.max_path_length,
+            classifier=self.classifier,
         )
         propagated_positive = sum(len(round_.implied_positive) for round_ in propagation_rounds)
         propagated_negative = sum(len(round_.implied_negative) for round_ in propagation_rounds)
@@ -288,6 +365,7 @@ class InteractiveSession:
                 self.examples.negative_nodes,
                 max_length=bound,
                 preferred_length=neighborhood.radius,
+                index=self.workspace.language_index(self.graph, bound),
             )
             choice = self.user.validate_path(node, tree)
             if choice is not None:

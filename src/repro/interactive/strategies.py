@@ -38,7 +38,11 @@ from repro.exceptions import NoCandidateNodeError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.neighborhood import NeighborhoodIndex, neighborhood_index
 from repro.learning.examples import ExampleSet
-from repro.learning.informativeness import classify_all, informative_nodes
+from repro.learning.informativeness import (
+    SessionClassifier,
+    classify_all,
+    informative_nodes,
+)
 from repro.query.engine import QueryEngine, shared_engine
 
 
@@ -66,6 +70,43 @@ class Strategy(ABC):
         #: threads its own here so strategies that rank by locality
         #: reuse the BFS layers the zoom ladder already paid for
         self._neighborhood_index = neighborhood_index
+        #: the session's incremental classifier (threaded via
+        #: :meth:`use_classifier`); informativeness lookups go through it
+        #: so a workspace-backed session never touches module registries
+        self._classifier: Optional[SessionClassifier] = None
+
+    def use_classifier(self, classifier: SessionClassifier) -> None:
+        """Thread the session's classifier into this strategy.
+
+        The classifier is only consulted when it tracks exactly the
+        ``(graph, examples, max_path_length)`` triple being ranked, so
+        binding is always safe; mismatching calls fall back to the shared
+        registry.
+        """
+        self._classifier = classifier
+
+    def _informative(self, graph: LabeledGraph, examples: ExampleSet) -> List[Node]:
+        """Ranked informative nodes via the bound classifier when it fits."""
+        return informative_nodes(
+            graph, examples, max_length=self.max_path_length, classifier=self._classifier
+        )
+
+    def _statuses(self, graph: LabeledGraph, examples: ExampleSet):
+        """Per-node statuses via the bound classifier when it fits."""
+        return classify_all(
+            graph, examples, max_length=self.max_path_length, classifier=self._classifier
+        )
+
+    def signature(self) -> Optional[tuple]:
+        """Hashable description of this strategy's proposal behaviour.
+
+        Used by cross-session deduplication: two strategies with equal
+        signatures propose identical node sequences on identical session
+        states.  ``None`` (the base default for unknown subclasses, and
+        unseeded random strategies) means "not reproducible — never
+        dedup".  Deterministic built-ins return ``(name, bound)``.
+        """
+        return None
 
     def neighborhoods(self, graph: LabeledGraph) -> NeighborhoodIndex:
         """The shared :class:`NeighborhoodIndex` of ``graph``.
@@ -112,7 +153,13 @@ class RandomStrategy(Strategy):
             engine=engine,
             neighborhood_index=neighborhood_index,
         )
+        self.seed = seed
         self._rng = random.Random(seed)
+
+    def signature(self) -> Optional[tuple]:
+        if self.seed is None:
+            return None  # unseeded: proposals are not reproducible
+        return (self.name, self.max_path_length, self.seed)
 
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
         candidates = self._unlabeled(graph, examples)
@@ -139,10 +186,16 @@ class RandomInformativeStrategy(Strategy):
             engine=engine,
             neighborhood_index=neighborhood_index,
         )
+        self.seed = seed
         self._rng = random.Random(seed)
 
+    def signature(self) -> Optional[tuple]:
+        if self.seed is None:
+            return None  # unseeded: proposals are not reproducible
+        return (self.name, self.max_path_length, self.seed)
+
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
-        candidates = informative_nodes(graph, examples, max_length=self.max_path_length)
+        candidates = self._informative(graph, examples)
         if not candidates:
             raise NoCandidateNodeError("no informative node remains")
         return self._rng.choice(sorted(candidates, key=str))
@@ -153,8 +206,11 @@ class BreadthStrategy(Strategy):
 
     name = "breadth"
 
+    def signature(self) -> Optional[tuple]:
+        return (self.name, self.max_path_length)
+
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
-        candidates = set(informative_nodes(graph, examples, max_length=self.max_path_length))
+        candidates = set(self._informative(graph, examples))
         if not candidates:
             raise NoCandidateNodeError("no informative node remains")
         seeds = sorted(examples.labeled_nodes & frozenset(graph.nodes()), key=str)
@@ -180,8 +236,11 @@ class MostInformativePathsStrategy(Strategy):
 
     name = "most-informative"
 
+    def signature(self) -> Optional[tuple]:
+        return (self.name, self.max_path_length)
+
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
-        ranked = informative_nodes(graph, examples, max_length=self.max_path_length)
+        ranked = self._informative(graph, examples)
         if not ranked:
             raise NoCandidateNodeError("no informative node remains")
         return ranked[0]
@@ -198,8 +257,11 @@ class DegreeStrategy(Strategy):
 
     name = "degree"
 
+    def signature(self) -> Optional[tuple]:
+        return (self.name, self.max_path_length)
+
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:
-        statuses = classify_all(graph, examples, max_length=self.max_path_length)
+        statuses = self._statuses(graph, examples)
         candidates = [node for node, status in statuses.items() if status.informative]
         if not candidates:
             raise NoCandidateNodeError("no informative node remains")

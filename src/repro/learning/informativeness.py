@@ -182,13 +182,26 @@ class SessionClassifier:
     in ``tests/learning/test_language_index.py`` pin this.
     """
 
-    def __init__(self, graph: LabeledGraph, examples: ExampleSet, *, max_length: int):
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        examples: ExampleSet,
+        *,
+        max_length: int,
+        index_provider=None,
+    ):
         self.graph = graph
         # held weakly: the shared-classifier registry keys on the example
         # set, so a strong reference here would pin the key (and with it
         # the classifier, the graph and its language index) forever
         self._examples_ref = weakref.ref(examples)
         self.max_length = max_length
+        #: ``(graph, max_length) -> LanguageIndex`` — a GraphWorkspace
+        #: threads its own accessor here so index (re)builds go through
+        #: the workspace's build-once locks and accounting
+        self._index_provider = (
+            index_provider if index_provider is not None else language_index_for
+        )
         self._index: Optional[LanguageIndex] = None
         self._statuses: Dict[Node, NodeStatus] = {}
         self._cover = 0
@@ -238,7 +251,7 @@ class SessionClassifier:
         )
 
     def _rebuild(self) -> None:
-        self._index = language_index_for(self.graph, self.max_length)
+        self._index = self._index_provider(self.graph, self.max_length)
         index = self._index
         self._snapshot()
         cover = index.cover(self._negatives)
@@ -333,11 +346,6 @@ class SessionClassifier:
         )
 
 
-#: examples -> [(graph weakref, max_length, classifier)]; keyed weakly so a
-#: finished session's classifier is garbage-collected with its examples
-_SESSION_CLASSIFIERS: "weakref.WeakKeyDictionary[ExampleSet, list]" = weakref.WeakKeyDictionary()
-
-
 def session_classifier(
     graph: LabeledGraph, examples: ExampleSet, *, max_length: int
 ) -> SessionClassifier:
@@ -348,19 +356,33 @@ def session_classifier(
     resolves to one classifier and therefore pays only the incremental
     delta per interaction, exactly the way they share one
     :class:`~repro.query.engine.QueryEngine` for evaluation.
+
+    .. deprecated:: 1.2
+        This is now a shim over
+        :meth:`repro.serving.workspace.GraphWorkspace.classifier` of the
+        process default workspace.  New code should hold a workspace
+        explicitly (the session loop threads its own classifier).
     """
-    entries = _SESSION_CLASSIFIERS.get(examples)
-    if entries is None:
-        entries = []
-        _SESSION_CLASSIFIERS[examples] = entries
-    for entry_graph, bound, classifier in entries:
-        if entry_graph is graph and bound == max_length:
-            return classifier
-    classifier = SessionClassifier(graph, examples, max_length=max_length)
-    # the classifier already references the graph strongly, so the entry
-    # may too; the whole list dies with the (weakly held) example set
-    entries.append((graph, max_length, classifier))
-    return classifier
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().classifier(graph, examples, max_length=max_length)
+
+
+def _resolve_classifier(
+    graph: LabeledGraph,
+    examples: ExampleSet,
+    max_length: int,
+    classifier: Optional[SessionClassifier],
+) -> SessionClassifier:
+    """Use ``classifier`` when it tracks exactly this triple, else the registry."""
+    if (
+        classifier is not None
+        and classifier.graph is graph
+        and classifier.max_length == max_length
+        and classifier._examples_ref() is examples
+    ):
+        return classifier
+    return session_classifier(graph, examples, max_length=max_length)
 
 
 def classify_all(
@@ -369,6 +391,7 @@ def classify_all(
     *,
     max_length: int,
     candidates: Optional[Iterable[Node]] = None,
+    classifier: Optional[SessionClassifier] = None,
 ) -> Dict[Node, NodeStatus]:
     """Classify every node (or just ``candidates``) against the examples.
 
@@ -376,9 +399,11 @@ def classify_all(
     ``(graph, examples, max_length)``: the first call per example set
     builds the language index, subsequent calls only re-derive what the
     newest examples changed.  Results are identical to
-    :func:`classify_all_scratch`.
+    :func:`classify_all_scratch`.  Callers holding the session's
+    classifier (a workspace-backed loop) pass it via ``classifier`` so
+    no module-level registry is consulted.
     """
-    statuses = session_classifier(graph, examples, max_length=max_length).statuses()
+    statuses = _resolve_classifier(graph, examples, max_length, classifier).statuses()
     if candidates is None:
         return statuses
     restricted: Dict[Node, NodeStatus] = {}
@@ -396,14 +421,17 @@ def informative_nodes(
     *,
     max_length: int,
     candidates: Optional[Iterable[Node]] = None,
+    classifier: Optional[SessionClassifier] = None,
 ) -> List[Node]:
     """The informative nodes, sorted by decreasing informativeness score.
 
     Ties are broken by node identifier so the ordering is deterministic.
     """
     if candidates is None:
-        return session_classifier(graph, examples, max_length=max_length).informative()
-    statuses = classify_all(graph, examples, max_length=max_length, candidates=candidates)
+        return _resolve_classifier(graph, examples, max_length, classifier).informative()
+    statuses = classify_all(
+        graph, examples, max_length=max_length, candidates=candidates, classifier=classifier
+    )
     return _ranked_informative(statuses.values())
 
 

@@ -38,7 +38,6 @@ the graph mutates, so callers can never observe stale languages.
 
 from __future__ import annotations
 
-import weakref
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -357,41 +356,22 @@ class LanguageIndex:
         )
 
 
-#: graph -> {max_length: index}; graphs are held weakly so dropping a
-#: graph garbage-collects its indexes (mirrors the engine's answer cache)
-_INDEX_CACHE: "weakref.WeakKeyDictionary[LabeledGraph, Dict[int, LanguageIndex]]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
 def language_index_for(graph: LabeledGraph, max_length: int) -> LanguageIndex:
     """The shared :class:`LanguageIndex` of ``graph`` at ``max_length``.
 
     Built on first use and after every structural mutation (detected via
     :attr:`LabeledGraph.version`); otherwise returned from cache, so every
     subsystem of one process shares a single snapshot per bound.
+
+    .. deprecated:: 1.2
+        This is now a shim over
+        :meth:`repro.serving.workspace.GraphWorkspace.language_index` of
+        the process default workspace (which adds build-once locking and
+        accounting).  New code should hold a workspace explicitly.
     """
-    per_graph = _INDEX_CACHE.get(graph)
-    if per_graph is None:
-        per_graph = {}
-        _INDEX_CACHE[graph] = per_graph
-    index = per_graph.get(max_length)
-    if index is None or index.version != graph.version:
-        # a current index at a larger bound already knows every word of
-        # this bound: restrict it instead of re-walking the whole graph
-        # (the session's path-validation step asks for each neighbourhood
-        # radius below the session bound)
-        larger = [
-            cached
-            for bound, cached in per_graph.items()
-            if bound > max_length and cached.version == graph.version
-        ]
-        if larger:
-            index = min(larger, key=lambda cached: cached.max_length).restricted(max_length)
-        else:
-            index = LanguageIndex(graph, max_length)
-        per_graph[max_length] = index
-    return index
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().language_index(graph, max_length)
 
 
 # ----------------------------------------------------------------------
@@ -435,11 +415,16 @@ class CompatibilityOracle:
         negatives: Iterable[Node],
         *,
         max_length: int,
+        index: Optional[LanguageIndex] = None,
     ):
         self.graph = graph
         self.negatives: Tuple[Node, ...] = tuple(sorted(negatives, key=str))
         self.max_length = max_length
-        self.index = language_index_for(graph, max_length)
+        # callers holding a GraphWorkspace pass its index; the shim keeps
+        # index-less construction working for legacy call sites
+        if index is None or index.version != graph.version or index.max_length != max_length:
+            index = language_index_for(graph, max_length)
+        self.index = index
         self.cover_bits = self.index.cover(self.negatives)
 
     def compatible(self, dfa: DFA) -> bool:

@@ -29,9 +29,9 @@ from repro.exceptions import InconsistentExamplesError, NoConsistentPathError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.consistency import ConsistencyReport, check_consistency
 from repro.learning.examples import ExampleSet, Word
-from repro.learning.language_index import CompatibilityOracle, language_index_for
+from repro.learning.language_index import CompatibilityOracle
 from repro.learning.path_selection import select_path
-from repro.query.engine import QueryEngine, shared_engine
+from repro.query.engine import QueryEngine
 from repro.query.rpq import PathQuery
 
 #: Default bound on the length of candidate paths considered in step (i).
@@ -65,15 +65,25 @@ class PathQueryLearner:
         generalize: bool = True,
         engine: Optional[QueryEngine] = None,
         compatibility: str = "indexed",
+        workspace=None,
     ):
         self.graph = graph
         self.max_path_length = max_path_length
         #: when False the learner returns the ungeneralised disjunction of
         #: sample words (used by ablation experiments)
         self.generalize = generalize
+        #: the GraphWorkspace providing the language index and canonical
+        #: cache; defaults to the process workspace so standalone learners
+        #: keep sharing state with everything else
+        if workspace is None:
+            from repro.serving.workspace import default_workspace
+
+            workspace = default_workspace()
+        self.workspace = workspace
         #: query engine used for consistency checks (and compatibility in
-        #: ``"engine"`` mode)
-        self.engine = engine or shared_engine()
+        #: ``"engine"`` mode); an explicit ``engine`` wins over the
+        #: workspace's (ablation benchmarks isolate engines this way)
+        self.engine = engine if engine is not None else workspace.engine
         if compatibility not in ("indexed", "engine"):
             raise ValueError(
                 f"unknown compatibility mode {compatibility!r}; expected 'indexed' or 'engine'"
@@ -104,7 +114,8 @@ class PathQueryLearner:
         negatives = [node for node in examples.negative_nodes if node in graph]
         # one negative-cover bitset serves every positive node of this call
         # (select_path would otherwise re-derive it per positive)
-        banned = language_index_for(graph, self.max_path_length).cover(negatives)
+        index = self.workspace.language_index(graph, self.max_path_length)
+        banned = index.cover(negatives)
         for node in sorted(examples.positive_nodes, key=str):
             validated = examples.validated_word(node)
             if validated is not None:
@@ -112,7 +123,12 @@ class PathQueryLearner:
                 continue
             try:
                 chosen[node] = select_path(
-                    graph, node, negatives, max_length=self.max_path_length, cover_bits=banned
+                    graph,
+                    node,
+                    negatives,
+                    max_length=self.max_path_length,
+                    cover_bits=banned,
+                    index=index,
                 )
             except NoConsistentPathError as error:
                 raise InconsistentExamplesError(
@@ -130,7 +146,10 @@ class PathQueryLearner:
         negatives = sorted(examples.negative_nodes, key=str)
         if self.compatibility == "indexed":
             oracle = CompatibilityOracle(
-                self.graph, negatives, max_length=self.max_path_length
+                self.graph,
+                negatives,
+                max_length=self.max_path_length,
+                index=self.workspace.language_index(self.graph, self.max_path_length),
             )
             return oracle.compatible
         graph = self.graph
@@ -155,7 +174,7 @@ class PathQueryLearner:
 
         if not words:
             dfa = DFA(0)  # empty language
-            query = PathQuery.from_dfa(dfa, name="empty")
+            query = PathQuery.from_dfa(dfa, name="empty", cache=self.workspace.canonical)
             report = check_consistency(self.graph, query, examples, engine=self.engine)
             return LearningOutcome(query, query.dfa, words, report, self.generalize)
 
@@ -166,9 +185,10 @@ class PathQueryLearner:
 
             learned = build_pta(words)
         # from_dfa serves minimisation and regex synthesis from the
-        # canonical-form cache, so re-learning an unchanged hypothesis —
-        # the common case between interactions — does no automata work
-        query = PathQuery.from_dfa(learned)
+        # workspace's canonical-form cache, so re-learning an unchanged
+        # hypothesis — the common case between interactions — does no
+        # automata work
+        query = PathQuery.from_dfa(learned, cache=self.workspace.canonical)
         report = check_consistency(self.graph, query, examples, engine=self.engine)
         return LearningOutcome(query, query.dfa, words, report, self.generalize)
 

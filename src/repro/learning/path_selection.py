@@ -21,13 +21,35 @@ from repro.automata.prefix_tree import PathPrefixTree, build_path_prefix_tree
 from repro.exceptions import NoConsistentPathError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.paths import has_word
-from repro.learning.language_index import language_index_for
+from repro.learning.language_index import LanguageIndex, language_index_for
 
 Word = Tuple[str, ...]
 
 
+def _resolve_index(
+    graph: LabeledGraph, max_length: int, index: Optional[LanguageIndex]
+) -> LanguageIndex:
+    """Use the caller's ``index`` when it matches this snapshot, else the shared one.
+
+    Workspace-backed callers (the learner, the session loop) pass their
+    workspace's index so these helpers never touch the module registry;
+    index-less calls keep the legacy behaviour.
+    """
+    if (
+        index is not None
+        and index.version == graph.version
+        and index.max_length == max_length
+    ):
+        return index
+    return language_index_for(graph, max_length)
+
+
 def covered_words(
-    graph: LabeledGraph, negatives: Iterable[Node], max_length: int
+    graph: LabeledGraph,
+    negatives: Iterable[Node],
+    max_length: int,
+    *,
+    index: Optional[LanguageIndex] = None,
 ) -> Set[Word]:
     """The union of the bounded path languages of the negative nodes.
 
@@ -42,7 +64,7 @@ def covered_words(
     any signal.)  Callers with speculative negative sets must pre-filter,
     as :func:`consistent_words_for` does.
     """
-    index = language_index_for(graph, max_length)
+    index = _resolve_index(graph, max_length, index)
     bits = 0
     for node in negatives:
         bits |= index.language(node)  # raises NodeNotFoundError when absent
@@ -56,6 +78,7 @@ def consistent_words_for(
     *,
     max_length: int,
     limit: Optional[int] = None,
+    index: Optional[LanguageIndex] = None,
 ) -> List[Word]:
     """Words of ``node`` (length ≤ ``max_length``) covered by no negative.
 
@@ -70,7 +93,7 @@ def consistent_words_for(
     negative-free example set.)
     """
     negative_nodes = [item for item in negatives if item in graph]
-    index = language_index_for(graph, max_length)
+    index = _resolve_index(graph, max_length, index)
     banned = index.cover(negative_nodes)
     uncovered = index.language(node) & ~banned
     if limit is not None and limit <= 0:
@@ -99,6 +122,7 @@ def select_path(
     max_length: int,
     preferred_length: Optional[int] = None,
     cover_bits: Optional[int] = None,
+    index: Optional[LanguageIndex] = None,
 ) -> Word:
     """Pick the candidate word for a positive node.
 
@@ -116,7 +140,7 @@ def select_path(
     ``max_length`` is covered by a negative.
     """
     negative_nodes = [item for item in negatives if item in graph]
-    index = language_index_for(graph, max_length)
+    index = _resolve_index(graph, max_length, index)
     if cover_bits is None:
         cover_bits = index.cover(negative_nodes)
     uncovered = index.language(node) & ~cover_bits
@@ -135,6 +159,7 @@ def candidate_prefix_tree(
     *,
     max_length: int,
     preferred_length: Optional[int] = None,
+    index: Optional[LanguageIndex] = None,
 ) -> PathPrefixTree:
     """The prefix tree of uncovered words of ``node``, candidate highlighted.
 
@@ -143,7 +168,9 @@ def candidate_prefix_tree(
     are not yet covered by negative examples, presented as a prefix tree
     with the system's best guess highlighted.
     """
-    uncovered = consistent_words_for(graph, node, negatives, max_length=max_length)
+    uncovered = consistent_words_for(
+        graph, node, negatives, max_length=max_length, index=index
+    )
     endpoints: Dict[Word, Tuple] = {}
     for word in uncovered:
         # record the graph nodes reachable by spelling each prefix of the word
@@ -181,6 +208,7 @@ def validate_word(
     negatives: Iterable[Node],
     *,
     max_length: int,
+    index: Optional[LanguageIndex] = None,
 ) -> bool:
     """Check that ``word`` is a legal validation answer for ``node``.
 
@@ -195,7 +223,7 @@ def validate_word(
         return False
     if len(word) > max_length:
         return False
-    index = language_index_for(graph, max_length)
+    index = _resolve_index(graph, max_length, index)
     banned = index.cover(node for node in negatives if node in graph)
     word_id = index.arena.lookup(word)
     return word_id is None or not (banned >> word_id) & 1

@@ -26,9 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
+from typing import Optional
+
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.examples import ExampleSet
-from repro.learning.informativeness import classify_all
+from repro.learning.informativeness import SessionClassifier, classify_all
 
 
 @dataclass(frozen=True)
@@ -49,13 +51,16 @@ def propagate_labels(
     examples: ExampleSet,
     *,
     max_length: int,
+    classifier: Optional[SessionClassifier] = None,
 ) -> PropagationResult:
     """Run one propagation pass, mutating ``examples`` in place.
 
     Returns the sets of nodes that received implied labels.  The pass is
     idempotent: running it twice in a row adds nothing the second time.
+    A workspace-backed session passes its own ``classifier`` so the pass
+    reuses the session's status table instead of the module registry.
     """
-    statuses = classify_all(graph, examples, max_length=max_length)
+    statuses = classify_all(graph, examples, max_length=max_length, classifier=classifier)
     implied_positive = set()
     implied_negative = set()
     for node, status in statuses.items():
@@ -76,6 +81,7 @@ def propagate_to_fixpoint(
     *,
     max_length: int,
     max_rounds: int = 10,
+    classifier: Optional[SessionClassifier] = None,
 ) -> Tuple[PropagationResult, ...]:
     """Repeat propagation until nothing changes (or ``max_rounds`` is hit).
 
@@ -84,7 +90,7 @@ def propagate_to_fixpoint(
     """
     rounds = []
     for _ in range(max_rounds):
-        result = propagate_labels(graph, examples, max_length=max_length)
+        result = propagate_labels(graph, examples, max_length=max_length, classifier=classifier)
         rounds.append(result)
         if result.total == 0:
             break

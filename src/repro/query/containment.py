@@ -19,7 +19,7 @@ from typing import Optional, Tuple, Union
 from repro.automata.dfa import DFA
 from repro.automata.equivalence import counterexample, equivalent, included, inclusion_counterexample
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.query.evaluation import evaluate
+from repro.query.engine import shared_engine
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
 
@@ -56,15 +56,17 @@ def containment_counterexample(first: QueryLike, second: QueryLike) -> Optional[
 
 def instance_equivalent(graph: LabeledGraph, first: QueryLike, second: QueryLike) -> bool:
     """True when the two queries select the same nodes of ``graph``."""
-    return evaluate(graph, first) == evaluate(graph, second)
+    engine = shared_engine()
+    return engine.evaluate(graph, first) == engine.evaluate(graph, second)
 
 
 def instance_difference(
     graph: LabeledGraph, first: QueryLike, second: QueryLike
 ) -> Tuple[frozenset, frozenset]:
     """Nodes selected only by ``first`` and only by ``second`` on ``graph``."""
-    first_answer = evaluate(graph, first)
-    second_answer = evaluate(graph, second)
+    engine = shared_engine()
+    first_answer = engine.evaluate(graph, first)
+    second_answer = engine.evaluate(graph, second)
     return (first_answer - second_answer, second_answer - first_answer)
 
 

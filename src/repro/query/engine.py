@@ -530,16 +530,18 @@ class QueryEngine:
         return False
 
 
-#: process-wide engine behind the :mod:`repro.query.evaluation` wrappers
-_SHARED_ENGINE: Optional[QueryEngine] = None
-
-
 def shared_engine() -> QueryEngine:
-    """The process-wide :class:`QueryEngine` used by the module-level API."""
-    global _SHARED_ENGINE
-    if _SHARED_ENGINE is None:
-        _SHARED_ENGINE = QueryEngine()
-    return _SHARED_ENGINE
+    """The process-wide :class:`QueryEngine` used by the module-level API.
+
+    .. deprecated:: 1.2
+        This is now a shim over the engine of
+        :func:`repro.serving.workspace.default_workspace`.  New code
+        should hold a :class:`~repro.serving.workspace.GraphWorkspace`
+        explicitly and use ``workspace.engine``.
+    """
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().engine
 
 
 def compile_plan(query: QueryLike) -> QueryPlan:

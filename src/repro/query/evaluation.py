@@ -23,6 +23,7 @@ The semantics documented here are unchanged.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
@@ -53,7 +54,21 @@ def evaluate(graph: LabeledGraph, query: QueryLike) -> FrozenSet[Node]:
     cached per ``(graph.version, query fingerprint)`` by the shared
     engine, so repeated evaluation of equivalent queries on an unchanged
     graph is a dictionary lookup.
+
+    .. deprecated:: 1.2
+        Use :meth:`QueryEngine.evaluate
+        <repro.query.engine.QueryEngine.evaluate>` on an engine you hold
+        — typically ``workspace.engine`` of a
+        :class:`~repro.serving.workspace.GraphWorkspace` — instead of
+        this free function, which can only ever reach the process-wide
+        engine.
     """
+    warnings.warn(
+        "repro.query.evaluation.evaluate() is deprecated; use "
+        "QueryEngine.evaluate (e.g. GraphWorkspace().engine.evaluate) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return shared_engine().evaluate(graph, query)
 
 

@@ -46,15 +46,21 @@ class PathQuery:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_dfa(cls, dfa: DFA, *, name: Optional[str] = None) -> "PathQuery":
+    def from_dfa(cls, dfa: DFA, *, name: Optional[str] = None, cache=None) -> "PathQuery":
         """Wrap a learned DFA as a query (the expression is synthesised).
 
-        Minimisation and synthesis are served from the process-wide
-        canonical-form cache (:mod:`repro.automata.canonical`), so
-        wrapping the same hypothesis again — the common case between
-        interactions — costs one structural fingerprint.
+        Minimisation and synthesis are served from the canonical-form
+        cache — the process-wide one by default, or the
+        :class:`~repro.automata.canonical.CanonicalFormCache` passed via
+        ``cache`` (a :class:`~repro.serving.workspace.GraphWorkspace`
+        threads its own) — so wrapping the same hypothesis again, the
+        common case between interactions, costs one structural
+        fingerprint.
         """
-        minimal, expression = canonical_form(dfa)
+        if cache is not None:
+            minimal, expression = cache.canonical_form(dfa)
+        else:
+            minimal, expression = canonical_form(dfa)
         query = cls(expression, name=name)
         query._dfa = minimal
         return query

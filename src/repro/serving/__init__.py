@@ -1,0 +1,24 @@
+"""Many-session serving core: shared workspaces and the async manager.
+
+* :mod:`repro.serving.workspace` — :class:`GraphWorkspace`, the explicit
+  owner of every read-mostly cache keyed on ``(graph.version, …)``;
+* :mod:`repro.serving.manager` — :class:`SessionManager`, the async
+  front end admitting / driving / retiring interactive sessions over one
+  workspace with cross-session deduplication.
+"""
+
+from repro.serving.manager import SessionHandle, SessionManager, session_dedup_key
+from repro.serving.workspace import (
+    GraphWorkspace,
+    default_workspace,
+    reset_default_workspace,
+)
+
+__all__ = [
+    "GraphWorkspace",
+    "SessionHandle",
+    "SessionManager",
+    "default_workspace",
+    "reset_default_workspace",
+    "session_dedup_key",
+]

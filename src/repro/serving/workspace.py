@@ -1,0 +1,378 @@
+"""The :class:`GraphWorkspace`: explicit ownership of all read-mostly state.
+
+PRs 1–5 made every per-session structure incremental and cached, but
+ownership stayed implicit: the query engine, the language indexes, the
+neighbourhood indexes and the informativeness classifiers all lived in
+module-level registries (``shared_engine()``, ``language_index_for()``,
+``neighborhood_index()``, ``session_classifier()``).  That is fine for one
+session; a server multiplexing many sessions over one graph needs an
+explicit handle it can size, invalidate and account for — and it needs
+*build-once* semantics when N cold sessions race on the same index.
+
+A workspace owns exactly the state that is **read-mostly and keyed on**
+``(graph.version, …)``:
+
+* one :class:`~repro.query.engine.QueryEngine` (plan + answer caches),
+* the :class:`~repro.learning.language_index.LanguageIndex` per
+  ``(graph, version, bound)``,
+* the :class:`~repro.graph.neighborhood.NeighborhoodIndex` per graph,
+* the :class:`~repro.learning.informativeness.SessionClassifier` registry
+  (per evolving example set — per-session state, but registered here so
+  the workspace can account for builds),
+* a handle on the canonical-form cache used to wrap learned DFAs,
+* content fingerprints per ``(graph, version)``, and
+* the cross-session result memo used by
+  :class:`~repro.serving.manager.SessionManager` for deduplication.
+
+Everything *per-session* — the :class:`~repro.learning.examples.ExampleSet`,
+the hypothesis, the interaction records — stays on the session object.
+
+Build-once semantics: expensive builds (the language index above all) are
+guarded by per-key locks with double-checked lookup, so N sessions racing
+on a cold index pay **one** build while the global registry lock is never
+held across a build.  The global lock is only ever taken for dictionary
+bookkeeping; per-key locks are only taken while *not* holding the global
+lock — this ordering is what makes the scheme deadlock-free.
+
+The module-level registries survive as deprecated shims delegating to the
+process-wide :func:`default_workspace`, so existing single-session code
+keeps working unchanged (and keeps sharing state exactly as before).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.automata.canonical import CanonicalFormCache, shared_canonical_cache
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.neighborhood import NeighborhoodIndex
+from repro.learning.examples import ExampleSet
+from repro.learning.informativeness import SessionClassifier
+from repro.learning.language_index import LanguageIndex
+from repro.query.engine import QueryEngine
+
+
+class GraphWorkspace:
+    """Shared, thread-safe home of every cross-session cache.
+
+    One workspace serves any number of graphs and sessions; a server
+    typically holds one per tenant (or one per process — see
+    :func:`default_workspace`).  All accessors are safe to call from
+    multiple threads; cold builds of the same key are coalesced so
+    concurrent sessions pay for one build, not N.
+
+    Parameters
+    ----------
+    engine:
+        The query engine to use; a fresh one is created when omitted.
+    canonical:
+        Canonical-form cache used when wrapping learned DFAs.  Defaults
+        to the process-shared cache (canonical forms are pure functions
+        of automaton structure, so sharing across workspaces is always
+        sound); pass a private :class:`CanonicalFormCache` to isolate
+        accounting.
+    max_memo_entries:
+        Bound on retained cross-session dedup memo entries (LRU).
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: Optional[QueryEngine] = None,
+        canonical: Optional[CanonicalFormCache] = None,
+        max_memo_entries: int = 1024,
+    ):
+        self.engine = engine if engine is not None else QueryEngine()
+        self.canonical = canonical if canonical is not None else shared_canonical_cache()
+        # registry bookkeeping only — never held across an index build
+        self._lock = threading.RLock()
+        # key -> lock serialising the (rare, expensive) cold build of key
+        self._build_locks: Dict[Hashable, threading.Lock] = {}
+        self._language: "weakref.WeakKeyDictionary[LabeledGraph, Dict[int, LanguageIndex]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._neighborhoods: "weakref.WeakKeyDictionary[LabeledGraph, NeighborhoodIndex]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # examples -> [(graph, bound, classifier)]; keyed weakly so a
+        # finished session's classifier dies with its example set
+        self._classifiers: "weakref.WeakKeyDictionary[ExampleSet, List[tuple]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._fingerprints: "weakref.WeakKeyDictionary[LabeledGraph, Tuple[int, str]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._memo: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._max_memo_entries = max_memo_entries
+        # counters surfaced by stats(); the serving tests assert on them
+        self._language_builds = 0
+        self._language_restrictions = 0
+        self._language_hits = 0
+        self._neighborhood_builds = 0
+        self._classifier_builds = 0
+        self._memo_hits = 0
+        self._memo_misses = 0
+
+    # ------------------------------------------------------------------
+    # language indexes (build-once under per-key locks)
+    # ------------------------------------------------------------------
+    def language_index(self, graph: LabeledGraph, max_length: int) -> LanguageIndex:
+        """The shared :class:`LanguageIndex` of ``graph`` at ``max_length``.
+
+        Built at most once per ``(graph, version, bound)`` even under
+        concurrent access; when a current index at a *larger* bound
+        already exists, the smaller one is derived by restriction instead
+        of re-walking the graph (the session's path-validation step asks
+        for each neighbourhood radius below the session bound).
+        """
+        with self._lock:
+            index = self._current_language_index(graph, max_length)
+            if index is not None:
+                self._language_hits += 1
+                return index
+            key = ("language", id(graph), max_length)
+            build_lock = self._build_locks.get(key)
+            if build_lock is None:
+                build_lock = self._build_locks[key] = threading.Lock()
+        with build_lock:
+            with self._lock:
+                index = self._current_language_index(graph, max_length)
+                if index is not None:
+                    self._language_hits += 1
+                    return index
+                larger = [
+                    cached
+                    for bound, cached in self._language.get(graph, {}).items()
+                    if bound > max_length and cached.version == graph.version
+                ]
+            if larger:
+                source = min(larger, key=lambda cached: cached.max_length)
+                index = source.restricted(max_length)
+                restricted = True
+            else:
+                index = LanguageIndex(graph, max_length)
+                restricted = False
+            with self._lock:
+                per_graph = self._language.get(graph)
+                if per_graph is None:
+                    per_graph = self._language.setdefault(graph, {})
+                per_graph[max_length] = index
+                if restricted:
+                    self._language_restrictions += 1
+                else:
+                    self._language_builds += 1
+        return index
+
+    def _current_language_index(
+        self, graph: LabeledGraph, max_length: int
+    ) -> Optional[LanguageIndex]:
+        """Registry lookup (caller holds the lock); ``None`` on miss/stale."""
+        per_graph = self._language.get(graph)
+        if per_graph is None:
+            return None
+        index = per_graph.get(max_length)
+        if index is None or index.version != graph.version:
+            return None
+        return index
+
+    # ------------------------------------------------------------------
+    # neighbourhood indexes
+    # ------------------------------------------------------------------
+    def neighborhoods(self, graph: LabeledGraph) -> NeighborhoodIndex:
+        """The shared :class:`NeighborhoodIndex` of ``graph``.
+
+        The index is version-aware internally (stale BFS layers are
+        dropped on access), so one instance per graph lives for the
+        graph's whole lifetime.
+        """
+        with self._lock:
+            index = self._neighborhoods.get(graph)
+            if index is None:
+                index = NeighborhoodIndex(graph)
+                self._neighborhoods[graph] = index
+                self._neighborhood_builds += 1
+            return index
+
+    # ------------------------------------------------------------------
+    # informativeness classifiers
+    # ------------------------------------------------------------------
+    def classifier(
+        self, graph: LabeledGraph, examples: ExampleSet, *, max_length: int
+    ) -> SessionClassifier:
+        """The shared :class:`SessionClassifier` of ``(graph, examples, bound)``.
+
+        Classifiers are per-session state (they track one evolving example
+        set) but registering them here lets every consumer of the triple —
+        the session loop, strategies, propagation, the halt check —
+        resolve to one instance, and routes their language-index builds
+        through :meth:`language_index` so the workspace accounts for them.
+        """
+        with self._lock:
+            entries = self._classifiers.get(examples)
+            if entries is None:
+                entries = self._classifiers.setdefault(examples, [])
+            for entry_graph, bound, classifier in entries:
+                if entry_graph is graph and bound == max_length:
+                    return classifier
+        # build outside the registry lock: the constructor builds the
+        # language index (guarded by its own per-key lock above)
+        classifier = SessionClassifier(
+            graph, examples, max_length=max_length, index_provider=self.language_index
+        )
+        with self._lock:
+            entries = self._classifiers.setdefault(examples, entries)
+            for entry_graph, bound, existing in entries:
+                if entry_graph is graph and bound == max_length:
+                    return existing  # lost the race: adopt the winner
+            entries.append((graph, max_length, classifier))
+            self._classifier_builds += 1
+        return classifier
+
+    # ------------------------------------------------------------------
+    # graph fingerprints
+    # ------------------------------------------------------------------
+    def graph_fingerprint(self, graph: LabeledGraph) -> str:
+        """Content digest of the graph's structure, cached per version.
+
+        Two graphs with equal node and edge sets share the fingerprint
+        regardless of insertion order or object identity — it anchors the
+        cross-session dedup key.
+        """
+        with self._lock:
+            cached = self._fingerprints.get(graph)
+            if cached is not None and cached[0] == graph.version:
+                return cached[1]
+        digest = hashlib.sha1()
+        for node in sorted(graph.nodes(), key=str):
+            digest.update(repr(node).encode())
+            digest.update(b"\x00")
+        for edge in sorted(graph.edges(), key=lambda e: tuple(map(str, e))):
+            digest.update(repr(edge).encode())
+            digest.update(b"\x01")
+        fingerprint = digest.hexdigest()
+        with self._lock:
+            self._fingerprints[graph] = (graph.version, fingerprint)
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # cross-session result memo
+    # ------------------------------------------------------------------
+    def memo_get(self, key: Hashable) -> Optional[Any]:
+        """Cached cross-session value for ``key`` (``None`` on miss)."""
+        with self._lock:
+            value = self._memo.get(key)
+            if value is None:
+                self._memo_misses += 1
+                return None
+            self._memo.move_to_end(key)
+            self._memo_hits += 1
+            return value
+
+    def memo_put(self, key: Hashable, value: Any) -> None:
+        """Store a cross-session value (bounded LRU)."""
+        with self._lock:
+            self._memo[key] = value
+            self._memo.move_to_end(key)
+            while len(self._memo) > self._max_memo_entries:
+                self._memo.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self, graph: Optional[LabeledGraph] = None) -> Dict[str, int]:
+        """Drop entries invalidated by graph mutation.
+
+        With a ``graph``, drops exactly the entries built against versions
+        older than ``graph.version`` — language indexes, the cached
+        fingerprint and the engine's answer cache for that graph; entries
+        of other graphs (and current-version entries) are untouched.
+        Without one, drops stale entries of every registered graph.
+
+        Returns counters of what was dropped (the serving tests pin
+        these).  Invalidation is a memory-hygiene operation, not a
+        correctness requirement: all registries are version-checked on
+        access anyway.
+        """
+        dropped = {"language_indexes": 0, "fingerprints": 0}
+        with self._lock:
+            graphs = [graph] if graph is not None else list(self._language.keys())
+            for target in graphs:
+                per_graph = self._language.get(target)
+                if per_graph is not None:
+                    stale = [
+                        bound
+                        for bound, index in per_graph.items()
+                        if index.version != target.version
+                    ]
+                    for bound in stale:
+                        del per_graph[bound]
+                    dropped["language_indexes"] += len(stale)
+                cached = self._fingerprints.get(target)
+                if cached is not None and cached[0] != target.version:
+                    del self._fingerprints[target]
+                    dropped["fingerprints"] += 1
+                self.engine.invalidate(target)
+        return dropped
+
+    def stats(self) -> Dict[str, Any]:
+        """Build / hit counters for every registry this workspace owns."""
+        with self._lock:
+            language_entries = sum(len(per) for per in self._language.values())
+            return {
+                "language_index_builds": self._language_builds,
+                "language_index_restrictions": self._language_restrictions,
+                "language_index_hits": self._language_hits,
+                "language_index_entries": language_entries,
+                "neighborhood_index_builds": self._neighborhood_builds,
+                "classifier_builds": self._classifier_builds,
+                "memo_hits": self._memo_hits,
+                "memo_misses": self._memo_misses,
+                "memo_entries": len(self._memo),
+                "engine": self.engine.stats(),
+                "canonical": self.canonical.stats(),
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<GraphWorkspace {len(self._language)} graphs, "
+                f"{self._language_builds} index builds, "
+                f"{len(self._memo)} memo entries>"
+            )
+
+
+# ----------------------------------------------------------------------
+# the process-wide default (what the deprecated module shims delegate to)
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[GraphWorkspace] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_workspace() -> GraphWorkspace:
+    """The process-wide :class:`GraphWorkspace`.
+
+    This is what the deprecated module-level registries
+    (``shared_engine()``, ``language_index_for()``,
+    ``neighborhood_index()``, ``session_classifier()``) delegate to, so
+    legacy call sites and workspace-aware call sites share one set of
+    caches by default.
+    """
+    global _DEFAULT
+    workspace = _DEFAULT
+    if workspace is None:
+        with _DEFAULT_LOCK:
+            workspace = _DEFAULT
+            if workspace is None:
+                workspace = _DEFAULT = GraphWorkspace()
+    return workspace
+
+
+def reset_default_workspace() -> None:
+    """Replace the process-wide workspace with a fresh one (test hygiene)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = None

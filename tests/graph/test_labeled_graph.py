@@ -166,6 +166,71 @@ class TestRemoval:
         assert graph.label_counts() == {"x": 1}
 
 
+class TestRemoveEdgesBulk:
+    def test_removes_edges_and_counts(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b"), ("a", "y", "b"), ("b", "x", "c")])
+        removed = graph.remove_edges_bulk([("a", "x", "b"), ("b", "x", "c")])
+        assert removed == 2
+        assert graph.edge_count == 1
+        assert graph.has_edge("a", "y", "b")
+        assert graph.alphabet() == {"y"}
+
+    def test_bumps_version_once(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b"), ("a", "y", "b"), ("b", "x", "c")])
+        before = graph.version
+        graph.remove_edges_bulk([("a", "x", "b"), ("a", "y", "b"), ("b", "x", "c")])
+        assert graph.version == before + 1
+
+    def test_missing_and_duplicate_edges_skipped(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b")])
+        version = graph.version
+        removed = graph.remove_edges_bulk(
+            [("a", "x", "b"), ("a", "x", "b"), ("a", "z", "b"), ("ghost", "x", "b")]
+        )
+        assert removed == 1
+        assert graph.edge_count == 0
+        assert graph.version == version + 1
+
+    def test_noop_keeps_version(self):
+        graph = LabeledGraph.from_edges([("a", "x", "b")])
+        version = graph.version
+        assert graph.remove_edges_bulk([("a", "z", "b")]) == 0
+        assert graph.version == version
+
+    def test_matches_per_edge_removal(self):
+        edges = [("a", "x", "b"), ("a", "y", "b"), ("b", "x", "c"), ("c", "z", "a")]
+        doomed = [("a", "x", "b"), ("b", "x", "c")]
+        one_by_one = LabeledGraph.from_edges(edges)
+        for source, label, target in doomed:
+            one_by_one.remove_edge(source, label, target)
+        bulk = LabeledGraph.from_edges(edges)
+        bulk.remove_edges_bulk(doomed)
+        assert bulk._succ == one_by_one._succ
+        assert bulk._pred == one_by_one._pred
+        assert bulk._labels == one_by_one._labels
+        assert bulk.edge_count == one_by_one.edge_count
+
+    def test_remove_node_bumps_version_twice_total(self):
+        # one bump for the incident-edge batch, one for the node itself
+        graph = LabeledGraph.from_edges(
+            [("a", "x", "b"), ("b", "y", "c"), ("c", "z", "b"), ("b", "w", "b")]
+        )
+        before = graph.version
+        graph.remove_node("b")
+        assert graph.version == before + 2
+        assert "b" not in graph
+        assert graph.edge_count == 0
+        assert all("b" not in targets for by_label in graph._succ.values() for targets in by_label.values())
+        assert all("b" not in sources for by_label in graph._pred.values() for sources in by_label.values())
+
+    def test_remove_isolated_node_bumps_version_once(self):
+        graph = LabeledGraph()
+        graph.add_node("lonely")
+        before = graph.version
+        graph.remove_node("lonely")
+        assert graph.version == before + 1
+
+
 class TestAdjacency:
     def test_successors_by_label(self, tiny_graph):
         assert tiny_graph.successors("a", "x") == {"b"}

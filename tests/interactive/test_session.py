@@ -158,3 +158,74 @@ class TestNoisyAndEdgeCases:
         result = InteractiveSession(figure1_graph, user).run()
         assert result.total_time >= 0
         assert result.total_zooms == sum(record.zooms for record in result.records)
+
+
+class TestWorkspaceInjection:
+    def test_engine_kwarg_is_deprecated_but_works(self, figure1_graph):
+        from repro.query.engine import QueryEngine
+
+        engine = QueryEngine()
+        user = SimulatedUser(figure1_graph, GOAL, engine=engine)
+        with pytest.warns(DeprecationWarning):
+            session = InteractiveSession(
+                figure1_graph, user, max_interactions=25, engine=engine
+            )
+        assert session.engine is engine
+        assert session.workspace.engine is engine
+        result = session.run()
+        assert result.learned_query is not None
+
+    def test_conflicting_engine_and_workspace_rejected(self, figure1_graph):
+        from repro.query.engine import QueryEngine
+        from repro.serving import GraphWorkspace
+
+        user = SimulatedUser(figure1_graph, GOAL)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                InteractiveSession(
+                    figure1_graph,
+                    user,
+                    engine=QueryEngine(),
+                    workspace=GraphWorkspace(),
+                )
+
+    def test_explicit_workspace_is_the_injection_point(self, figure1_graph):
+        from repro.serving import GraphWorkspace
+
+        workspace = GraphWorkspace()
+        user = SimulatedUser(figure1_graph, GOAL, workspace=workspace)
+        session = InteractiveSession(figure1_graph, user, workspace=workspace)
+        assert session.workspace is workspace
+        assert session.engine is workspace.engine
+        assert session.neighborhoods is workspace.neighborhoods(figure1_graph)
+        assert session.learner.workspace is workspace
+
+    def test_advance_finish_equals_run(self, figure1_graph):
+        from repro.serving import GraphWorkspace
+
+        direct = InteractiveSession(
+            figure1_graph,
+            SimulatedUser(figure1_graph, GOAL),
+            max_interactions=25,
+            workspace=GraphWorkspace(),
+        ).run()
+        stepped_session = InteractiveSession(
+            figure1_graph,
+            SimulatedUser(figure1_graph, GOAL),
+            max_interactions=25,
+            workspace=GraphWorkspace(),
+        )
+        while stepped_session.advance():
+            pass
+        stepped = stepped_session.finish()
+        assert stepped.interaction_trace() == direct.interaction_trace()
+        assert str(stepped.learned_query) == str(direct.learned_query)
+        assert stepped.halted_by == direct.halted_by
+
+    def test_advance_after_finish_raises(self, figure1_graph):
+        session = InteractiveSession(
+            figure1_graph, SimulatedUser(figure1_graph, GOAL), max_interactions=3
+        )
+        session.run()
+        with pytest.raises(SessionFinishedError):
+            session.advance()

@@ -232,8 +232,11 @@ class TestSessionClassifierMatchesScratch:
         import gc
         import weakref
 
-        import repro.learning.informativeness as informativeness
+        from repro.serving.workspace import default_workspace
 
+        registry = default_workspace()._classifiers
+        gc.collect()
+        before = len(registry)
         refs = []
         for _ in range(3):
             examples = ExampleSet()
@@ -243,7 +246,7 @@ class TestSessionClassifierMatchesScratch:
             del examples
         gc.collect()
         assert all(ref() is None for ref in refs)
-        assert len(informativeness._SESSION_CLASSIFIERS) == 0
+        assert len(registry) == before
 
     def test_classifier_examples_property_after_collection(self, figure1_graph):
         import gc

@@ -1,0 +1,282 @@
+"""Tests for the async SessionManager and cross-session deduplication."""
+
+import pytest
+
+from repro.exceptions import SessionNotFoundError
+from repro.interactive.halt import MaxInteractions
+from repro.interactive.oracle import NoisyUser, SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.interactive.strategies import RandomStrategy
+from repro.serving import GraphWorkspace, SessionManager, session_dedup_key
+
+
+def trace(result):
+    """Everything that must be bit-identical between deduped twins."""
+    return (
+        result.interaction_trace(),
+        [record.validated_word for record in result.records],
+        [record.zooms for record in result.records],
+        str(result.learned_query),
+        result.halted_by,
+        result.inconsistent,
+    )
+
+
+def sequential_baseline(graph, goal, *, max_interactions=25):
+    workspace = GraphWorkspace()
+    user = SimulatedUser(graph, goal, workspace=workspace)
+    session = InteractiveSession(
+        graph, user, max_interactions=max_interactions, workspace=workspace
+    )
+    return session.run()
+
+
+class TestDriving:
+    def test_single_session_matches_sequential_run(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        sid = manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=manager.workspace),
+            max_interactions=25,
+        )
+        results = manager.run_all()
+        assert trace(results[sid]) == trace(
+            sequential_baseline(figure1_graph, figure1_query)
+        )
+        assert results[sid].deduped is False
+
+    def test_concurrent_sessions_match_sequential_baselines(
+        self, figure1_graph, figure1_query
+    ):
+        goals = [figure1_query, "bus . cinema", "tram*"]
+        manager = SessionManager(GraphWorkspace())
+        ids = [
+            manager.admit(
+                figure1_graph,
+                SimulatedUser(figure1_graph, goal, workspace=manager.workspace),
+                max_interactions=25,
+            )
+            for goal in goals
+        ]
+        results = manager.run_all()
+        for sid, goal in zip(ids, goals):
+            assert trace(results[sid]) == trace(
+                sequential_baseline(figure1_graph, goal)
+            )
+
+    def test_result_available_after_drive(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        sid = manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=manager.workspace),
+            max_interactions=25,
+        )
+        assert manager.result(sid) is None
+        manager.run_all()
+        assert manager.result(sid) is not None
+
+    def test_max_concurrent_bound_respected(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace(), dedup=False, max_concurrent=2)
+        goals = [figure1_query, "bus . cinema", "tram*", "bus*"]
+        for goal in goals:
+            manager.admit(
+                figure1_graph,
+                SimulatedUser(figure1_graph, goal, workspace=manager.workspace),
+                max_interactions=10,
+            )
+        results = manager.run_all()
+        assert len(results) == len(goals)
+        assert all(result.learned_query is not None for result in results.values())
+
+
+class TestDedup:
+    def admit_twins(self, manager, graph, goal, count):
+        return [
+            manager.admit(
+                graph,
+                SimulatedUser(graph, goal, workspace=manager.workspace),
+                max_interactions=25,
+            )
+            for _ in range(count)
+        ]
+
+    def test_identical_sessions_run_once(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        ids = self.admit_twins(manager, figure1_graph, figure1_query, 4)
+        results = manager.run_all()
+        deduped = [sid for sid in ids if results[sid].deduped]
+        assert len(deduped) == 3
+        assert manager.stats()["deduped"] == 3
+        baseline = trace(sequential_baseline(figure1_graph, figure1_query))
+        for sid in ids:
+            assert trace(results[sid]) == baseline
+
+    def test_deduped_trace_bit_identical_to_undeduped(
+        self, figure1_graph, figure1_query
+    ):
+        on = SessionManager(GraphWorkspace(), dedup=True)
+        ids_on = self.admit_twins(on, figure1_graph, figure1_query, 2)
+        results_on = on.run_all()
+
+        off = SessionManager(GraphWorkspace(), dedup=False)
+        ids_off = self.admit_twins(off, figure1_graph, figure1_query, 2)
+        results_off = off.run_all()
+
+        assert not any(results_off[sid].deduped for sid in ids_off)
+        assert any(results_on[sid].deduped for sid in ids_on)
+        for sid_on, sid_off in zip(ids_on, ids_off):
+            assert trace(results_on[sid_on]) == trace(results_off[sid_off])
+
+    def test_memo_shares_results_across_managers(self, figure1_graph, figure1_query):
+        workspace = GraphWorkspace()
+        first = SessionManager(workspace)
+        first.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=workspace),
+            max_interactions=25,
+        )
+        first.run_all()
+
+        second = SessionManager(workspace)
+        sid = second.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=workspace),
+            max_interactions=25,
+        )
+        results = second.run_all()
+        assert results[sid].deduped is True
+        # the memo answered before a single loop step ran
+        assert second._handles[sid].steps_driven == 0
+        assert workspace.stats()["memo_hits"] >= 1
+
+    def test_different_goals_never_dedup(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        a = manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=manager.workspace),
+            max_interactions=25,
+        )
+        b = manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, "bus . cinema", workspace=manager.workspace),
+            max_interactions=25,
+        )
+        results = manager.run_all()
+        assert not results[a].deduped and not results[b].deduped
+
+
+class TestDedupEligibility:
+    def test_unseeded_noisy_user_is_ineligible(self, figure1_graph, figure1_query):
+        workspace = GraphWorkspace()
+        user = NoisyUser(figure1_graph, figure1_query, noise=0.2, workspace=workspace)
+        session = InteractiveSession(
+            figure1_graph, user, max_interactions=5, workspace=workspace
+        )
+        assert session_dedup_key(session, workspace) is None
+
+    def test_seeded_noisy_user_is_eligible(self, figure1_graph, figure1_query):
+        workspace = GraphWorkspace()
+        user = NoisyUser(
+            figure1_graph, figure1_query, noise=0.2, seed=7, workspace=workspace
+        )
+        session = InteractiveSession(
+            figure1_graph, user, max_interactions=5, workspace=workspace
+        )
+        assert session_dedup_key(session, workspace) is not None
+
+    def test_consumed_rng_changes_the_key(self, figure1_graph, figure1_query):
+        workspace = GraphWorkspace()
+        user = NoisyUser(
+            figure1_graph, figure1_query, noise=0.2, seed=7, workspace=workspace
+        )
+        fresh_key = session_dedup_key(
+            InteractiveSession(
+                figure1_graph, user, max_interactions=5, workspace=workspace
+            ),
+            workspace,
+        )
+        user.label(next(iter(figure1_graph.nodes())))  # consume the rng
+        consumed_key = session_dedup_key(
+            InteractiveSession(
+                figure1_graph, user, max_interactions=5, workspace=workspace
+            ),
+            workspace,
+        )
+        assert fresh_key != consumed_key
+
+    def test_unseeded_random_strategy_is_ineligible(self, figure1_graph, figure1_query):
+        workspace = GraphWorkspace()
+        session = InteractiveSession(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=workspace),
+            strategy=RandomStrategy(),
+            max_interactions=5,
+            workspace=workspace,
+        )
+        assert session_dedup_key(session, workspace) is None
+
+    def test_custom_halt_without_signature_is_ineligible(
+        self, figure1_graph, figure1_query
+    ):
+        class Opaque(MaxInteractions):
+            def signature(self):
+                return None
+
+        workspace = GraphWorkspace()
+        session = InteractiveSession(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=workspace),
+            halt_condition=Opaque(5),
+            workspace=workspace,
+        )
+        assert session_dedup_key(session, workspace) is None
+
+
+class TestLifecycle:
+    def test_retire_returns_result_and_forgets(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        sid = manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=manager.workspace),
+            max_interactions=25,
+        )
+        manager.run_all()
+        result = manager.retire(sid)
+        assert result is not None
+        assert sid not in manager.session_ids()
+        with pytest.raises(SessionNotFoundError):
+            manager.retire(sid)
+
+    def test_unknown_session_raises(self):
+        manager = SessionManager(GraphWorkspace())
+        with pytest.raises(SessionNotFoundError):
+            manager.session("nope")
+
+    def test_duplicate_session_id_rejected(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=manager.workspace),
+            session_id="dup",
+        )
+        with pytest.raises(ValueError):
+            manager.admit(
+                figure1_graph,
+                SimulatedUser(
+                    figure1_graph, figure1_query, workspace=manager.workspace
+                ),
+                session_id="dup",
+            )
+
+    def test_stats_shape(self, figure1_graph, figure1_query):
+        manager = SessionManager(GraphWorkspace())
+        manager.admit(
+            figure1_graph,
+            SimulatedUser(figure1_graph, figure1_query, workspace=manager.workspace),
+            max_interactions=10,
+        )
+        manager.run_all()
+        stats = manager.stats()
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["active"] == 1  # not retired yet

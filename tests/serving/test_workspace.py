@@ -1,0 +1,169 @@
+"""Tests for the shared GraphWorkspace (build-once caches, invalidation)."""
+
+import threading
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.interactive.oracle import SimulatedUser
+from repro.interactive.session import InteractiveSession
+from repro.learning.examples import ExampleSet
+from repro.query.engine import QueryEngine
+from repro.serving import GraphWorkspace, default_workspace, reset_default_workspace
+
+
+class TestLanguageIndexRegistry:
+    def test_second_request_is_a_hit(self, tiny_graph):
+        workspace = GraphWorkspace()
+        first = workspace.language_index(tiny_graph, 3)
+        second = workspace.language_index(tiny_graph, 3)
+        assert first is second
+        stats = workspace.stats()
+        assert stats["language_index_builds"] == 1
+        assert stats["language_index_hits"] == 1
+
+    def test_smaller_bound_derived_by_restriction(self, tiny_graph):
+        workspace = GraphWorkspace()
+        workspace.language_index(tiny_graph, 4)
+        workspace.language_index(tiny_graph, 2)
+        stats = workspace.stats()
+        assert stats["language_index_builds"] == 1
+        assert stats["language_index_restrictions"] == 1
+
+    def test_concurrent_cold_builds_coalesce(self, figure1_graph):
+        workspace = GraphWorkspace()
+        barrier = threading.Barrier(8)
+        indexes = []
+
+        def worker():
+            barrier.wait()
+            indexes.append(workspace.language_index(figure1_graph, 4))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(index) for index in indexes}) == 1
+        assert workspace.stats()["language_index_builds"] == 1
+
+    def test_two_sessions_share_one_index_build(self, figure1_graph, figure1_query):
+        workspace = GraphWorkspace()
+        for _ in range(2):
+            user = SimulatedUser(figure1_graph, figure1_query, workspace=workspace)
+            InteractiveSession(
+                figure1_graph, user, max_interactions=25, workspace=workspace
+            ).run()
+        stats = workspace.stats()
+        # one true build (at the session bound); every further consumer —
+        # the second session included — hits the registry or restricts
+        assert stats["language_index_builds"] == 1
+        assert stats["language_index_hits"] > 0
+
+
+class TestInvalidation:
+    def test_drops_exactly_the_stale_entries(self, tiny_graph):
+        workspace = GraphWorkspace()
+        other = LabeledGraph.from_edges([("p", "k", "q")])
+        workspace.language_index(tiny_graph, 3)
+        workspace.language_index(other, 3)
+        workspace.graph_fingerprint(tiny_graph)
+        tiny_graph.add_edge("c", "z", "a")
+        dropped = workspace.invalidate(tiny_graph)
+        assert dropped == {"language_indexes": 1, "fingerprints": 1}
+        # the other graph's entry is untouched
+        assert workspace._language[other][3].version == other.version
+
+    def test_current_entries_survive(self, tiny_graph):
+        workspace = GraphWorkspace()
+        index = workspace.language_index(tiny_graph, 3)
+        assert workspace.invalidate(tiny_graph) == {
+            "language_indexes": 0,
+            "fingerprints": 0,
+        }
+        assert workspace.language_index(tiny_graph, 3) is index
+
+    def test_invalidate_everything(self, tiny_graph):
+        workspace = GraphWorkspace()
+        other = LabeledGraph.from_edges([("p", "k", "q")])
+        workspace.language_index(tiny_graph, 2)
+        workspace.language_index(other, 2)
+        tiny_graph.add_edge("c", "z", "a")
+        other.add_edge("q", "k", "p")
+        assert workspace.invalidate()["language_indexes"] == 2
+
+
+class TestFingerprints:
+    def test_insertion_order_independent(self):
+        edges = [("a", "x", "b"), ("b", "y", "c"), ("a", "y", "c")]
+        one = LabeledGraph.from_edges(edges)
+        two = LabeledGraph.from_edges(list(reversed(edges)))
+        workspace = GraphWorkspace()
+        assert workspace.graph_fingerprint(one) == workspace.graph_fingerprint(two)
+
+    def test_changes_on_mutation(self, tiny_graph):
+        workspace = GraphWorkspace()
+        before = workspace.graph_fingerprint(tiny_graph)
+        tiny_graph.add_edge("c", "z", "a")
+        assert workspace.graph_fingerprint(tiny_graph) != before
+
+
+class TestClassifierRegistry:
+    def test_same_triple_resolves_to_one_instance(self, tiny_graph):
+        workspace = GraphWorkspace()
+        examples = ExampleSet()
+        first = workspace.classifier(tiny_graph, examples, max_length=3)
+        second = workspace.classifier(tiny_graph, examples, max_length=3)
+        assert first is second
+        assert workspace.stats()["classifier_builds"] == 1
+
+    def test_classifier_builds_route_through_workspace(self, tiny_graph):
+        workspace = GraphWorkspace()
+        workspace.classifier(tiny_graph, ExampleSet(), max_length=3)
+        assert workspace.stats()["language_index_builds"] == 1
+        # the classifier reused the workspace's index, not a private one
+        workspace.language_index(tiny_graph, 3)
+        assert workspace.stats()["language_index_builds"] == 1
+
+
+class TestMemo:
+    def test_lru_bound(self):
+        workspace = GraphWorkspace(max_memo_entries=2)
+        workspace.memo_put("a", 1)
+        workspace.memo_put("b", 2)
+        workspace.memo_put("c", 3)
+        assert workspace.memo_get("a") is None
+        assert workspace.memo_get("c") == 3
+        assert workspace.stats()["memo_entries"] == 2
+
+
+class TestDefaultWorkspace:
+    def test_shims_reach_the_default_workspace(self, tiny_graph):
+        reset_default_workspace()
+        try:
+            from repro.graph.neighborhood import neighborhood_index
+            from repro.learning.language_index import language_index_for
+            from repro.query.engine import shared_engine
+
+            workspace = default_workspace()
+            assert shared_engine() is workspace.engine
+            assert neighborhood_index(tiny_graph) is workspace.neighborhoods(tiny_graph)
+            assert language_index_for(tiny_graph, 3) is workspace.language_index(
+                tiny_graph, 3
+            )
+        finally:
+            reset_default_workspace()
+
+    def test_isolated_workspaces_have_isolated_engines(self):
+        assert GraphWorkspace().engine is not GraphWorkspace().engine
+        engine = QueryEngine()
+        assert GraphWorkspace(engine=engine).engine is engine
+
+
+class TestDeprecatedEvaluateShim:
+    def test_warns_and_matches_engine(self, tiny_graph):
+        from repro.query.evaluation import evaluate
+
+        with pytest.warns(DeprecationWarning):
+            answer = evaluate(tiny_graph, "x . y")
+        assert answer == default_workspace().engine.evaluate(tiny_graph, "x . y")

@@ -1,16 +1,41 @@
 """Tests for the top-level public API surface."""
 
+import pytest
+
 import repro
 from repro import (
     ExampleSet,
+    GraphWorkspace,
     InteractiveSession,
     LabeledGraph,
     PathQuery,
     PathQueryLearner,
+    SessionManager,
     SimulatedUser,
     evaluate,
     learn_query,
 )
+
+#: The supported surface, pinned: additions and removals must be deliberate.
+EXPECTED_EXPORTS = {
+    "LabeledGraph",
+    "PathQuery",
+    "QueryEngine",
+    "shared_engine",
+    "evaluate",
+    "PathQueryLearner",
+    "learn_query",
+    "ExampleSet",
+    "InteractiveSession",
+    "SessionResult",
+    "SimulatedUser",
+    "NoisyUser",
+    "GraphWorkspace",
+    "SessionManager",
+    "SessionHandle",
+    "default_workspace",
+    "__version__",
+}
 
 
 class TestTopLevelExports:
@@ -18,9 +43,23 @@ class TestTopLevelExports:
         assert isinstance(repro.__version__, str)
         assert repro.__version__.count(".") == 2
 
+    def test_all_is_exactly_the_supported_surface(self):
+        assert set(repro.__all__) == EXPECTED_EXPORTS
+
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_serving_core_exported(self):
+        workspace = GraphWorkspace()
+        manager = SessionManager(workspace)
+        assert manager.workspace is workspace
+
+    def test_evaluate_shim_warns(self):
+        graph = LabeledGraph("mine")
+        graph.add_edge("home", "bus", "work")
+        with pytest.warns(DeprecationWarning):
+            assert evaluate(graph, "bus") == {"home"}
 
     def test_quickstart_snippet_from_docstring(self):
         """The snippet in the package docstring must actually work."""
@@ -69,9 +108,11 @@ class TestSubpackageImports:
         import repro.learning as learning
         import repro.query as query
         import repro.regex as regex
+        import repro.serving as serving
         import repro.workloads as workloads
         import repro.experiments as experiments
 
-        for module in (graph, regex, automata, query, learning, interactive, workloads, experiments):
+        modules = (graph, regex, automata, query, learning, interactive, workloads, experiments, serving)
+        for module in modules:
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
