@@ -95,7 +95,9 @@ def minimize(dfa: DFA) -> DFA:
             inside_set = set(inside)
             block -= inside_set
             blocks.append(inside_set)
-            for member in inside_set:
+            # iterate the mover list, not its set: every mover is unique
+            # (one transition per symbol) and list order is deterministic
+            for member in inside:
                 block_of[member] = new_id
             smaller_id = new_id if len(inside_set) <= len(block) else block_id
             for refinement_position in range(len(alphabet)):

@@ -194,7 +194,7 @@ def generalize_pta(
         frontier: Set[int] = set()
         find = partition.find
         red_roots = {find(state) for state in red}
-        for red_root in red_roots:
+        for red_root in sorted(red_roots):
             for member in partition.members(red_root):
                 for target in transitions[member].values():
                     target_root = find(target)

@@ -8,6 +8,7 @@ Four sub-commands cover the typical workflows without writing Python::
     python -m repro.cli figures
     python -m repro.cli datasets
     python -m repro.cli bench --suite quick --workers 4
+    python -m repro.cli lint src/repro --format json
 
 * ``evaluate`` — run a path query on a graph (JSON or TSV edge list) and
   print the selected nodes (optionally with a witness path each);
@@ -18,7 +19,9 @@ Four sub-commands cover the typical workflows without writing Python::
 * ``datasets`` — list the built-in dataset generators with their statistics;
 * ``bench`` — run the E1–E5 experiment suite through the deterministic,
   parallel, resumable runner; results stream into a JSONL result store
-  under ``--results-dir`` and interrupted runs resume automatically.
+  under ``--results-dir`` and interrupted runs resume automatically;
+* ``lint`` — run the project's invariant checker (``repro.devtools``)
+  over source trees; exits non-zero on any unsuppressed diagnostic.
 
 The CLI is intentionally thin: every sub-command maps onto one documented
 library call, so scripting against the library directly is always an
@@ -42,9 +45,9 @@ from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import STRATEGY_REGISTRY, make_strategy
 from repro.interactive.transcript import record_session
 from repro.learning.learner import learn_query
-from repro.query.engine import shared_engine
 from repro.query.evaluation import witness_path
 from repro.query.rpq import PathQuery
+from repro.serving.workspace import default_workspace
 
 
 def _load_graph(path: Optional[str], dataset: Optional[str]) -> LabeledGraph:
@@ -74,7 +77,7 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.dataset)
     query = PathQuery(args.query)
-    answer = sorted(shared_engine().evaluate(graph, query), key=str)
+    answer = sorted(default_workspace().engine.evaluate(graph, query), key=str)
     print(f"query   : {query}")
     print(f"answer  : {len(answer)} node(s)")
     for node in answer:
@@ -94,7 +97,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         negative=list(args.negative),
         max_path_length=args.max_path_length,
     )
-    answer = sorted(shared_engine().evaluate(graph, learned), key=str)
+    answer = sorted(default_workspace().engine.evaluate(graph, learned), key=str)
     print(f"learned query : {learned}")
     print(f"selects       : {', '.join(str(node) for node in answer) or '(nothing)'}")
     return 0
@@ -119,7 +122,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"halted by       : {result.halted_by}")
     print(f"learned query   : {result.learned_query}")
     learned_answer = (
-        sorted(shared_engine().evaluate(graph, result.learned_query), key=str)
+        sorted(default_workspace().engine.evaluate(graph, result.learned_query), key=str)
         if result.learned_query
         else []
     )
@@ -211,6 +214,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print()
     print(f"tables written to {tables_dir}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import LintConfig, lint_paths, project_config, render_json, render_text
+
+    config = (
+        LintConfig.from_file(args.config) if args.config else project_config()
+    )
+    if args.select:
+        config.select = tuple(
+            code.strip() for item in args.select for code in item.split(",") if code.strip()
+        )
+    diagnostics = lint_paths(args.paths, config=config)
+    report = render_json(diagnostics)
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+    if args.format == "json":
+        print(report)
+    else:
+        print(render_text(diagnostics))
+    return 1 if diagnostics else 0
 
 
 def _latency_report(result) -> dict:
@@ -331,6 +355,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--detail", action="store_true", help="also print the detail tables")
     bench_parser.add_argument("--verbose", action="store_true", help="print one line per executed unit")
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the project's determinism/workspace/cache/lock/API invariants",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    lint_parser.add_argument("--format", choices=("text", "json"), default="text")
+    lint_parser.add_argument(
+        "--select", action="append", default=None, metavar="REPx00",
+        help="restrict to these rule families; repeat or comma-separate (default: all)",
+    )
+    lint_parser.add_argument(
+        "--config", default=None,
+        help="JSON overlay merged over the project lint config",
+    )
+    lint_parser.add_argument(
+        "--output", default=None,
+        help="also write the JSON report to this file (the CI artifact)",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     return parser
 

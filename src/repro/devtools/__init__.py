@@ -1,0 +1,54 @@
+"""``repro.devtools`` — the project's own static-analysis toolkit.
+
+Five PRs of optimisation turned correctness into unwritten invariants:
+explicit RNGs on every seeded path, version/fingerprint keys on every
+memo, workspace-resolved shared state, locks never held across builds,
+a documented public surface.  ``repro lint`` (this package) makes the
+machine check them; see the README's "Invariants" section for the rule
+table and the suppression workflow.
+
+Programmatic entry points::
+
+    from repro.devtools import lint_paths, lint_source, project_config
+
+    diagnostics = lint_paths(["src/repro"])
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+"""
+
+from repro.devtools.config import ALL_FAMILIES, LintConfig, project_config
+from repro.devtools.diagnostics import (
+    Diagnostic,
+    Suppression,
+    apply_suppressions,
+    family_of,
+    scan_suppressions,
+)
+from repro.devtools.registry import FileContext, RuleInfo, registered_rules, rule
+from repro.devtools.runner import (
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "ALL_FAMILIES",
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "RuleInfo",
+    "Suppression",
+    "apply_suppressions",
+    "family_of",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "project_config",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rule",
+    "scan_suppressions",
+]

@@ -1,0 +1,75 @@
+"""The rule-plugin registry behind ``repro lint``.
+
+A rule family is one function ``(FileContext, LintConfig) ->
+Iterable[Diagnostic]`` registered under its family id with the
+:func:`rule` decorator.  The runner looks families up here, so adding a
+family is: write the module under :mod:`repro.devtools.rules`, decorate
+the entry point, import the module from ``rules/__init__``.  Nothing
+else changes — the CLI, suppression handling, allowlists and output
+formats are family-agnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # posix relpath used in diagnostics and allowlists
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def segment(self, node: ast.AST) -> str:
+        """Best-effort source text of ``node`` (for symbols/messages)."""
+        try:
+            return ast.get_source_segment(self.source, node) or ""
+        except Exception:
+            return ""
+
+
+RuleFunc = Callable[[FileContext, LintConfig], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry record: the entry point plus report metadata."""
+
+    family: str
+    title: str
+    check: RuleFunc
+
+
+RULES: Dict[str, RuleInfo] = {}
+
+
+def rule(family: str, title: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register ``fn`` as the checker of rule ``family``."""
+
+    def decorator(fn: RuleFunc) -> RuleFunc:
+        if family in RULES:
+            raise ValueError(f"rule family {family} registered twice")
+        RULES[family] = RuleInfo(family, title, fn)
+        return fn
+
+    return decorator
+
+
+def registered_rules() -> Tuple[RuleInfo, ...]:
+    """Every registered family, in family-id order (import side effect:
+    loading :mod:`repro.devtools.rules` populates the registry)."""
+    from repro.devtools import rules  # noqa: F401  -- registration import
+
+    return tuple(RULES[family] for family in sorted(RULES))

@@ -1,0 +1,14 @@
+"""Rule families shipped with ``repro lint``.
+
+Importing this package registers every family with
+:mod:`repro.devtools.registry`; each module is one family and owns its
+sub-rule ids.
+"""
+
+from repro.devtools.rules import (  # noqa: F401  -- registration imports
+    rep100_determinism,
+    rep200_workspace,
+    rep300_cache_keys,
+    rep400_locks,
+    rep500_api,
+)

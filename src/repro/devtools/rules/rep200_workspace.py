@@ -1,0 +1,103 @@
+"""REP200 — workspace discipline.
+
+PR 6 moved every cross-session registry into
+:class:`~repro.serving.workspace.GraphWorkspace`; the module-level
+registries survive only as deprecated shims for external callers.  New
+internal code must resolve shared state through a workspace
+(``default_workspace()`` or an explicitly held instance) so that
+isolation, invalidation and accounting keep working — a fresh call site
+of a shim silently re-couples the caller to process-global state.
+
+Sub-rules:
+
+* ``REP201`` — import of a deprecated shim (``shared_engine``,
+  ``language_index_for``, ``neighborhood_index``,
+  ``session_classifier``, or the free function
+  ``repro.query.evaluation.evaluate``) outside the shim's own module;
+* ``REP202`` — call of one of the shim registries through any name
+  (covers ``module.shared_engine()`` call sites that dodge REP201).
+
+The package-root ``__init__`` re-exports are allowlisted in the project
+config: they are the deprecation surface itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import FileContext, rule
+
+#: shim name -> path suffix of its defining module (exempt)
+_SHIMS = {
+    "shared_engine": "repro/query/engine.py",
+    "language_index_for": "repro/learning/language_index.py",
+    "neighborhood_index": "repro/graph/neighborhood.py",
+    "session_classifier": "repro/learning/informativeness.py",
+}
+
+#: ``evaluate`` is only a shim as the free function of these modules —
+#: the name itself is ubiquitous (``engine.evaluate``), so only the
+#: import form is checked for it
+_EVALUATE_MODULES = {"repro.query.evaluation", "repro.query", "repro"}
+
+_REPLACEMENT = {
+    "shared_engine": "workspace.engine (e.g. default_workspace().engine)",
+    "language_index_for": "workspace.language_index(graph, bound)",
+    "neighborhood_index": "workspace.neighborhoods(graph)",
+    "session_classifier": "workspace.classifier(graph, examples, max_length=...)",
+    "evaluate": "workspace.engine.evaluate(graph, query)",
+}
+
+
+def _is_defining_module(path: str, name: str) -> bool:
+    suffix = _SHIMS.get(name)
+    return suffix is not None and path.endswith(suffix)
+
+
+@rule("REP200", "workspace discipline: no new deprecated-shim call sites")
+def check_workspace_discipline(
+    ctx: FileContext, config: LintConfig
+) -> Iterator[Diagnostic]:
+    """Flag imports and calls of the PR 6 deprecated registry shims."""
+    diagnostics: List[Diagnostic] = []
+
+    def emit(node: ast.AST, rule_id: str, name: str, what: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                ctx.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+                rule_id,
+                f"{what} of deprecated shim {name}(); use "
+                f"{_REPLACEMENT[name]} instead",
+                symbol=name,
+            )
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                name = alias.name
+                if name in _SHIMS and not _is_defining_module(ctx.path, name):
+                    emit(node, "REP201", name, "import")
+                elif (
+                    name == "evaluate"
+                    and module in _EVALUATE_MODULES
+                    and not ctx.path.endswith("repro/query/evaluation.py")
+                ):
+                    emit(node, "REP201", name, "import")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            else:
+                continue
+            if name in _SHIMS and not _is_defining_module(ctx.path, name):
+                emit(node, "REP202", name, "call")
+    return iter(diagnostics)

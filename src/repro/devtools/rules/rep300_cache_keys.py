@@ -1,0 +1,202 @@
+"""REP300 — cache-key discipline.
+
+Every memo in this codebase caches a value derived from a mutable
+structure (a graph, a DFA), so every memo must witness the structure's
+revision in its key — ``(graph.version, …)`` — or store a revision
+marker next to the value and check it on read (the ``_GraphCache``
+idiom).  A memo whose key mentions neither is exactly the bug class
+PRs 1/3/5 spent commits hunting: stale answers served after a mutation.
+
+Sub-rule:
+
+* ``REP301`` — a ``self.<attr>`` initialised to a dict-like container
+  whose name looks memo-ish (configurable pattern, default
+  ``cache|memo|plans|answers|entries``) where **no** store/lookup site
+  in the class mentions a version/fingerprint marker identifier
+  (configurable, default ``version``, ``fingerprint``, ``digest``,
+  ``signature``, ``plan_id``, ``crc``, ``sha``) in its key *or* stored
+  value expression.
+
+The rule is deliberately heuristic: it looks at the identifiers
+appearing in key/value expressions, not at data flow.  Memos whose keys
+are constructed by callers (the workspace cross-session memo) or whose
+values are revision-free by construction (the expression-plan LRU) are
+exempted in the project config allowlist, each with its soundness
+argument next to the entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import FileContext, rule
+
+_DICT_CONSTRUCTORS = {"dict", "OrderedDict", "defaultdict", "WeakKeyDictionary", "WeakValueDictionary"}
+
+
+def _is_dictish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Dict):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _DICT_CONSTRUCTORS
+    return False
+
+
+def _identifiers(node: ast.AST) -> Set[str]:
+    """Every Name id and Attribute attr appearing under ``node``."""
+    found: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            found.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            found.add(child.attr)
+        elif isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Attribute):
+                found.add(func.attr)
+            elif isinstance(func, ast.Name):
+                found.add(func.id)
+    return found
+
+
+def _self_attr(node: ast.expr) -> str:
+    """``self.<attr>`` → attr name, else ''."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+class _ClassMemoAudit(ast.NodeVisitor):
+    """Collect memo attributes and their key/value identifier sets."""
+
+    def __init__(self, memo_pattern: "re.Pattern[str]", markers: tuple):
+        self.memo_pattern = memo_pattern
+        self.markers = markers
+        #: memo attr -> init node (first dict-ish assignment seen)
+        self.found: Dict[str, ast.AST] = {}
+        #: memo attr -> identifiers seen across every key/value expression
+        self.evidence: Dict[str, Set[str]] = {}
+        #: the class carries a version-ish attribute of its own (the
+        #: ``_GraphCache`` idiom: revision stored next to the dict and
+        #: checked on read) — counts as evidence for all its memos
+        self.class_markers: Set[str] = set()
+        #: locals of the function currently being visited -> RHS
+        #: identifiers, so ``self._x[graph] = cache`` sees through the
+        #: ``cache = _GraphCache(graph.version)`` line above it
+        self._locals: List[Dict[str, Set[str]]] = []
+
+    def _record(self, attr: str, *exprs: ast.AST) -> None:
+        bucket = self.evidence.setdefault(attr, set())
+        for expr in exprs:
+            identifiers = _identifiers(expr)
+            bucket |= identifiers
+            if self._locals:
+                for name in tuple(identifiers):
+                    bucket |= self._locals[-1].get(name, set())
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._locals.append({})
+        self.generic_visit(node)
+        self._locals.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr:
+                if self.memo_pattern.search(attr) and _is_dictish(node.value):
+                    self.found.setdefault(attr, node)
+                lowered = attr.lower()
+                if any(marker in lowered for marker in self.markers):
+                    self.class_markers.add(attr)
+            if isinstance(target, ast.Name) and self._locals:
+                self._locals[-1].setdefault(target.id, set()).update(
+                    _identifiers(node.value)
+                )
+            # self._memo[key] = value
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr:
+                    self._record(attr, target.slice, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        attr = _self_attr(node.target)
+        if (
+            attr
+            and node.value is not None
+            and self.memo_pattern.search(attr)
+            and _is_dictish(node.value)
+        ):
+            self.found.setdefault(attr, node)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        attr = _self_attr(node.value)
+        if attr:
+            self._record(attr, node.slice)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # self._memo.get(key[, default]) / .setdefault(key, value) / .pop(key)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in {
+            "get",
+            "setdefault",
+            "pop",
+        }:
+            attr = _self_attr(func.value)
+            if attr and node.args:
+                self._record(attr, *node.args)
+        self.generic_visit(node)
+
+
+@rule("REP300", "cache-key discipline: memos must witness version/fingerprint")
+def check_cache_keys(ctx: FileContext, config: LintConfig) -> Iterator[Diagnostic]:
+    """Flag memo attributes with no version/fingerprint evidence."""
+    memo_pattern = re.compile(config.memo_name_pattern)
+    markers = tuple(marker.lower() for marker in config.key_markers)
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        audit = _ClassMemoAudit(memo_pattern, markers)
+        audit.visit(node)
+        for attr, init_node in sorted(audit.found.items()):
+            if audit.class_markers:
+                continue  # revision lives beside the dict (checked on read)
+            identifiers = {name.lower() for name in audit.evidence.get(attr, set())}
+            if any(
+                marker in identifier
+                for identifier in identifiers
+                for marker in markers
+            ):
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    ctx.path,
+                    getattr(init_node, "lineno", 1),
+                    getattr(init_node, "col_offset", 0) + 1,
+                    "REP301",
+                    f"memo {node.name}.{attr} never mentions a version/"
+                    "fingerprint marker in any key or stored value; key it on "
+                    "(graph.version, ...) or a content fingerprint",
+                    symbol=attr,
+                )
+            )
+    return iter(diagnostics)

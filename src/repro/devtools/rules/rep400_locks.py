@@ -1,0 +1,108 @@
+"""REP400 — lock discipline.
+
+The serving layer's locking scheme (PR 6) is deadlock-free only because
+of an ordering invariant: the registry lock (``self._lock``) is taken
+for dictionary bookkeeping **only** and never held across an index
+build; cold builds serialise on per-key build locks taken while *not*
+holding the registry lock.  A build call creeping inside a
+``with self._lock:`` block reintroduces the N-session convoy (and the
+deadlock, once a build re-enters a registry accessor).
+
+Sub-rules:
+
+* ``REP401`` — a known build call (configurable; default
+  ``LanguageIndex``, ``SessionClassifier``, ``restricted``,
+  ``classify_all_scratch``) lexically inside a ``with`` block holding a
+  guard lock (attribute name in ``guard_lock_names``, default
+  ``_lock``);
+* ``REP402`` — ``.acquire()`` called on a lock-named attribute: lock
+  acquisition must use ``with`` so no exception path leaks the lock.
+
+Per-key build locks (any other name, e.g. ``build_lock``) are exempt by
+construction — being held across the build is their purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import FileContext, rule
+
+
+def _lock_name(node: ast.expr, guard_names: tuple) -> str:
+    """The guarded-lock name of a ``with`` context expression, or ''."""
+    if isinstance(node, ast.Attribute) and node.attr in guard_names:
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in guard_names:
+        return node.id
+    return ""
+
+
+class _LockVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext, config: LintConfig):
+        self.ctx = ctx
+        self.config = config
+        self.diagnostics: List[Diagnostic] = []
+        self.guard_names = tuple(config.guard_lock_names)
+        self.build_calls = frozenset(config.build_calls)
+        self._held: List[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        held = [
+            _lock_name(item.context_expr, self.guard_names)
+            for item in node.items
+            if _lock_name(item.context_expr, self.guard_names)
+        ]
+        self._held.extend(held)
+        self.generic_visit(node)
+        if held:
+            del self._held[-len(held) :]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name == "acquire" and isinstance(func, ast.Attribute):
+            lock = _lock_name(func.value, self.guard_names)
+            if lock:
+                self.diagnostics.append(
+                    Diagnostic(
+                        self.ctx.path,
+                        node.lineno,
+                        node.col_offset + 1,
+                        "REP402",
+                        f"bare {lock}.acquire(); acquire locks with "
+                        "'with' so every exit path releases",
+                        symbol=lock,
+                    )
+                )
+        elif name in self.build_calls and self._held:
+            self.diagnostics.append(
+                Diagnostic(
+                    self.ctx.path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "REP401",
+                    f"build call {name}(...) while holding registry lock "
+                    f"{self._held[-1]}; build outside the lock and re-check "
+                    "(double-checked per-key build locks)",
+                    symbol=name,
+                )
+            )
+        self.generic_visit(node)
+
+
+@rule("REP400", "lock discipline: no builds under registry locks")
+def check_locks(ctx: FileContext, config: LintConfig) -> Iterator[Diagnostic]:
+    """Run the lock-discipline family over one file."""
+    visitor = _LockVisitor(ctx, config)
+    visitor.visit(ctx.tree)
+    return iter(visitor.diagnostics)

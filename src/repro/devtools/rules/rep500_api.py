@@ -1,0 +1,120 @@
+"""REP500 — public-API hygiene.
+
+``__all__`` is this project's contract surface (pinned exactly by
+``tests/test_public_api.py``).  Everything on it must be usable from the
+docstring and the signature alone — a public function without
+annotations forces every caller back into the source, and one without a
+docstring is unreviewable at the call site.
+
+Sub-rules (applied to defs in the same module as the ``__all__`` that
+names them; re-exporting ``__init__`` modules have no local defs and are
+naturally out of scope):
+
+* ``REP501`` — public function or class without a docstring;
+* ``REP502`` — public function with unannotated parameters or return
+  (``self``/``cls``, ``*args``/``**kwargs`` included — if they are part
+  of the public signature they deserve a type).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import FileContext, rule
+
+
+def _exported_names(tree: ast.Module) -> Optional[Set[str]]:
+    """The string constants of a top-level ``__all__``, or ``None``."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = set()
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.add(element.value)
+                    return names
+    return None
+
+
+def _missing_annotations(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> List[str]:
+    missing = []
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in {"self", "cls"}:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+@rule("REP500", "API hygiene: __all__ members document and annotate themselves")
+def check_api_hygiene(ctx: FileContext, config: LintConfig) -> Iterator[Diagnostic]:
+    """Flag undocumented/unannotated public defs named in ``__all__``."""
+    exported = _exported_names(ctx.tree)
+    if not exported:
+        return iter(())
+    diagnostics: List[Diagnostic] = []
+
+    def emit(node: ast.AST, rule_id: str, message: str, symbol: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                ctx.path, node.lineno, node.col_offset + 1, rule_id, message, symbol=symbol
+            )
+        )
+
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name not in exported:
+                continue
+            if ast.get_docstring(node) is None:
+                emit(
+                    node,
+                    "REP501",
+                    f"public function {node.name}() (in __all__) has no "
+                    "docstring",
+                    node.name,
+                )
+            missing = _missing_annotations(node)
+            if missing:
+                emit(
+                    node,
+                    "REP502",
+                    f"public function {node.name}() (in __all__) is missing "
+                    f"type annotations: {', '.join(missing)}",
+                    node.name,
+                )
+        elif isinstance(node, ast.ClassDef):
+            if node.name not in exported:
+                continue
+            if ast.get_docstring(node) is None:
+                emit(
+                    node,
+                    "REP501",
+                    f"public class {node.name} (in __all__) has no docstring",
+                    node.name,
+                )
+    return iter(diagnostics)

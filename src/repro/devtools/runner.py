@@ -1,0 +1,138 @@
+"""File walking, rule dispatch and report rendering for ``repro lint``.
+
+The pipeline per file: parse → scan suppression pragmas → run every
+enabled rule family → drop allowlisted diagnostics → apply suppressions
+(collecting hygiene findings about the pragmas themselves) → sort.
+Unparseable files produce a single ``REP003`` diagnostic instead of
+crashing the run — the tier-1 suite is what guards syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.devtools.config import LintConfig, project_config
+from repro.devtools.diagnostics import (
+    PARSE_ERROR,
+    Diagnostic,
+    apply_suppressions,
+    scan_suppressions,
+)
+from repro.devtools.registry import FileContext, registered_rules
+
+
+def lint_source(
+    source: str, path: str = "<memory>", config: Optional[LintConfig] = None
+) -> List[Diagnostic]:
+    """Lint one source string as if it lived at ``path``.
+
+    The entry point the fixture tests drive; :func:`lint_paths` reduces
+    to this per file.
+    """
+    if config is None:
+        config = project_config()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path,
+                error.lineno or 1,
+                (error.offset or 0) + 1,
+                PARSE_ERROR,
+                f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    suppressions, pragma_problems = scan_suppressions(source, path)
+    diagnostics: List[Diagnostic] = []
+    for info in registered_rules():
+        if not config.enabled(info.family):
+            continue
+        for diagnostic in info.check(ctx, config):
+            if not config.is_allowed(diagnostic):
+                diagnostics.append(diagnostic)
+    kept = apply_suppressions(
+        diagnostics,
+        suppressions,
+        path,
+        report_unused=config.report_unused_suppressions,
+        enabled=config.enabled,
+    )
+    kept.extend(pragma_problems)
+    return sorted(kept, key=Diagnostic.sort_key)
+
+
+def iter_python_files(paths: Sequence["Path | str"]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through directly)."""
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            for found in sorted(entry_path.rglob("*.py")):
+                if "__pycache__" not in found.parts:
+                    yield found
+        elif entry_path.suffix == ".py":
+            yield entry_path
+
+
+def lint_paths(
+    paths: Sequence["Path | str"],
+    config: Optional[LintConfig] = None,
+    root: Optional["Path | str"] = None,
+) -> List[Diagnostic]:
+    """Lint every Python file under ``paths``.
+
+    Diagnostics carry repo-root-relative posix paths (``root`` defaults
+    to the working directory) so allowlist patterns written as
+    ``src/repro/...`` match regardless of how the target was spelled.
+    """
+    if config is None:
+        config = project_config()
+    base = (Path(root) if root is not None else Path.cwd()).resolve()
+    diagnostics: List[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        try:
+            relative = file_path.resolve().relative_to(base).as_posix()
+        except ValueError:
+            relative = file_path.as_posix()
+        diagnostics.extend(
+            lint_source(file_path.read_text(), path=relative, config=config)
+        )
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """Human report: one line per diagnostic plus a per-rule summary."""
+    listed = list(diagnostics)
+    lines = [diagnostic.render() for diagnostic in listed]
+    if listed:
+        by_rule: dict = {}
+        for diagnostic in listed:
+            by_rule[diagnostic.rule_id] = by_rule.get(diagnostic.rule_id, 0) + 1
+        summary = ", ".join(
+            f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append(f"-- {len(listed)} diagnostic(s) ({summary})")
+    else:
+        lines.append("-- clean (0 diagnostics)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Machine report (the CI ``LINT_report.json`` artifact)."""
+    listed = list(diagnostics)
+    by_rule: dict = {}
+    for diagnostic in listed:
+        by_rule[diagnostic.rule_id] = by_rule.get(diagnostic.rule_id, 0) + 1
+    return json.dumps(
+        {
+            "count": len(listed),
+            "by_rule": dict(sorted(by_rule.items())),
+            "diagnostics": [diagnostic.as_dict() for diagnostic in listed],
+        },
+        indent=2,
+        sort_keys=False,
+    )

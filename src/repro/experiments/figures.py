@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.graph.datasets import motivating_example, motivating_example_expected_answer
-from repro.graph.neighborhood import Neighborhood, NeighborhoodDelta, neighborhood_index
+from repro.graph.neighborhood import Neighborhood, NeighborhoodDelta
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession, SessionResult
 from repro.interactive.visualization import (
@@ -32,8 +32,8 @@ from repro.interactive.visualization import (
 )
 from repro.automata.prefix_tree import PathPrefixTree
 from repro.learning.path_selection import candidate_prefix_tree
-from repro.query.engine import shared_engine
 from repro.query.evaluation import witness_path
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 
 #: The paper's goal query on the motivating example.
@@ -71,7 +71,7 @@ def figure1() -> Figure1Result:
     """Recompute the Figure 1 answer and per-node witness paths."""
     graph = motivating_example()
     query = PathQuery(FIGURE1_QUERY)
-    answer = frozenset(shared_engine().evaluate(graph, query))
+    answer = frozenset(default_workspace().engine.evaluate(graph, query))
     witnesses = {
         str(node): witness_path(graph, query, node) for node in sorted(answer, key=str)
     }
@@ -121,7 +121,7 @@ def figure2(*, path_validation: bool = True) -> Figure2Result:
     result = session.run()
     learned = result.learned_query
     exact = learned is not None and learned.same_language(goal)
-    engine = shared_engine()
+    engine = default_workspace().engine
     instance_match = learned is not None and frozenset(
         engine.evaluate(graph, learned)
     ) == frozenset(engine.evaluate(graph, goal))
@@ -160,7 +160,7 @@ def figure3(*, negatives: Tuple[str, ...] = ("N5",)) -> Figure3Result:
     the graph's :class:`~repro.graph.neighborhood.NeighborhoodIndex`.
     """
     graph = motivating_example()
-    index = neighborhood_index(graph)
+    index = default_workspace().neighborhoods(graph)
     neighborhood_2 = index.neighborhood("N2", 2)
     delta = index.zoom(neighborhood_2)
     tree = candidate_prefix_tree(

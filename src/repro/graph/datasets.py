@@ -21,6 +21,7 @@ import random
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.determinism import entropy_seed
 from repro.graph.generators import grid_graph, scale_free_graph
 from repro.graph.labeled_graph import Edge, LabeledGraph
 from repro.graph.sampling import FenwickSampler
@@ -124,7 +125,7 @@ def transit_city(
     if not 0.0 <= facility_probability <= 1.0:
         raise ValueError("facility_probability must be within [0, 1]")
     if seed is None:
-        seed = random.Random().randrange(1 << 32)
+        seed = entropy_seed()
     graph = LabeledGraph(name)
     neighborhoods = [f"N{index}" for index in range(neighborhood_count)]
     for node in neighborhoods:

@@ -430,7 +430,9 @@ class LabeledGraph:
         speculative node sets (e.g. a neighbourhood frontier) without
         pre-filtering.
         """
-        keep = {node for node in nodes if node in self._succ}
+        # dedup in first-seen order (a dict, not a set) so the induced
+        # subgraph's node/edge insertion order follows the caller's order
+        keep = dict.fromkeys(node for node in nodes if node in self._succ)
         sub = LabeledGraph(name or f"{self.name}-sub")
         succ = sub._succ
         pred = sub._pred
@@ -446,7 +448,7 @@ class LabeledGraph:
         for node in keep:
             by_label = succ[node]
             for label, targets in self._succ[node].items():
-                kept = targets & keep
+                kept = targets & keep.keys()
                 if not kept:
                     continue
                 by_label[label] = kept

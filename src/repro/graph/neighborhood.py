@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+import warnings
+
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import Edge, LabeledGraph, Node
 
@@ -428,15 +430,18 @@ class NeighborhoodIndex:
         pred = graph._pred
         new_edges = set()
         add = new_edges.add
-        for node in new_nodes:
-            for label, targets in succ[node].items():
-                for target in targets:
-                    if target in node_set:
-                        add((node, label, target))
-            for label, sources in pred[node].items():
-                for source in sources:
-                    if source in node_set:
-                        add((source, label, node))
+        # walk the new BFS layers (ordered tuples) rather than the
+        # frozenset above: same nodes, deterministic order
+        for layer in new_layers:
+            for node in layer:
+                for label, targets in succ[node].items():
+                    for target in targets:
+                        if target in node_set:
+                            add((node, label, target))
+                for label, sources in pred[node].items():
+                    for source in sources:
+                        if source in node_set:
+                            add((source, label, node))
         return NeighborhoodDelta(
             previous=neighborhood,
             current=enlarged,
@@ -450,6 +455,13 @@ class NeighborhoodIndex:
         state = self._state(graph, center, directed)
         state.ensure_exhausted(graph)
         return len(state.layers) - 1
+
+
+def _shared_index(graph: LabeledGraph) -> NeighborhoodIndex:
+    """The process workspace's index (no deprecation warning: internal)."""
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().neighborhoods(graph)
 
 
 def neighborhood_index(graph: LabeledGraph) -> NeighborhoodIndex:
@@ -467,9 +479,13 @@ def neighborhood_index(graph: LabeledGraph) -> NeighborhoodIndex:
         the process default workspace.  New code should hold a workspace
         explicitly.
     """
-    from repro.serving.workspace import default_workspace
-
-    return default_workspace().neighborhoods(graph)
+    warnings.warn(
+        "repro.graph.neighborhood.neighborhood_index() is deprecated; "
+        "hold a GraphWorkspace and use workspace.neighborhoods(graph)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _shared_index(graph)
 
 
 def extract_neighborhood(
@@ -489,7 +505,7 @@ def extract_neighborhood(
     repeated extractions around the same centre (a zoom ladder, the
     eccentricity probe of the session) pay one BFS between them.
     """
-    return neighborhood_index(graph).neighborhood(center, radius, directed=directed)
+    return _shared_index(graph).neighborhood(center, radius, directed=directed)
 
 
 def zoom_out(
@@ -506,7 +522,7 @@ def zoom_out(
     elements absent from the previous fragment (the blue elements of
     Figure 3(b)).  Incremental: only the new layers are explored.
     """
-    return neighborhood_index(graph).zoom(neighborhood, step=step, directed=directed)
+    return _shared_index(graph).zoom(neighborhood, step=step, directed=directed)
 
 
 def neighborhood_chain(
@@ -522,7 +538,7 @@ def neighborhood_chain(
     and 3(b) fragments in one call; the shared index runs one BFS for
     the whole chain.
     """
-    index = neighborhood_index(graph)
+    index = _shared_index(graph)
     if center not in graph:
         raise NodeNotFoundError(center)
     return tuple(index.neighborhood(center, radius, directed=directed) for radius in radii)
@@ -534,4 +550,4 @@ def eccentricity_bound(graph: LabeledGraph, center: Node, *, directed: bool = Fa
     Zooming out beyond this radius never reveals anything new, so the
     interactive session uses it to disable the zoom action.
     """
-    return neighborhood_index(graph).eccentricity_bound(center, directed=directed)
+    return _shared_index(graph).eccentricity_bound(center, directed=directed)

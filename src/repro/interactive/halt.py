@@ -19,8 +19,9 @@ from typing import Optional, Sequence
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.learning.examples import ExampleSet
-from repro.query.engine import QueryEngine, shared_engine
+from repro.query.engine import QueryEngine
 from repro.query.rpq import PathQuery
+from repro.serving.workspace import default_workspace
 
 
 @dataclass
@@ -95,7 +96,7 @@ class UserSatisfied(HaltCondition):
     def satisfied(self, context: HaltContext) -> bool:
         if context.hypothesis is None:
             return False
-        engine = context.engine or shared_engine()
+        engine = context.engine or default_workspace().engine
         return frozenset(engine.evaluate(context.graph, context.hypothesis)) == self.target_answer
 
 

@@ -23,6 +23,7 @@ to study robustness (used by an ablation benchmark).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Optional, Tuple, Union
 
 from repro.automata.dfa import word_sort_key
@@ -30,10 +31,11 @@ from repro.automata.prefix_tree import PathPrefixTree
 from repro.exceptions import OracleError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.neighborhood import Neighborhood
-from repro.query.engine import QueryEngine, shared_engine
+from repro.query.engine import QueryEngine
 from repro.query.evaluation import witness_path
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
+from repro.serving.workspace import default_workspace
 
 Word = Tuple[str, ...]
 
@@ -54,7 +56,7 @@ class SimulatedUser:
         self.goal = goal if isinstance(goal, PathQuery) else PathQuery(goal)
         self.zoom_patience = zoom_patience
         if engine is None:
-            engine = workspace.engine if workspace is not None else shared_engine()
+            engine = workspace.engine if workspace is not None else default_workspace().engine
         self.engine = engine
         self._answer = frozenset(self.engine.evaluate(graph, self.goal))
         #: statistics the experiment harness reads back
@@ -184,10 +186,12 @@ class NoisyUser(SimulatedUser):
         if self.seed is None:
             return None  # unseeded flips are not reproducible: never dedup
         base = super().dedup_signature()
-        # the rng-state hash distinguishes a fresh oracle from one whose
+        # the rng-state digest distinguishes a fresh oracle from one whose
         # stream was already consumed by an earlier session, so reusing
         # one oracle object across sessions can never dedup incorrectly
-        return base + (self.noise, self.seed, hash(self._rng.getstate()))
+        # (crc32, not hash(): builtin hash is PYTHONHASHSEED-salted)
+        rng_state = zlib.crc32(repr(self._rng.getstate()).encode("utf-8"))
+        return base + (self.noise, self.seed, rng_state)
 
     def label(self, node: Node) -> bool:
         truthful = super().label(node)

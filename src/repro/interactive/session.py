@@ -148,8 +148,8 @@ class InteractiveSession:
         self.user = user
         if engine is not None:
             warnings.warn(
-                "InteractiveSession(engine=...) is deprecated; pass "
-                "workspace=GraphWorkspace(engine=...) instead",
+                "repro.interactive.session.InteractiveSession(engine=...) is "
+                "deprecated; pass workspace=GraphWorkspace(engine=...) instead",
                 DeprecationWarning,
                 stacklevel=2,
             )

@@ -36,14 +36,15 @@ from typing import List, Optional
 
 from repro.exceptions import NoCandidateNodeError
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.graph.neighborhood import NeighborhoodIndex, neighborhood_index
+from repro.graph.neighborhood import NeighborhoodIndex
 from repro.learning.examples import ExampleSet
 from repro.learning.informativeness import (
     SessionClassifier,
     classify_all,
     informative_nodes,
 )
-from repro.query.engine import QueryEngine, shared_engine
+from repro.query.engine import QueryEngine
+from repro.serving.workspace import default_workspace
 
 
 class Strategy(ABC):
@@ -65,7 +66,7 @@ class Strategy(ABC):
         #: rank by informativeness, which is path enumeration), but the
         #: session threads its engine here so subclasses that do evaluate
         #: share the session's plan and answer caches.
-        self.engine = engine or shared_engine()
+        self.engine = engine or default_workspace().engine
         #: optional pre-resolved neighbourhood/zoom index; the session
         #: threads its own here so strategies that rank by locality
         #: reuse the BFS layers the zoom ladder already paid for
@@ -117,7 +118,7 @@ class Strategy(ABC):
         index = self._neighborhood_index
         if index is not None and index.owns(graph):
             return index
-        return neighborhood_index(graph)
+        return default_workspace().neighborhoods(graph)
 
     @abstractmethod
     def propose(self, graph: LabeledGraph, examples: ExampleSet) -> Node:

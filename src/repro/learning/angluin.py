@@ -122,6 +122,7 @@ class _ObservationTable:
         self.teacher = teacher
         self.prefixes: List[Word] = [()]          # S, in insertion order
         self.suffixes: List[Word] = [()]          # E
+        # repro-lint: disable=REP301 -- membership table of one L* run; words are immutable keys, no graph revision to witness
         self.entries: Dict[Word, bool] = {}       # T over (prefix + suffix)
 
     # -- bookkeeping ---------------------------------------------------

@@ -17,9 +17,10 @@ from typing import FrozenSet, Optional, Tuple, Union
 from repro.automata.dfa import DFA, symbol_sort_key
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.learning.examples import ExampleSet, Word
-from repro.query.engine import QueryEngine, shared_engine
+from repro.query.engine import QueryEngine
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
+from repro.serving.workspace import default_workspace
 
 QueryLike = Union[str, Regex, PathQuery, DFA]
 
@@ -69,7 +70,7 @@ def check_consistency(
         query = PathQuery(query)
         dfa = query.dfa
 
-    answer = (engine or shared_engine()).evaluate(graph, query)
+    answer = (engine or default_workspace().engine).evaluate(graph, query)
     missed = frozenset(node for node in examples.positive_nodes if node not in answer)
     covered = frozenset(node for node in examples.negative_nodes if node in answer)
     rejected = tuple(

@@ -43,6 +43,8 @@ import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+import warnings
+
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.paths import words_from
@@ -50,10 +52,20 @@ from repro.learning.examples import ExampleSet, Word
 from repro.learning.language_index import (
     LanguageIndex,
     iter_bits,
-    language_index_for,
     popcount,
 )
 from repro.learning.path_selection import covered_words
+
+
+def _workspace_language_index(graph: LabeledGraph, max_length: int) -> LanguageIndex:
+    """Default index provider: the process workspace's build-once index.
+
+    Imported lazily because :mod:`repro.serving.workspace` imports this
+    module (the classifier is one of the structures it hosts).
+    """
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().language_index(graph, max_length)
 
 
 @dataclass(frozen=True)
@@ -200,7 +212,7 @@ class SessionClassifier:
         #: threads its own accessor here so index (re)builds go through
         #: the workspace's build-once locks and accounting
         self._index_provider = (
-            index_provider if index_provider is not None else language_index_for
+            index_provider if index_provider is not None else _workspace_language_index
         )
         self._index: Optional[LanguageIndex] = None
         self._statuses: Dict[Node, NodeStatus] = {}
@@ -309,10 +321,12 @@ class SessionClassifier:
             speller_bits = 0
             for word_id in iter_bits(validated_delta):
                 speller_bits |= index.spellers(word_id)
-            affected = set(index.nodes_of(speller_bits))
+            # dedup in first-seen order (dict, not set) so status dict
+            # insertion order stays reproducible across processes
+            affected = dict.fromkeys(index.nodes_of(speller_bits))
             # labelled nodes absent from the graph classify nothing (the
             # scratch path never visits them either)
-            affected.update(node for node in new_labeled if node in index)
+            affected.update(dict.fromkeys(node for node in new_labeled if node in index))
             for node in affected:
                 statuses[node] = self._status_of(
                     node, language_of(node), cover, validated_bits, labeled
@@ -363,6 +377,19 @@ def session_classifier(
         process default workspace.  New code should hold a workspace
         explicitly (the session loop threads its own classifier).
     """
+    warnings.warn(
+        "repro.learning.informativeness.session_classifier() is "
+        "deprecated; hold a GraphWorkspace and use "
+        "workspace.classifier(graph, examples, max_length=bound)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _workspace_classifier(graph, examples, max_length=max_length)
+
+
+def _workspace_classifier(
+    graph: LabeledGraph, examples: ExampleSet, *, max_length: int
+) -> SessionClassifier:
     from repro.serving.workspace import default_workspace
 
     return default_workspace().classifier(graph, examples, max_length=max_length)
@@ -382,7 +409,7 @@ def _resolve_classifier(
         and classifier._examples_ref() is examples
     ):
         return classifier
-    return session_classifier(graph, examples, max_length=max_length)
+    return _workspace_classifier(graph, examples, max_length=max_length)
 
 
 def classify_all(

@@ -41,6 +41,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+import warnings
+
 from repro.automata.dfa import DFA
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import Label, LabeledGraph, Node
@@ -369,6 +371,17 @@ def language_index_for(graph: LabeledGraph, max_length: int) -> LanguageIndex:
         the process default workspace (which adds build-once locking and
         accounting).  New code should hold a workspace explicitly.
     """
+    warnings.warn(
+        "repro.learning.language_index.language_index_for() is "
+        "deprecated; hold a GraphWorkspace and use "
+        "workspace.language_index(graph, bound)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _workspace_index(graph, max_length)
+
+
+def _workspace_index(graph: LabeledGraph, max_length: int) -> LanguageIndex:
     from repro.serving.workspace import default_workspace
 
     return default_workspace().language_index(graph, max_length)
@@ -423,7 +436,7 @@ class CompatibilityOracle:
         # callers holding a GraphWorkspace pass its index; the shim keeps
         # index-less construction working for legacy call sites
         if index is None or index.version != graph.version or index.max_length != max_length:
-            index = language_index_for(graph, max_length)
+            index = _workspace_index(graph, max_length)
         self.index = index
         self.cover_bits = self.index.cover(self.negatives)
 

@@ -21,7 +21,7 @@ from repro.automata.prefix_tree import PathPrefixTree, build_path_prefix_tree
 from repro.exceptions import NoConsistentPathError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.paths import has_word
-from repro.learning.language_index import LanguageIndex, language_index_for
+from repro.learning.language_index import LanguageIndex
 
 Word = Tuple[str, ...]
 
@@ -41,7 +41,10 @@ def _resolve_index(
         and index.max_length == max_length
     ):
         return index
-    return language_index_for(graph, max_length)
+    # lazy: the workspace's import closure includes this module
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().language_index(graph, max_length)
 
 
 def covered_words(
@@ -193,6 +196,7 @@ def _endpoints_of(graph: LabeledGraph, start: Node, word: Sequence[str]) -> Tupl
     current = {start}
     for label in word:
         following: Set[Node] = set()
+        # repro-lint: disable=REP104 -- only set unions happen per node; the result is sorted on return
         for node in current:
             following.update(graph.successors(node, label))
         current = following

@@ -19,7 +19,7 @@ from typing import Optional, Tuple, Union
 from repro.automata.dfa import DFA
 from repro.automata.equivalence import counterexample, equivalent, included, inclusion_counterexample
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.query.engine import shared_engine
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
 
@@ -56,7 +56,7 @@ def containment_counterexample(first: QueryLike, second: QueryLike) -> Optional[
 
 def instance_equivalent(graph: LabeledGraph, first: QueryLike, second: QueryLike) -> bool:
     """True when the two queries select the same nodes of ``graph``."""
-    engine = shared_engine()
+    engine = default_workspace().engine
     return engine.evaluate(graph, first) == engine.evaluate(graph, second)
 
 
@@ -64,7 +64,7 @@ def instance_difference(
     graph: LabeledGraph, first: QueryLike, second: QueryLike
 ) -> Tuple[frozenset, frozenset]:
     """Nodes selected only by ``first`` and only by ``second`` on ``graph``."""
-    engine = shared_engine()
+    engine = default_workspace().engine
     first_answer = engine.evaluate(graph, first)
     second_answer = engine.evaluate(graph, second)
     return (first_answer - second_answer, second_answer - first_answer)

@@ -43,6 +43,7 @@ cache statistics) instantiates its own :class:`QueryEngine`.
 from __future__ import annotations
 
 import hashlib
+import warnings
 import weakref
 from collections import OrderedDict, deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
@@ -539,11 +540,20 @@ def shared_engine() -> QueryEngine:
         should hold a :class:`~repro.serving.workspace.GraphWorkspace`
         explicitly and use ``workspace.engine``.
     """
+    warnings.warn(
+        "repro.query.engine.shared_engine() is deprecated; hold a "
+        "GraphWorkspace and use workspace.engine (e.g. "
+        "default_workspace().engine)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.serving.workspace import default_workspace
 
     return default_workspace().engine
 
 
 def compile_plan(query: QueryLike) -> QueryPlan:
-    """Compile ``query`` with the shared engine (convenience function)."""
-    return shared_engine().plan(query)
+    """Compile ``query`` with the process workspace's engine (convenience)."""
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().engine.plan(query)

@@ -30,11 +30,21 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 from repro.automata.dfa import DFA, symbol_sort_key
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.paths import Path
-from repro.query.engine import shared_engine
 from repro.query.rpq import PathQuery
 from repro.regex.ast import Regex
 
 QueryLike = Union[str, Regex, PathQuery, DFA]
+
+
+def _workspace_engine():
+    """The process workspace's engine.
+
+    Imported lazily: this module sits in ``repro.query``'s package init,
+    which runs long before the serving package can finish importing.
+    """
+    from repro.serving.workspace import default_workspace
+
+    return default_workspace().engine
 
 
 def _as_dfa(query: QueryLike) -> DFA:
@@ -69,7 +79,7 @@ def evaluate(graph: LabeledGraph, query: QueryLike) -> FrozenSet[Node]:
         DeprecationWarning,
         stacklevel=2,
     )
-    return shared_engine().evaluate(graph, query)
+    return _workspace_engine().evaluate(graph, query)
 
 
 def selects(graph: LabeledGraph, query: QueryLike, node: Node) -> bool:
@@ -81,7 +91,7 @@ def selects(graph: LabeledGraph, query: QueryLike, node: Node) -> bool:
     answer set for this graph version, membership is answered from the
     cache instead.
     """
-    return shared_engine().selects(graph, query, node)
+    return _workspace_engine().selects(graph, query, node)
 
 
 def witness_path(
@@ -133,7 +143,7 @@ def evaluate_many(
     (the candidates run as a disjoint union automaton), instead of one
     independent pass per query.
     """
-    return shared_engine().evaluate_many(graph, queries)
+    return _workspace_engine().evaluate_many(graph, queries)
 
 
 def answer_signature(graph: LabeledGraph, query: QueryLike) -> Tuple[Node, ...]:
@@ -142,7 +152,7 @@ def answer_signature(graph: LabeledGraph, query: QueryLike) -> Tuple[Node, ...]:
     Used by the halt condition "the user is satisfied with the output of
     an intermediary query" and by experiment metrics.
     """
-    return shared_engine().answer_signature(graph, query)
+    return _workspace_engine().answer_signature(graph, query)
 
 
 def selection_metrics(
@@ -151,4 +161,4 @@ def selection_metrics(
     """Precision / recall / F1 of the learned query against the goal query
     *on this instance* (the relevant notion for the user: does the answer
     set match what she wanted on her database)."""
-    return shared_engine().selection_metrics(graph, learned, goal)
+    return _workspace_engine().selection_metrics(graph, learned, goal)

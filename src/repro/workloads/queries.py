@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
-from repro.query.engine import shared_engine
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 
 #: Families in increasing structural complexity.
@@ -112,7 +112,7 @@ def generate_workload(
                 continue
             seen.add(expression)
             query = PathQuery(expression)
-            answer = shared_engine().evaluate(graph, query)
+            answer = default_workspace().engine.evaluate(graph, query)
             if require_nonempty and not answer:
                 continue
             if require_nontrivial and len(answer) == graph.node_count:
@@ -139,5 +139,5 @@ def figure1_goal_query() -> WorkloadQuery:
         family="star-prefix",
         expression="(tram + bus)* . cinema",
         query=query,
-        answer_size=len(shared_engine().evaluate(graph, query)),
+        answer_size=len(default_workspace().engine.evaluate(graph, query)),
     )

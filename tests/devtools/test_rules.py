@@ -1,0 +1,349 @@
+"""Fixture tests for the repro-lint rule families.
+
+Each family gets at least one seeded violation the rule must catch and
+one idiomatic negative it must stay silent on.  Fixtures are linted
+from strings via :func:`lint_source`, so the corpus lives next to the
+assertions instead of in checked-in bad files.
+"""
+
+import textwrap
+
+from repro.devtools import LintConfig, lint_source, project_config
+
+
+def lint(source, path="src/repro/example.py", config=None):
+    diagnostics = lint_source(textwrap.dedent(source), path=path, config=config)
+    return [(d.rule_id, d.line) for d in diagnostics], diagnostics
+
+
+def rules_of(source, path="src/repro/example.py", config=None):
+    pairs, _ = lint(source, path=path, config=config)
+    return [rule_id for rule_id, _ in pairs]
+
+
+class TestREP100Determinism:
+    def test_module_level_random_call_flagged(self):
+        assert "REP101" in rules_of(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+
+    def test_from_import_random_call_flagged(self):
+        assert "REP101" in rules_of(
+            """
+            from random import shuffle
+
+            def mix(items):
+                shuffle(items)
+            """
+        )
+
+    def test_unseeded_random_instance_flagged(self):
+        assert "REP102" in rules_of(
+            """
+            import random
+
+            def fresh_seed():
+                return random.Random().randrange(1 << 32)
+            """
+        )
+
+    def test_seeded_random_instance_is_clean(self):
+        assert rules_of(
+            """
+            import random
+
+            def rng(seed):
+                return random.Random(seed)
+            """
+        ) == []
+
+    def test_builtin_hash_outside_dunder_flagged(self):
+        assert "REP103" in rules_of(
+            """
+            def fingerprint(word):
+                return hash(word)
+            """
+        )
+
+    def test_builtin_hash_inside_dunder_is_clean(self):
+        assert rules_of(
+            """
+            class Key:
+                def __hash__(self):
+                    return hash((self.a, self.b))
+            """
+        ) == []
+
+    def test_set_iteration_flagged(self):
+        rules = rules_of(
+            """
+            def emit(graph):
+                nodes = {n for n in graph}
+                for node in nodes:
+                    print(node)
+            """
+        )
+        assert "REP104" in rules
+
+    def test_list_over_set_flagged(self):
+        assert "REP104" in rules_of(
+            """
+            def order(items):
+                return list(set(items))
+            """
+        )
+
+    def test_sorted_set_is_clean(self):
+        assert rules_of(
+            """
+            def order(items):
+                seen = set(items)
+                return sorted(seen)
+            """
+        ) == []
+
+    def test_order_free_reducer_over_set_is_clean(self):
+        assert rules_of(
+            """
+            def any_even(items):
+                seen = set(items)
+                return any(item % 2 == 0 for item in seen)
+            """
+        ) == []
+
+
+class TestREP200Workspace:
+    def test_shim_import_flagged(self):
+        pairs, _ = lint(
+            """
+            from repro.query.engine import shared_engine
+            """
+        )
+        assert ("REP201", 2) in pairs
+
+    def test_shim_call_flagged(self):
+        assert "REP202" in rules_of(
+            """
+            from repro.query.engine import shared_engine
+
+            def answer(graph, query):
+                return shared_engine().evaluate(graph, query)
+            """
+        )
+
+    def test_defining_module_is_exempt(self):
+        assert rules_of(
+            """
+            def shared_engine():
+                return _the_engine
+
+            def helper():
+                return shared_engine()
+            """,
+            path="src/repro/query/engine.py",
+        ) == []
+
+    def test_deprecated_evaluate_import_flagged(self):
+        assert "REP201" in rules_of(
+            """
+            from repro.query.evaluation import evaluate
+            """
+        )
+
+    def test_workspace_usage_is_clean(self):
+        assert rules_of(
+            """
+            from repro.serving.workspace import default_workspace
+
+            def answer(graph, query):
+                return default_workspace().engine.evaluate(graph, query)
+            """
+        ) == []
+
+
+class TestREP300CacheKeys:
+    def test_versionless_memo_flagged(self):
+        pairs, diagnostics = lint(
+            """
+            class Engine:
+                def __init__(self):
+                    self._answer_cache = {}
+
+                def evaluate(self, graph, query):
+                    key = str(query)
+                    if key not in self._answer_cache:
+                        self._answer_cache[key] = self._run(graph, query)
+                    return self._answer_cache[key]
+            """
+        )
+        assert [rule for rule, _ in pairs] == ["REP301"]
+        assert diagnostics[0].symbol == "_answer_cache"
+
+    def test_version_witnessed_key_is_clean(self):
+        assert rules_of(
+            """
+            class Engine:
+                def __init__(self):
+                    self._answer_cache = {}
+
+                def evaluate(self, graph, query):
+                    key = (graph.version, str(query))
+                    if key not in self._answer_cache:
+                        self._answer_cache[key] = self._run(graph, query)
+                    return self._answer_cache[key]
+            """
+        ) == []
+
+    def test_class_revision_marker_is_clean(self):
+        # the _GraphCache idiom: revision stored beside the dict
+        assert rules_of(
+            """
+            class GraphCache:
+                def __init__(self, version):
+                    self.version = version
+                    self.answers = {}
+
+                def get(self, key):
+                    return self.answers.get(key)
+            """
+        ) == []
+
+    def test_traced_local_value_counts_as_evidence(self):
+        # the value expression mentions the marker only via a local
+        assert rules_of(
+            """
+            class Engine:
+                def __init__(self):
+                    self._caches = {}
+
+                def cache_for(self, graph):
+                    entry = GraphCache(graph.version)
+                    self._caches[graph] = entry
+                    return entry
+            """
+        ) == []
+
+    def test_allowlist_exempts_named_memo(self):
+        source = """
+        class Registry:
+            def __init__(self):
+                self._memo = {}
+
+            def put(self, key, value):
+                self._memo[key] = value
+        """
+        assert "REP301" in rules_of(source, path="src/repro/serving/thing.py")
+        config = project_config().merged(
+            {"allow": {"REP301": ["src/repro/serving/thing.py::_memo"]}}
+        )
+        assert rules_of(source, path="src/repro/serving/thing.py", config=config) == []
+
+
+class TestREP400Locks:
+    def test_build_call_under_lock_flagged(self):
+        assert "REP401" in rules_of(
+            """
+            class Workspace:
+                def language_index(self, graph, bound):
+                    with self._lock:
+                        index = LanguageIndex(graph, bound)
+                    return index
+            """
+        )
+
+    def test_build_call_outside_lock_is_clean(self):
+        assert rules_of(
+            """
+            class Workspace:
+                def language_index(self, graph, bound):
+                    with self._lock:
+                        key = (id(graph), bound)
+                    index = LanguageIndex(graph, bound)
+                    with self._lock:
+                        self._indexes[key] = (graph.version, index)
+                    return index
+            """
+        ) == []
+
+    def test_bare_acquire_flagged(self):
+        assert "REP402" in rules_of(
+            """
+            class Workspace:
+                def touch(self):
+                    self._lock.acquire()
+                    try:
+                        self._hits += 1
+                    finally:
+                        self._lock.release()
+            """
+        )
+
+
+class TestREP500ApiHygiene:
+    def test_exported_function_without_docstring_flagged(self):
+        assert "REP501" in rules_of(
+            """
+            __all__ = ["entry"]
+
+            def entry(graph: object) -> int:
+                return 0
+            """
+        )
+
+    def test_exported_function_without_annotations_flagged(self):
+        assert "REP502" in rules_of(
+            """
+            __all__ = ["entry"]
+
+            def entry(graph):
+                '''Documented but untyped.'''
+                return 0
+            """
+        )
+
+    def test_unexported_function_is_exempt(self):
+        assert rules_of(
+            """
+            __all__ = ["entry"]
+
+            def entry(graph: object) -> int:
+                '''Documented and typed.'''
+                return _helper(graph)
+
+            def _helper(graph):
+                return 0
+            """
+        ) == []
+
+    def test_exported_class_without_docstring_flagged(self):
+        assert "REP501" in rules_of(
+            """
+            __all__ = ["Thing"]
+
+            class Thing:
+                pass
+            """
+        )
+
+
+class TestSelect:
+    def test_select_narrows_to_one_family(self):
+        source = """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+
+        def fingerprint(word):
+            return hash(word)
+        """
+        config = LintConfig(select=("REP100",))
+        rules = rules_of(source, config=config)
+        assert "REP101" in rules and "REP103" in rules
+        config = LintConfig(select=("REP400",))
+        assert rules_of(source, config=config) == []

@@ -12,7 +12,12 @@ from repro.graph.datasets import (
     motivating_example_expected_answer,
     transit_city,
 )
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 
 class TestMotivatingExample:

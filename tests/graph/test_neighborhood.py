@@ -15,9 +15,14 @@ from repro.graph.neighborhood import (
     eccentricity_bound,
     extract_neighborhood,
     neighborhood_chain,
-    neighborhood_index,
     zoom_out,
 )
+from repro.serving.workspace import default_workspace
+
+
+def neighborhood_index(graph):
+    """Workspace-backed index accessor (the module-level shim now warns)."""
+    return default_workspace().neighborhoods(graph)
 
 
 # ----------------------------------------------------------------------

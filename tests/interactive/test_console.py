@@ -7,7 +7,12 @@ from repro.graph.neighborhood import extract_neighborhood
 from repro.interactive.console import ConsoleUser, TranscriptUser
 from repro.interactive.session import InteractiveSession
 from repro.learning.path_selection import candidate_prefix_tree
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 
 class ScriptedIO:

@@ -8,7 +8,12 @@ from repro.interactive.scenarios import (
     run_interactive_without_validation,
     run_static_labeling,
 )
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 GOAL = "(tram + bus)* . cinema"
 

@@ -7,7 +7,12 @@ from repro.interactive.halt import UserSatisfied
 from repro.interactive.oracle import NoisyUser, SimulatedUser
 from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import RandomStrategy
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 GOAL = "(tram + bus)* . cinema"
 

@@ -58,21 +58,25 @@ class TestNeighborhoodThreading:
         assert session.strategy.neighborhoods(figure1_graph) is session.neighborhoods
 
     def test_accessor_falls_back_to_shared_index_for_other_graphs(self, figure1_graph):
-        from repro.graph.neighborhood import NeighborhoodIndex, neighborhood_index
+        from repro.graph.neighborhood import NeighborhoodIndex
+        from repro.serving.workspace import default_workspace
 
         other = figure1_graph.copy()
         strategy = MostInformativePathsStrategy(
             neighborhood_index=NeighborhoodIndex(figure1_graph)
         )
-        assert strategy.neighborhoods(other) is neighborhood_index(other)
+        assert strategy.neighborhoods(other) is default_workspace().neighborhoods(other)
 
     def test_accessor_survives_a_collected_graph(self, figure1_graph):
-        from repro.graph.neighborhood import NeighborhoodIndex, neighborhood_index
+        from repro.graph.neighborhood import NeighborhoodIndex
+        from repro.serving.workspace import default_workspace
 
         dead = figure1_graph.copy()
         strategy = MostInformativePathsStrategy(neighborhood_index=NeighborhoodIndex(dead))
         del dead
-        assert strategy.neighborhoods(figure1_graph) is neighborhood_index(figure1_graph)
+        assert strategy.neighborhoods(figure1_graph) is default_workspace().neighborhoods(
+            figure1_graph
+        )
 
 
 class TestProposals:

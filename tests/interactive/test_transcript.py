@@ -11,7 +11,12 @@ from repro.interactive.transcript import (
     record_session,
     replay_transcript,
 )
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 GOAL = "(tram + bus)* . cinema"
 

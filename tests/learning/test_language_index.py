@@ -20,18 +20,27 @@ from repro.learning.informativeness import (
     classify_all,
     classify_all_scratch,
     informative_nodes,
-    session_classifier,
 )
 from repro.learning.language_index import (
     CompatibilityOracle,
     LanguageIndex,
     PrefixIdArena,
     iter_bits,
-    language_index_for,
     popcount,
 )
 from repro.learning.learner import PathQueryLearner
 from repro.query.engine import QueryEngine
+from repro.serving.workspace import default_workspace
+
+
+def language_index_for(graph, max_length):
+    """Workspace-backed index accessor (the module-level shim now warns)."""
+    return default_workspace().language_index(graph, max_length)
+
+
+def session_classifier(graph, examples, *, max_length):
+    """Workspace-backed classifier accessor (the module-level shim now warns)."""
+    return default_workspace().classifier(graph, examples, max_length=max_length)
 
 
 # ----------------------------------------------------------------------

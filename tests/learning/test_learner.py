@@ -5,7 +5,12 @@ import pytest
 from repro.exceptions import InconsistentExamplesError
 from repro.learning.examples import ExampleSet
 from repro.learning.learner import PathQueryLearner, learn_query
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 
 class TestSelectSampleWords:

@@ -15,7 +15,12 @@ from repro.learning.examples import ExampleSet
 from repro.learning.informativeness import pruned_nodes
 from repro.learning.learner import PathQueryLearner
 from repro.learning.path_selection import consistent_words_for, covered_words
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 LABELS = ("a", "b", "c")
 

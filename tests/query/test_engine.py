@@ -373,10 +373,11 @@ class TestBatchEvaluator:
 class TestSharedEngineWiring:
     def test_module_level_evaluate_uses_shared_engine(self):
         graph = LabeledGraph.from_edges([("a", "x", "b")])
-        before = shared_engine().stats()["answer_misses"]
-        evaluate(graph, "x")
-        evaluate(graph, "x")
-        stats = shared_engine().stats()
+        with pytest.warns(DeprecationWarning, match="repro."):
+            before = shared_engine().stats()["answer_misses"]
+            evaluate(graph, "x")
+            evaluate(graph, "x")
+            stats = shared_engine().stats()
         assert stats["answer_misses"] == before + 1
 
     def test_session_threads_one_engine(self):
@@ -387,7 +388,8 @@ class TestSharedEngineWiring:
         engine = QueryEngine()
         graph = motivating_example()
         user = SimulatedUser(graph, "(tram + bus)* . cinema", engine=engine)
-        session = InteractiveSession(graph, user, engine=engine)
+        with pytest.warns(DeprecationWarning, match="repro.interactive.session"):
+            session = InteractiveSession(graph, user, engine=engine)
         result = session.run()
         assert session.learner.engine is engine
         assert session.strategy.engine is engine

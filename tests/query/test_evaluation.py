@@ -1,17 +1,29 @@
-"""Unit tests for RPQ evaluation on graphs (the core semantics)."""
+"""Unit tests for RPQ evaluation on graphs (the core semantics).
+
+The module-level :func:`repro.query.evaluation.evaluate` is deprecated;
+this file keeps exercising it on purpose — the semantics contract must
+hold through the shim — so every call goes through a wrapper asserting
+the deprecation warning fires.
+"""
 
 import pytest
 
 from repro.exceptions import NodeNotFoundError
+from repro.query import evaluation
 from repro.query.evaluation import (
     answer_signature,
-    evaluate,
     evaluate_many,
     selection_metrics,
     selects,
     witness_path,
 )
 from repro.query.rpq import PathQuery
+
+
+def evaluate(graph, query):
+    """The deprecated module-level evaluate(), asserting it still warns."""
+    with pytest.warns(DeprecationWarning, match="repro.query.evaluation"):
+        return evaluation.evaluate(graph, query)
 
 
 class TestEvaluateOnFigure1:

@@ -5,8 +5,14 @@ from hypothesis import given, settings
 
 from repro.graph.generators import random_graph
 from repro.graph.paths import words_from
-from repro.query.evaluation import evaluate, selects, witness_path
+from repro.query.evaluation import selects, witness_path
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 LABELS = ("a", "b", "c")
 

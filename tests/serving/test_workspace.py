@@ -146,11 +146,14 @@ class TestDefaultWorkspace:
             from repro.query.engine import shared_engine
 
             workspace = default_workspace()
-            assert shared_engine() is workspace.engine
-            assert neighborhood_index(tiny_graph) is workspace.neighborhoods(tiny_graph)
-            assert language_index_for(tiny_graph, 3) is workspace.language_index(
-                tiny_graph, 3
-            )
+            with pytest.warns(DeprecationWarning, match="repro.query.engine"):
+                assert shared_engine() is workspace.engine
+            with pytest.warns(DeprecationWarning, match="repro.graph.neighborhood"):
+                assert neighborhood_index(tiny_graph) is workspace.neighborhoods(tiny_graph)
+            with pytest.warns(DeprecationWarning, match="repro.learning.language_index"):
+                assert language_index_for(tiny_graph, 3) is workspace.language_index(
+                    tiny_graph, 3
+                )
         finally:
             reset_default_workspace()
 

@@ -191,3 +191,45 @@ class TestBench:
         assert main(self._argv(tmp_path, "--seed", "99")) == 1
         assert "plan" in capsys.readouterr().err
         assert main(self._argv(tmp_path, "--seed", "99", "--fresh")) == 0
+
+
+class TestLint:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def greet(name: str) -> str:\n    return name\n")
+        code = main(["lint", str(clean)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in output
+
+    def test_lint_violation_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = hash('word')\n")
+        code = main(["lint", str(bad)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "REP103" in output
+
+    def test_lint_json_output_and_report_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = hash('word')\n")
+        report = tmp_path / "report.json"
+        code = main(["lint", "--format=json", "--output", str(report), str(bad)])
+        stdout = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(stdout)
+        assert payload["by_rule"] == {"REP103": 1}
+        assert json.loads(report.read_text()) == payload
+
+    def test_lint_select_narrows_families(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = hash('word')\n")
+        code = main(["lint", "--select", "REP400", str(bad)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_lint_default_target_is_repository_source(self, capsys):
+        """`repro lint` with no paths lints src/repro — and it must be clean."""
+        code = main(["lint"])
+        output = capsys.readouterr().out
+        assert code == 0, output

@@ -14,9 +14,15 @@ from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession
 from repro.interactive.strategies import make_strategy
 from repro.learning.learner import learn_query
-from repro.query.evaluation import evaluate, selection_metrics
+from repro.query.evaluation import selection_metrics
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 from repro.workloads.queries import generate_workload
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 
 class TestFigure1EndToEnd:

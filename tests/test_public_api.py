@@ -70,14 +70,15 @@ class TestTopLevelExports:
         session = InteractiveSession(graph, user)
         result = session.run()
         assert result.learned_query is not None
-        assert evaluate(graph, result.learned_query) == {"N1", "N2", "N4", "N6"}
+        engine = repro.default_workspace().engine
+        assert engine.evaluate(graph, result.learned_query) == {"N1", "N2", "N4", "N6"}
 
     def test_minimal_manual_usage(self):
         graph = LabeledGraph("mine")
         graph.add_edge("home", "bus", "work")
         graph.add_edge("work", "cafe", "espresso")
         query = PathQuery("bus . cafe")
-        assert evaluate(graph, query) == {"home"}
+        assert repro.default_workspace().engine.evaluate(graph, query) == {"home"}
 
     def test_learn_query_facade(self):
         from repro.graph.datasets import motivating_example

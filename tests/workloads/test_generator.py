@@ -7,8 +7,14 @@ import sys
 import zlib
 from pathlib import Path
 
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 from repro.workloads.generator import quick_suite, stable_name_hash, standard_suite
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
+
 
 SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
@@ -16,6 +22,7 @@ SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 _FINGERPRINT_SNIPPET = """
 import json
 from repro.workloads.generator import standard_suite
+
 cases = standard_suite(datasets=["figure-1", "transit-small"], per_family=1, seed=11)
 print(json.dumps([[case.dataset, case.goal.family, case.goal.expression] for case in cases]))
 """

@@ -3,12 +3,17 @@
 import pytest
 
 from repro.graph.datasets import motivating_example
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 from repro.workloads.queries import (
     QUERY_FAMILIES,
     figure1_goal_query,
     generate_workload,
 )
+
+
+def evaluate(graph, query):
+    """Workspace-engine evaluation (the module-level evaluate() shim now warns)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 
 class TestGenerateWorkload:
