@@ -15,7 +15,8 @@ from repro.interactive.session import InteractiveSession
 from repro.learning.examples import ExampleSet
 from repro.learning.informativeness import informative_nodes
 from repro.learning.learner import PathQueryLearner, learn_query
-from repro.query.evaluation import evaluate, selection_metrics
+from repro.query.evaluation import selection_metrics
+from repro.serving.workspace import default_workspace
 
 from conftest import write_artifact
 
@@ -50,7 +51,7 @@ def test_ablation_pruning_pool_size(benchmark, results_dir):
     """How many candidates the strategy has to consider with vs without pruning."""
     graph = transit_city(60, tram_lines=4, bus_lines=6, line_length=10, seed=8)
     examples = ExampleSet()
-    answer = evaluate(graph, GOAL)
+    answer = default_workspace().engine.evaluate(graph, GOAL)
     negatives = sorted(set(graph.nodes()) - answer, key=str)[:5]
     for node in negatives:
         examples.add_negative(node)

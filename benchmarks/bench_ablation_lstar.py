@@ -18,7 +18,7 @@ from repro.graph.datasets import motivating_example
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession
 from repro.learning.angluin import ExactTeacher, SampleTeacher, learn_with_membership_queries, lstar
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 
 from conftest import write_artifact
 
@@ -41,7 +41,7 @@ def test_lstar_exact_learning(benchmark, results_dir):
     )
     write_artifact(results_dir, "ablation_lstar.txt", comparison)
     assert result.membership_queries > gps.interactions
-    assert evaluate(graph, gps.learned_query) == user.goal_answer
+    assert default_workspace().engine.evaluate(graph, gps.learned_query) == user.goal_answer
 
 
 def test_lstar_with_bounded_teacher(benchmark):

@@ -193,6 +193,7 @@ def test_marginal_memory_per_session_bounded(results_dir):
 def sequential_traces(graph, count):
     traces = []
     for index in range(count):
+        # repro-lint: disable=REP201 -- the point of this baseline is one isolated workspace per session
         workspace = GraphWorkspace()
         goal = GOALS[index % len(GOALS)]
         session = InteractiveSession(
@@ -211,6 +212,7 @@ def test_traces_bit_identical_to_sequential():
     graph = make_graph()
     baseline = sequential_traces(graph, count)
     for dedup in (False, True):
+        # repro-lint: disable=REP201 -- each dedup configuration needs a cold workspace
         manager = SessionManager(GraphWorkspace(), dedup=dedup)
         admit_users(manager, graph, count)
         results = manager.run_all()

@@ -7,7 +7,7 @@ evaluation on the motivating example and on a larger transit city.
 
 from repro.experiments.figures import figure1
 from repro.graph.datasets import motivating_example, transit_city
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 
 from conftest import write_artifact
@@ -25,12 +25,12 @@ def test_figure1_answer_regeneration(benchmark, results_dir):
 def test_figure1_evaluation_on_motivating_example(benchmark):
     graph = motivating_example()
     query = PathQuery(GOAL)
-    answer = benchmark(evaluate, graph, query)
+    answer = benchmark(default_workspace().engine.evaluate, graph, query)
     assert answer == {"N1", "N2", "N4", "N6"}
 
 
 def test_figure1_evaluation_scales_to_transit_city(benchmark):
     graph = transit_city(300, tram_lines=6, bus_lines=10, line_length=15, seed=3)
     query = PathQuery(GOAL)
-    answer = benchmark(evaluate, graph, query)
+    answer = benchmark(default_workspace().engine.evaluate, graph, query)
     assert isinstance(answer, frozenset)

@@ -8,7 +8,7 @@ from repro.experiments.figures import figure2
 from repro.graph.datasets import motivating_example
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 
 from conftest import write_artifact
 
@@ -30,5 +30,5 @@ def test_figure2_transcript_regeneration(benchmark, results_dir):
 
 def test_figure2_full_session(benchmark):
     graph, user, result = benchmark(_run_session)
-    assert evaluate(graph, result.learned_query) == user.goal_answer
+    assert default_workspace().engine.evaluate(graph, result.learned_query) == user.goal_answer
     assert result.interactions <= 6

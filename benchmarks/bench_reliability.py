@@ -1,0 +1,245 @@
+"""Reliability benchmark: the acceptance gates of the fault-tolerance PR.
+
+Drives supervised session fleets through deterministic fault injection
+and asserts the four acceptance criteria of the reliability PR:
+
+* **Termination** — at N=64 sessions with a 5% fault rate on every
+  oracle interaction, every session terminates: retired with a result
+  or quarantined with its partial trace; none hang (``run_all``
+  returning with one result per admitted session is the proof).
+* **Throughput under chaos** — the faulty fleet's per-session
+  throughput stays at least ``0.5×`` the fault-free baseline: retries
+  and seeded backoff may slow things down, but not catastrophically.
+* **Replay fidelity** — with faults disabled the supervised machinery
+  is invisible: traces are bit-identical to a plain (pre-reliability)
+  ``SessionManager`` fleet, whether supervision is configured or not.
+* **Resume safety** — an experiment campaign killed mid-run (rows.jsonl
+  cut short, trailing line truncated mid-write) resumes from its store
+  losing **zero** completed rows and re-executes only the missing units.
+
+Timings land in ``BENCH_reliability.json`` (pytest-benchmark) and the
+chaos summary in ``benchmarks/results/reliability_chaos.json``.
+"""
+
+import json
+import time
+
+from repro.experiments.runner import ExperimentRunner, ResultStore, strip_timing
+from repro.graph.generators import random_graph
+from repro.interactive.oracle import SimulatedUser, UnreliableUser
+from repro.reliability import FaultInjector, FaultPlan, RetryPolicy, SupervisionPolicy
+from repro.serving import GraphWorkspace, SessionManager
+
+from conftest import write_artifact
+
+NODES = 200
+EDGES = 600
+ALPHABET = ("a", "b", "c")
+GRAPH_SEED = 11
+FAULT_SEED = 20150323
+SESSIONS = 64
+FAULT_RATE = 0.05
+MAX_INTERACTIONS = 8
+MAX_PATH_LENGTH = 3
+
+#: acceptance floor: chaos-fleet per-session throughput vs fault-free
+THROUGHPUT_FLOOR = 0.5
+
+GOALS = (
+    "a . b",
+    "b . c",
+    "a* . b",
+    "(a + b) . c",
+    "c . a",
+    "b* . a",
+    "a . c",
+    "(b + c) . a",
+)
+
+
+def make_graph():
+    return random_graph(NODES, EDGES, ALPHABET, seed=GRAPH_SEED, name="reliability-bench")
+
+
+def supervision_policy():
+    return SupervisionPolicy(
+        retry=RetryPolicy(max_attempts=6, backoff_base=0.0001),
+        breaker_consecutive_limit=10,
+        jitter_seed=FAULT_SEED,
+    )
+
+
+def run_fleet(count, *, rate, supervised=None):
+    """Drive ``count`` sessions; faults per session at ``rate``.
+
+    ``supervised`` defaults to "whenever faults can fire"; pass ``True``
+    to keep supervision on with a zero rate (the invisibility check).
+    Each session gets its own injector seeded from ``(FAULT_SEED,
+    index)`` so fault schedules are independent of event-loop
+    interleaving.  Returns ``(results, manager, users, seconds)``.
+    """
+    if supervised is None:
+        supervised = rate > 0.0
+    graph = make_graph()
+    manager = SessionManager(
+        GraphWorkspace(),
+        dedup=False,
+        supervision=supervision_policy() if supervised else None,
+    )
+    users = []
+    for index in range(count):
+        user = SimulatedUser(graph, GOALS[index % len(GOALS)], workspace=manager.workspace)
+        if rate > 0.0:
+            plan = FaultPlan(FAULT_SEED + index, default_rate=rate)
+            user = UnreliableUser(user, FaultInjector(plan))
+        users.append(user)
+        manager.admit(
+            graph,
+            user,
+            max_interactions=MAX_INTERACTIONS,
+            max_path_length=MAX_PATH_LENGTH,
+        )
+    started = time.perf_counter()
+    results = manager.run_all()
+    elapsed = time.perf_counter() - started
+    return results, manager, users, elapsed
+
+
+def trace(result):
+    return (
+        result.interaction_trace(),
+        [record.validated_word for record in result.records],
+        str(result.learned_query),
+        result.halted_by,
+        result.quarantined,
+    )
+
+
+def fleet_traces(results):
+    return [trace(results[sid]) for sid in sorted(results, key=lambda s: int(s[1:]))]
+
+
+# ----------------------------------------------------------------------
+# gates 1+2: termination and throughput at N=64, 5% fault rate
+# ----------------------------------------------------------------------
+def test_chaos_fleet_terminates_and_keeps_throughput(results_dir):
+    results, manager, users, base_seconds = run_fleet(SESSIONS, rate=0.0)
+    assert len(results) == SESSIONS
+
+    chaos_results, chaos_manager, chaos_users, chaos_seconds = run_fleet(
+        SESSIONS, rate=FAULT_RATE
+    )
+    stats = chaos_manager.stats()
+    injected = sum(user.statistics()["injected_failures"] for user in chaos_users)
+
+    # gate 1: every session terminated — retired or quarantined, none hung
+    assert len(chaos_results) == SESSIONS
+    assert stats["completed"] == SESSIONS
+    for result in chaos_results.values():
+        assert result.halted_by is not None or result.learned_query is not None
+
+    # the chaos run must actually have exercised the machinery
+    assert injected > 0, "5% fault rate fired no faults — injector misconfigured"
+    assert stats["step_retries"] > 0
+
+    # gate 2: per-session throughput floor under chaos
+    ratio = base_seconds / chaos_seconds if chaos_seconds > 0 else 1.0
+    summary = {
+        "sessions": SESSIONS,
+        "fault_rate": FAULT_RATE,
+        "fault_free_seconds": round(base_seconds, 4),
+        "chaos_seconds": round(chaos_seconds, 4),
+        "throughput_ratio": round(ratio, 4),
+        "injected_failures": injected,
+        "step_retries": stats["step_retries"],
+        "quarantined": stats["quarantined"],
+        "deadline_overruns": stats["deadline_overruns"],
+    }
+    write_artifact(
+        results_dir, "reliability_chaos.json", json.dumps(summary, indent=2, sort_keys=True)
+    )
+    assert ratio >= THROUGHPUT_FLOOR, (
+        f"chaos fleet ran at {ratio:.2f}x the fault-free throughput "
+        f"(floor {THROUGHPUT_FLOOR}x): {summary}"
+    )
+
+
+# ----------------------------------------------------------------------
+# gate 3: with faults disabled the machinery is invisible
+# ----------------------------------------------------------------------
+def test_disabled_faults_replay_bit_identically():
+    plain, _, _, _ = run_fleet(16, rate=0.0)  # the pre-reliability shape
+    unsupervised, _, _, _ = run_fleet(16, rate=0.0, supervised=False)
+    supervised, manager, _, _ = run_fleet(16, rate=0.0, supervised=True)
+    assert fleet_traces(unsupervised) == fleet_traces(plain)
+    assert fleet_traces(supervised) == fleet_traces(plain), (
+        "supervision with no faults must not perturb session traces"
+    )
+    assert manager.stats()["quarantined"] == 0
+    assert manager.stats()["step_retries"] == 0
+
+
+def test_chaos_fleet_replays_bit_identically():
+    first, _, _, _ = run_fleet(16, rate=FAULT_RATE)
+    second, _, _, _ = run_fleet(16, rate=FAULT_RATE)
+    assert fleet_traces(first) == fleet_traces(second), (
+        "same fault seed, same fleet — chaos runs must replay bit-identically"
+    )
+
+
+# ----------------------------------------------------------------------
+# gate 4: campaign resume after a mid-run crash loses zero rows
+# ----------------------------------------------------------------------
+def _campaign(store):
+    return ExperimentRunner(
+        suite="quick",
+        experiments=["e1"],
+        datasets=["figure-1"],
+        seed=7,
+        store=store,
+    )
+
+
+def test_runner_resumes_after_crash_losing_zero_rows(tmp_path):
+    baseline_store = ResultStore(tmp_path / "baseline")
+    baseline = _campaign(baseline_store).run()
+    total = len(baseline.units)
+    assert total >= 2, "need at least two units to simulate a mid-campaign crash"
+
+    # replay the campaign into a second store, then crash it mid-run:
+    # keep the first half of rows.jsonl plus a line truncated mid-write
+    crashed_store = ResultStore(tmp_path / "crashed")
+    _campaign(crashed_store).run()
+    rows = crashed_store.rows_path.read_text().splitlines()
+    kept = rows[: total // 2]
+    crashed_store.rows_path.write_text(
+        "\n".join(kept) + "\n" + rows[total // 2][: len(rows[total // 2]) // 2]
+    )
+
+    resumed = _campaign(crashed_store).run(resume=True)
+    assert len(resumed.resumed_unit_ids) == len(kept), "completed rows were lost"
+    assert len(resumed.executed_unit_ids) == total - len(kept)
+    assert set(resumed.records) == {unit.unit_id for unit in resumed.units}
+    for unit_id, record in baseline.records.items():
+        assert strip_timing(record["rows"]) == strip_timing(
+            resumed.records[unit_id]["rows"]
+        ), f"unit {unit_id} diverged across the crash/resume boundary"
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings (recorded in BENCH_reliability.json)
+# ----------------------------------------------------------------------
+def test_fleet_16_under_chaos(benchmark):
+    def run():
+        results, _, _, _ = run_fleet(16, rate=FAULT_RATE)
+        assert len(results) == 16
+
+    benchmark.pedantic(run, rounds=3)
+
+
+def test_fleet_16_fault_free(benchmark):
+    def run():
+        results, _, _, _ = run_fleet(16, rate=0.0)
+        assert len(results) == 16
+
+    benchmark.pedantic(run, rounds=3)

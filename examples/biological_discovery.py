@@ -24,7 +24,8 @@ from repro.graph.datasets import biological_network
 from repro.graph.statistics import compute_statistics
 from repro.interactive.oracle import SimulatedUser
 from repro.interactive.session import InteractiveSession
-from repro.query.evaluation import evaluate, selection_metrics
+from repro.query.evaluation import selection_metrics
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 
 QUERIES = [
@@ -44,9 +45,10 @@ def main() -> None:
     print("synthetic interaction network:", compute_statistics(graph).as_dict())
     print()
 
+    engine = default_workspace().engine
     for description, expression in QUERIES:
         goal = PathQuery(expression)
-        answer = evaluate(graph, goal)
+        answer = engine.evaluate(graph, goal)
         print(f"query: {description}")
         print(f"  expression  : {expression}")
         print(f"  answer size : {len(answer)} / {graph.node_count}")

@@ -20,7 +20,7 @@ from repro.graph.io import load_json, save_json
 from repro.interactive.console import TranscriptUser
 from repro.interactive.session import InteractiveSession
 from repro.learning.learner import learn_query
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 
 
 def build_graph():
@@ -58,7 +58,7 @@ def main() -> None:
     # goal: people whose team owns something that (transitively) depends on the database
     goal = "member_of . owns . depends_on+"
     print(f"goal query: {goal}")
-    print(f"  answer: {sorted(evaluate(graph, goal))}")
+    print(f"  answer: {sorted(default_workspace().engine.evaluate(graph, goal))}")
     print()
 
     # one-shot learning from explicit examples; the negative examples are
@@ -70,7 +70,7 @@ def main() -> None:
         negative=["database", "data-team", "auth-service"],
     )
     print(f"learned from two positive and three negative examples: {learned}")
-    print(f"  answer: {sorted(evaluate(graph, learned))}")
+    print(f"  answer: {sorted(default_workspace().engine.evaluate(graph, learned))}")
     print()
 
     # a fully scripted interactive session (what a GUI adapter looks like)
@@ -93,7 +93,7 @@ def main() -> None:
     )
     result = session.run()
     print(f"scripted session learned: {result.learned_query}")
-    print(f"  answer: {sorted(evaluate(graph, result.learned_query))}")
+    print(f"  answer: {sorted(default_workspace().engine.evaluate(graph, result.learned_query))}")
 
 
 def _scripted_order(order):

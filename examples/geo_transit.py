@@ -16,7 +16,7 @@ Run with::
 from repro.graph.datasets import transit_city
 from repro.graph.statistics import compute_statistics
 from repro.interactive.scenarios import run_interactive_with_validation, run_static_labeling
-from repro.query.evaluation import evaluate
+from repro.serving.workspace import default_workspace
 
 QUERIES = [
     ("neighbourhoods that can reach a cinema by public transport", "(tram + bus)* . cinema"),
@@ -33,8 +33,9 @@ def main() -> None:
     print("synthetic transit city:", stats.as_dict())
     print()
 
+    engine = default_workspace().engine
     for description, expression in QUERIES:
-        answer = evaluate(graph, expression)
+        answer = engine.evaluate(graph, expression)
         print(f"query: {description}")
         print(f"  expression : {expression}")
         print(f"  answer size: {len(answer)} / {graph.node_count} nodes")

@@ -26,7 +26,8 @@ from repro.interactive.visualization import (
     render_zoom_text,
 )
 from repro.learning.path_selection import candidate_prefix_tree
-from repro.query.evaluation import evaluate, witness_path
+from repro.query.evaluation import witness_path
+from repro.serving.workspace import default_workspace
 from repro.query.rpq import PathQuery
 
 GOAL = "(tram + bus)* . cinema"
@@ -39,7 +40,7 @@ def main() -> None:
 
     # -- 1. direct evaluation (the expert path) -----------------------------
     goal = PathQuery(GOAL)
-    answer = evaluate(graph, goal)
+    answer = default_workspace().engine.evaluate(graph, goal)
     print(f"expert writes the query herself: {goal}")
     print(f"  answer: {sorted(answer)}")
     for node in sorted(answer):
@@ -58,7 +59,7 @@ def main() -> None:
             f"{'+' if record.positive else '-'} (zooms={record.zooms}, validated={validated})"
         )
     print(f"  learned query : {result.learned_query}")
-    print(f"  its answer    : {sorted(evaluate(graph, result.learned_query))}")
+    print(f"  its answer    : {sorted(default_workspace().engine.evaluate(graph, result.learned_query))}")
     print(f"  interactions  : {result.interactions} (graph has {graph.node_count} nodes)")
     print()
 

@@ -41,26 +41,24 @@ Serving many users concurrently over one shared graph::
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.rpq import PathQuery
-from repro.query.engine import QueryEngine, shared_engine
-from repro.query.evaluation import evaluate
+from repro.query.engine import QueryEngine
 from repro.learning.learner import PathQueryLearner, learn_query
 from repro.learning.examples import ExampleSet
 from repro.interactive.session import InteractiveSession, SessionResult
 from repro.interactive.oracle import NoisyUser, SimulatedUser
+from repro.reliability import FaultInjector, FaultPlan, RetryPolicy, SupervisionPolicy
 from repro.serving import GraphWorkspace, SessionHandle, SessionManager, default_workspace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-#: The supported public surface.  ``shared_engine`` and ``evaluate`` are
-#: deprecated shims kept for one release; new code holds a
-#: :class:`GraphWorkspace` (or lets :class:`InteractiveSession` create
-#: one) and reaches everything through it.
+#: The supported public surface.  The 1.2 deprecated shims
+#: (``shared_engine``, ``evaluate``) are gone: hold a
+#: :class:`GraphWorkspace` (or let :class:`InteractiveSession` create
+#: one) and reach everything through it.
 __all__ = [
     "LabeledGraph",
     "PathQuery",
     "QueryEngine",
-    "shared_engine",
-    "evaluate",
     "PathQueryLearner",
     "learn_query",
     "ExampleSet",
@@ -72,5 +70,9 @@ __all__ = [
     "SessionManager",
     "SessionHandle",
     "default_workspace",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "SupervisionPolicy",
     "__version__",
 ]

@@ -20,6 +20,10 @@ Four sub-commands cover the typical workflows without writing Python::
 * ``bench`` — run the E1–E5 experiment suite through the deterministic,
   parallel, resumable runner; results stream into a JSONL result store
   under ``--results-dir`` and interrupted runs resume automatically;
+* ``chaos`` — smoke-test the reliability layer: drive a fleet of
+  sessions under seeded fault injection and verify that every session
+  terminates, that the chaos run replays bit-identically under the same
+  seed, and that disabling faults reproduces the fault-free traces;
 * ``lint`` — run the project's invariant checker (``repro.devtools``)
   over source trees; exits non-zero on any unsuppressed diagnostic.
 
@@ -216,6 +220,104 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_fleet(args: argparse.Namespace, *, rate: float) -> dict:
+    """Drive one fleet of supervised sessions; returns traces + counters.
+
+    Each session gets its *own* injector seeded from ``(seed, index)``,
+    so its fault schedule is independent of how the event loop
+    interleaves sessions — the property the replay check relies on.
+    """
+    from repro.interactive.oracle import UnreliableUser
+    from repro.reliability import FaultInjector, FaultPlan, RetryPolicy, SupervisionPolicy
+    from repro.serving.manager import SessionManager
+    from repro.serving.workspace import GraphWorkspace
+
+    graph = dataset_catalog(seed=args.seed).get(args.dataset)
+    if graph is None:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; available: {', '.join(list_datasets())}"
+        )
+    supervision = SupervisionPolicy(
+        retry=RetryPolicy(max_attempts=args.max_attempts, backoff_base=0.0001),
+        breaker_consecutive_limit=args.breaker_limit,
+        jitter_seed=args.seed,
+    )
+    manager = SessionManager(
+        GraphWorkspace(), dedup=False, supervision=supervision if rate > 0.0 else None
+    )
+    users = []
+    for index in range(args.sessions):
+        user = SimulatedUser(graph, args.goal)
+        if rate > 0.0:
+            plan = FaultPlan(args.seed + index, default_rate=rate)
+            user = UnreliableUser(user, FaultInjector(plan))
+        users.append(user)
+        manager.admit(graph, user, max_interactions=args.max_interactions)
+    results = manager.run_all()
+    traces = {
+        session_id: (
+            str(result.learned_query),
+            [(str(record.node), record.positive) for record in result.records],
+            result.halted_by,
+            result.quarantined,
+        )
+        for session_id, result in sorted(results.items())
+    }
+    stats = manager.stats()
+    return {
+        "traces": traces,
+        "completed": stats["completed"],
+        "quarantined": stats["quarantined"],
+        "step_retries": stats["step_retries"],
+        "injected_failures": sum(
+            getattr(user, "injected_failures", 0) for user in users
+        ),
+    }
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    baseline = _chaos_fleet(args, rate=0.0)
+    chaos_a = _chaos_fleet(args, rate=args.rate)
+    chaos_b = _chaos_fleet(args, rate=args.rate)
+    disabled = _chaos_fleet(args, rate=0.0)
+
+    checks = {
+        # every session terminated (retired or quarantined; none hung):
+        # run_all returning with a result per admitted session is the proof
+        "all_terminated": len(chaos_a["traces"]) == args.sessions
+        and chaos_a["completed"] == args.sessions,
+        # same seed, same fleet -> bit-identical run including quarantines
+        "replay_identical": chaos_a["traces"] == chaos_b["traces"],
+        # faults disabled -> the supervised machinery is invisible
+        "disabled_identical": disabled["traces"] == baseline["traces"],
+        "faults_fired": chaos_a["injected_failures"] > 0 or args.rate == 0.0,
+    }
+    report = {
+        "sessions": args.sessions,
+        "rate": args.rate,
+        "seed": args.seed,
+        "dataset": args.dataset,
+        "goal": args.goal,
+        "quarantined": chaos_a["quarantined"],
+        "step_retries": chaos_a["step_retries"],
+        "injected_failures": chaos_a["injected_failures"],
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    print(f"sessions          : {args.sessions} at {args.rate:.0%} fault rate (seed {args.seed})")
+    print(f"quarantined       : {report['quarantined']}")
+    print(f"step retries      : {report['step_retries']}")
+    print(f"injected failures : {report['injected_failures']}")
+    for name, passed in checks.items():
+        print(f"check {name:18s}: {'ok' if passed else 'FAILED'}")
+    if args.json_output:
+        Path(args.json_output).write_text(_json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.json_output}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import LintConfig, lint_paths, project_config, render_json, render_text
 
@@ -355,6 +457,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--detail", action="store_true", help="also print the detail tables")
     bench_parser.add_argument("--verbose", action="store_true", help="print one line per executed unit")
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="smoke-test fault injection + supervision on a session fleet",
+    )
+    chaos_parser.add_argument("--sessions", type=int, default=16, help="fleet size")
+    chaos_parser.add_argument(
+        "--rate", type=float, default=0.05, help="injected fault probability per oracle call"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=20150323, help="base fault-plan seed")
+    chaos_parser.add_argument("--dataset", default="figure-1", help="dataset the fleet learns on")
+    chaos_parser.add_argument(
+        "--goal", default="(tram + bus)* . cinema", help="the simulated users' goal query"
+    )
+    chaos_parser.add_argument("--max-interactions", type=int, default=15)
+    chaos_parser.add_argument(
+        "--max-attempts", type=int, default=6, help="retry budget per session step"
+    )
+    chaos_parser.add_argument(
+        "--breaker-limit", type=int, default=10, help="consecutive step failures before quarantine"
+    )
+    chaos_parser.add_argument(
+        "--json-output", default=None, help="also write the JSON report to this file"
+    )
+    chaos_parser.set_defaults(handler=_cmd_chaos)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -31,7 +31,14 @@ from typing import Dict, Iterable, Mapping, Tuple
 from repro.devtools.diagnostics import Diagnostic, family_of
 
 #: every implemented rule family, in report order
-ALL_FAMILIES: Tuple[str, ...] = ("REP100", "REP200", "REP300", "REP400", "REP500")
+ALL_FAMILIES: Tuple[str, ...] = (
+    "REP100",
+    "REP200",
+    "REP300",
+    "REP400",
+    "REP500",
+    "REP600",
+)
 
 
 @dataclass
@@ -136,15 +143,6 @@ def project_config() -> LintConfig:
             "REP300": (
                 "src/repro/serving/workspace.py::_memo",
                 "src/repro/query/engine.py::_expression_plans",
-            ),
-            # Back-compat re-export surfaces: the deprecated shims stay
-            # importable from the package roots for one deprecation
-            # cycle (pinned by tests/test_public_api.py).
-            "REP200": (
-                "src/repro/__init__.py::*",
-                "src/repro/query/__init__.py::*",
-                "src/repro/learning/__init__.py::*",
-                "src/repro/graph/__init__.py::*",
             ),
         }
     )

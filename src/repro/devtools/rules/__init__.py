@@ -11,4 +11,5 @@ from repro.devtools.rules import (  # noqa: F401  -- registration imports
     rep300_cache_keys,
     rep400_locks,
     rep500_api,
+    rep600_reliability,
 )

@@ -1,24 +1,18 @@
 """REP200 — workspace discipline.
 
 PR 6 moved every cross-session registry into
-:class:`~repro.serving.workspace.GraphWorkspace`; the module-level
-registries survive only as deprecated shims for external callers.  New
-internal code must resolve shared state through a workspace
-(``default_workspace()`` or an explicitly held instance) so that
-isolation, invalidation and accounting keep working — a fresh call site
-of a shim silently re-couples the caller to process-global state.
+:class:`~repro.serving.workspace.GraphWorkspace`, and PR 8 retired the
+deprecated module-level shims outright.  What remains to police is how
+workspaces themselves are obtained: a workspace is a build-once cache,
+so constructing one (or re-resolving the process default) inside a loop
+discards every index the previous iteration built and silently turns
+O(1)-amortised lookups back into per-iteration rebuilds.
 
 Sub-rules:
 
-* ``REP201`` — import of a deprecated shim (``shared_engine``,
-  ``language_index_for``, ``neighborhood_index``,
-  ``session_classifier``, or the free function
-  ``repro.query.evaluation.evaluate``) outside the shim's own module;
-* ``REP202`` — call of one of the shim registries through any name
-  (covers ``module.shared_engine()`` call sites that dodge REP201).
-
-The package-root ``__init__`` re-exports are allowlisted in the project
-config: they are the deprecation surface itself.
+* ``REP201`` — ``GraphWorkspace(...)`` or ``default_workspace(...)``
+  called inside a ``for``/``while`` body or a comprehension; hoist the
+  workspace out of the loop and thread it through.
 """
 
 from __future__ import annotations
@@ -30,74 +24,76 @@ from repro.devtools.config import LintConfig
 from repro.devtools.diagnostics import Diagnostic
 from repro.devtools.registry import FileContext, rule
 
-#: shim name -> path suffix of its defining module (exempt)
-_SHIMS = {
-    "shared_engine": "repro/query/engine.py",
-    "language_index_for": "repro/learning/language_index.py",
-    "neighborhood_index": "repro/graph/neighborhood.py",
-    "session_classifier": "repro/learning/informativeness.py",
-}
+#: callables whose result is a build-once workspace
+_WORKSPACE_RESOLVERS = {"GraphWorkspace", "default_workspace"}
 
-#: ``evaluate`` is only a shim as the free function of these modules —
-#: the name itself is ubiquitous (``engine.evaluate``), so only the
-#: import form is checked for it
-_EVALUATE_MODULES = {"repro.query.evaluation", "repro.query", "repro"}
-
-_REPLACEMENT = {
-    "shared_engine": "workspace.engine (e.g. default_workspace().engine)",
-    "language_index_for": "workspace.language_index(graph, bound)",
-    "neighborhood_index": "workspace.neighborhoods(graph)",
-    "session_classifier": "workspace.classifier(graph, examples, max_length=...)",
-    "evaluate": "workspace.engine.evaluate(graph, query)",
-}
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 
 
-def _is_defining_module(path: str, name: str) -> bool:
-    suffix = _SHIMS.get(name)
-    return suffix is not None and path.endswith(suffix)
+def _called_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
 
 
-@rule("REP200", "workspace discipline: no new deprecated-shim call sites")
+def _workspace_calls(root: ast.AST) -> Iterator[ast.Call]:
+    """Workspace-resolver calls lexically inside ``root`` (root included)."""
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call) and _called_name(node) in _WORKSPACE_RESOLVERS:
+            yield node
+
+
+@rule("REP200", "workspace discipline: hoist workspace resolution out of loops")
 def check_workspace_discipline(
     ctx: FileContext, config: LintConfig
 ) -> Iterator[Diagnostic]:
-    """Flag imports and calls of the PR 6 deprecated registry shims."""
+    """Flag workspace construction/resolution repeated per loop iteration."""
     diagnostics: List[Diagnostic] = []
 
-    def emit(node: ast.AST, rule_id: str, name: str, what: str) -> None:
+    def emit(node: ast.Call, name: str, where: str) -> None:
         diagnostics.append(
             Diagnostic(
                 ctx.path,
-                getattr(node, "lineno", 1),
-                getattr(node, "col_offset", 0) + 1,
-                rule_id,
-                f"{what} of deprecated shim {name}(); use "
-                f"{_REPLACEMENT[name]} instead",
+                node.lineno,
+                node.col_offset + 1,
+                "REP201",
+                f"{name}() called inside a {where}: a workspace is a "
+                "build-once cache — resolve it once before the loop and "
+                "reuse it",
                 symbol=name,
             )
         )
 
+    seen = set()
     for node in ast.walk(ctx.tree):
-        if isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            for alias in node.names:
-                name = alias.name
-                if name in _SHIMS and not _is_defining_module(ctx.path, name):
-                    emit(node, "REP201", name, "import")
-                elif (
-                    name == "evaluate"
-                    and module in _EVALUATE_MODULES
-                    and not ctx.path.endswith("repro/query/evaluation.py")
-                ):
-                    emit(node, "REP201", name, "import")
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name):
-                name = func.id
-            elif isinstance(func, ast.Attribute):
-                name = func.attr
+        if isinstance(node, _LOOPS):
+            # the iterable / condition runs once (or per test, which is
+            # already a repeated evaluation the author wrote explicitly);
+            # only the body re-runs every iteration
+            bodies = list(node.body) + list(node.orelse)
+            where = "loop body"
+        elif isinstance(node, _COMPREHENSIONS):
+            # the first generator's iterable evaluates once; everything
+            # else (element, ifs, nested iterables) re-runs per item
+            if isinstance(node, ast.DictComp):
+                bodies = [node.key, node.value]
             else:
-                continue
-            if name in _SHIMS and not _is_defining_module(ctx.path, name):
-                emit(node, "REP202", name, "call")
+                bodies = [node.elt]
+            for index, generator in enumerate(node.generators):
+                bodies.extend(generator.ifs)
+                if index > 0:
+                    bodies.append(generator.iter)
+            where = "comprehension"
+        else:
+            continue
+        for body_node in bodies:
+            for call in _workspace_calls(body_node):
+                key = (call.lineno, call.col_offset)
+                if key not in seen:
+                    seen.add(key)
+                    emit(call, _called_name(call), where)
     return iter(diagnostics)

@@ -135,8 +135,88 @@ class OracleError(GPSError):
     """Raised when a simulated user cannot answer a request."""
 
 
+class ReliabilityError(GPSError):
+    """Base class for fault-injection and supervision errors."""
+
+
+class InjectedFault(ReliabilityError):
+    """A deterministic fault fired by a :class:`~repro.reliability.FaultInjector`.
+
+    Carries the fault *site* (e.g. ``"oracle.label"``) and the zero-based
+    index of the draw that fired, so tests can assert exactly which
+    scheduled fault was hit.  Always retryable: the next draw at the same
+    site comes from the same seeded stream and usually succeeds.
+    """
+
+    def __init__(self, site, index):
+        super().__init__(f"injected fault at {site!r} (draw #{index})")
+        self.site = site
+        self.index = index
+
+    def __reduce__(self):
+        # rebuild from (site, index), not the formatted message — injected
+        # faults cross process-pool boundaries when simulating worker
+        # crashes, and the default Exception reduction would re-call
+        # __init__ with the wrong arguments
+        return (type(self), (self.site, self.index))
+
+
+class DeadlineExceededError(ReliabilityError):
+    """A supervised step overran its ``time.monotonic`` deadline."""
+
+    def __init__(self, elapsed, budget):
+        super().__init__(
+            f"step deadline exceeded: {elapsed:.4f}s elapsed against a "
+            f"{budget:.4f}s budget"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class RetryBudgetExceededError(ReliabilityError):
+    """A supervised operation failed on every attempt its policy allowed."""
+
+    def __init__(self, attempts, last_error):
+        super().__init__(
+            f"retry budget exhausted after {attempts} attempt(s); "
+            f"last error: {last_error!r}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class SessionQuarantinedError(ReliabilityError):
+    """Raised when driving a session the supervisor has quarantined."""
+
+    def __init__(self, session_id, reason):
+        super().__init__(f"session {session_id!r} quarantined: {reason}")
+        self.session_id = session_id
+        self.reason = reason
+
+
 class ExperimentError(GPSError):
     """Base class for experiment-runner errors."""
+
+
+class UnitExecutionError(ExperimentError):
+    """A run unit failed on every attempt its retry policy allowed.
+
+    Completed units are already persisted in the result store, so the
+    campaign can be resumed once the fault is addressed; only the failed
+    unit(s) re-execute.
+    """
+
+    def __init__(self, unit_id, attempts, last_error):
+        super().__init__(
+            f"unit {unit_id} failed after {attempts} attempt(s): {last_error!r}; "
+            "completed rows are preserved in the store — rerun to resume"
+        )
+        self.unit_id = unit_id
+        self.attempts = attempts
+        self.last_error = last_error
+
+    def __reduce__(self):
+        return (type(self), (self.unit_id, self.attempts, self.last_error))
 
 
 class RunPlanMismatchError(ExperimentError):

@@ -32,6 +32,19 @@ without giving up reproducibility:
 Timing columns (``seconds``, ``mean_seconds``, ``max_seconds``) are the
 only values that legitimately differ between two runs of the same plan;
 :func:`strip_timing` removes them for row-for-row comparisons.
+
+Fault tolerance (PR 8): a worker that dies mid-unit must not sink the
+campaign.  Units that fail with a *retryable* error (injected faults,
+oracle failures) are resubmitted up to the runner's
+:class:`~repro.reliability.RetryPolicy` budget; a unit that exhausts its
+budget raises :class:`~repro.exceptions.UnitExecutionError` — and because
+every *completed* unit was already streamed to the store, rerunning the
+same plan resumes with zero lost rows.  Simulated crashes for chaos
+testing come from an optional :class:`~repro.reliability.FaultPlan`: the
+attempt number is folded into the fault site
+(``runner.unit:<id>#a<attempt>``), so whether attempt *k* of a unit
+crashes is deterministic even though each attempt may land in a fresh
+worker process.
 """
 
 from __future__ import annotations
@@ -40,13 +53,15 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.exceptions import ExperimentError, RunPlanMismatchError
+from repro.exceptions import ExperimentError, RunPlanMismatchError, UnitExecutionError
 from repro.experiments import harness
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.policy import RetryPolicy
 from repro.experiments.metrics import ResultTable, Row
 from repro.graph.datasets import dataset_catalog, list_datasets
 from repro.graph.labeled_graph import LabeledGraph
@@ -221,8 +236,19 @@ _EXECUTORS: Dict[str, Callable[[Mapping[str, object]], List[Row]]] = {
 
 
 def execute_payload(payload: Mapping[str, object]) -> dict:
-    """Execute one unit work order; returns the JSONL record for the store."""
+    """Execute one unit work order; returns the JSONL record for the store.
+
+    When the payload carries a ``fault_plan``, the unit's crash site —
+    ``runner.unit:<id>#a<attempt>`` — is checked *before* any rows are
+    computed, simulating a worker that dies mid-unit without having
+    persisted anything.  No plan (the normal case) leaves the execution
+    path untouched.
+    """
     started = time.perf_counter()
+    fault_spec = payload.get("fault_plan")
+    if fault_spec is not None:
+        site = f"runner.unit:{payload['unit_id']}#a{payload.get('attempt', 1)}"
+        FaultInjector(FaultPlan.from_dict(fault_spec)).check(site)
     rows = _EXECUTORS[payload["experiment"]](payload["params"])
     return {
         "unit_id": payload["unit_id"],
@@ -451,6 +477,8 @@ class RunResult:
     resumed_unit_ids: List[str]
     seconds: float
     store_directory: Optional[Path] = None
+    #: units that needed more than one attempt (fault-injected or flaky)
+    retried_unit_ids: List[str] = field(default_factory=list)
 
     def rows(self, experiment: str) -> List[Row]:
         """All rows of one experiment, in deterministic plan order."""
@@ -494,6 +522,11 @@ class ExperimentRunner:
     Parameters mirror :func:`build_plan`; ``workers`` controls the size
     of the process pool (``<= 1`` executes inline in this process) and
     ``store`` is an optional :class:`ResultStore` for streaming/resume.
+
+    ``retry_policy`` bounds how many attempts a unit gets when it fails
+    retryably (default: :class:`~repro.reliability.RetryPolicy`'s three);
+    ``fault_plan`` injects deterministic simulated crashes for chaos
+    testing (``None``, the default, leaves execution untouched).
     """
 
     def __init__(
@@ -509,11 +542,15 @@ class ExperimentRunner:
         e5_sample_sizes: Sequence[int] = E5_SAMPLE_SIZES,
         workers: int = 1,
         store: Optional[ResultStore] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.suite = suite
         self.seed = seed
         self.workers = max(1, int(workers))
         self.store = store
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         self.units = build_plan(
             suite=suite,
             experiments=experiments,
@@ -589,6 +626,7 @@ class ExperimentRunner:
         pending = [unit for unit in self.units if unit.unit_id not in records]
         by_id = {unit.unit_id: unit for unit in self.units}
         executed: List[str] = []
+        retried: List[str] = []
         total = len(self.units)
 
         def finish(record: dict) -> None:
@@ -601,16 +639,14 @@ class ExperimentRunner:
 
         if self.workers <= 1 or len(pending) <= 1:
             for unit in pending:
-                finish(execute_payload(unit.payload()))
+                finish(self._execute_inline(unit, retried))
         else:
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
-                futures = [pool.submit(execute_payload, unit.payload()) for unit in pending]
-                for future in as_completed(futures):
-                    finish(future.result())
+            self._execute_pool(pending, finish, retried)
 
         # keep the executed list in plan order (parallel completion shuffles it)
         executed_set = set(executed)
         executed_in_order = [unit.unit_id for unit in self.units if unit.unit_id in executed_set]
+        retried_set = set(retried)
         return RunResult(
             units=list(self.units),
             records=records,
@@ -618,4 +654,84 @@ class ExperimentRunner:
             resumed_unit_ids=resumed,
             seconds=round(time.perf_counter() - started, 4),
             store_directory=None if self.store is None else self.store.directory,
+            retried_unit_ids=[
+                unit.unit_id for unit in self.units if unit.unit_id in retried_set
+            ],
         )
+
+    # ------------------------------------------------------------------
+    # execution with bounded retries
+    # ------------------------------------------------------------------
+    def _unit_payload(self, unit: RunUnit, attempt: int) -> dict:
+        """The work order for attempt number ``attempt`` of ``unit``.
+
+        Without a fault plan the payload is exactly :meth:`RunUnit.payload`
+        — byte-identical to the pre-reliability runner, so content hashes
+        and worker behaviour cannot drift when chaos is off.
+        """
+        payload = unit.payload()
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.as_dict()
+            payload["attempt"] = attempt
+        return payload
+
+    def _give_up(self, unit: RunUnit, attempt: int, error: BaseException) -> None:
+        """Raise the right terminal error for a unit that cannot complete."""
+        if self.retry_policy.is_retryable(error):
+            raise UnitExecutionError(unit.unit_id, attempt, error) from error
+        raise error
+
+    def _execute_inline(self, unit: RunUnit, retried: List[str]) -> dict:
+        """Run one unit in-process, retrying within the policy budget."""
+        attempt = 0
+        while attempt < self.retry_policy.max_attempts:
+            attempt += 1
+            try:
+                return execute_payload(self._unit_payload(unit, attempt))
+            except Exception as error:
+                if (
+                    not self.retry_policy.is_retryable(error)
+                    or attempt >= self.retry_policy.max_attempts
+                ):
+                    self._give_up(unit, attempt, error)
+                retried.append(unit.unit_id)
+        raise AssertionError("unreachable: retry loop exits via return or _give_up")
+
+    def _execute_pool(
+        self,
+        pending: Sequence[RunUnit],
+        finish: Callable[[dict], None],
+        retried: List[str],
+    ) -> None:
+        """Fan pending units over a process pool, resubmitting crashed ones.
+
+        A worker that dies on a unit (simulated via the fault plan, or a
+        genuinely flaky unit) gets the unit resubmitted — possibly to a
+        different, fresh process — until the retry budget is spent.
+        Completed units stream to the store as they finish, so even a
+        campaign that ultimately raises loses none of them.
+        """
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+            inflight = {
+                pool.submit(execute_payload, self._unit_payload(unit, 1)): (unit, 1)
+                for unit in pending
+            }
+            while inflight:
+                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit, attempt = inflight.pop(future)
+                    try:
+                        record = future.result()
+                    except Exception as error:
+                        if (
+                            not self.retry_policy.is_retryable(error)
+                            or attempt >= self.retry_policy.max_attempts
+                        ):
+                            self._give_up(unit, attempt, error)
+                        retried.append(unit.unit_id)
+                        resubmitted = pool.submit(
+                            execute_payload, self._unit_payload(unit, attempt + 1)
+                        )
+                        inflight[resubmitted] = (unit, attempt + 1)
+                        continue
+                    finish(record)

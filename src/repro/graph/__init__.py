@@ -13,7 +13,6 @@ from repro.graph.paths import (
 )
 from repro.graph.neighborhood import (
     NeighborhoodIndex,
-    neighborhood_index,
     Neighborhood,
     NeighborhoodDelta,
     eccentricity_bound,
@@ -37,7 +36,6 @@ __all__ = [
     "Neighborhood",
     "NeighborhoodDelta",
     "NeighborhoodIndex",
-    "neighborhood_index",
     "eccentricity_bound",
     "extract_neighborhood",
     "neighborhood_chain",

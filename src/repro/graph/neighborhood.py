@@ -28,7 +28,6 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-import warnings
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import Edge, LabeledGraph, Node
@@ -464,28 +463,6 @@ def _shared_index(graph: LabeledGraph) -> NeighborhoodIndex:
     return default_workspace().neighborhoods(graph)
 
 
-def neighborhood_index(graph: LabeledGraph) -> NeighborhoodIndex:
-    """The shared :class:`NeighborhoodIndex` of ``graph``.
-
-    Every call site that extracts or zooms on the same graph — the
-    session loop, the simulated user, the figure harness, the benches —
-    resolves to one index and therefore shares one BFS per
-    ``(version, center, directed)``, the neighbourhood counterpart of
-    sharing one :class:`~repro.query.engine.QueryEngine`.
-
-    .. deprecated:: 1.2
-        This is now a shim over
-        :meth:`repro.serving.workspace.GraphWorkspace.neighborhoods` of
-        the process default workspace.  New code should hold a workspace
-        explicitly.
-    """
-    warnings.warn(
-        "repro.graph.neighborhood.neighborhood_index() is deprecated; "
-        "hold a GraphWorkspace and use workspace.neighborhoods(graph)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _shared_index(graph)
 
 
 def extract_neighborhood(

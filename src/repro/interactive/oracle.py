@@ -17,18 +17,23 @@ exactly the questions the GPS front-end would ask a person:
   accepts (the user corrects the system, Figure 3(c)).
 
 A :class:`NoisyUser` wrapper flips labels with a configurable probability
-to study robustness (used by an ablation benchmark).
+to study robustness (used by an ablation benchmark), and an
+:class:`UnreliableUser` wrapper turns any oracle into a *failing* one —
+its answers raise :class:`~repro.exceptions.InjectedFault` (and
+optionally stall) on a deterministic, seeded schedule, which is how the
+chaos harness exercises the supervision layer.
 """
 
 from __future__ import annotations
 
 import random
+import time
 import zlib
-from typing import Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 from repro.automata.dfa import word_sort_key
 from repro.automata.prefix_tree import PathPrefixTree
-from repro.exceptions import OracleError
+from repro.exceptions import InjectedFault, OracleError
 from repro.graph.labeled_graph import LabeledGraph, Node
 from repro.graph.neighborhood import Neighborhood
 from repro.query.engine import QueryEngine
@@ -199,3 +204,83 @@ class NoisyUser(SimulatedUser):
             self.flipped_labels += 1
             return not truthful
         return truthful
+
+
+class UnreliableUser:
+    """Chaos wrapper: any oracle, but its answers fail on a seeded schedule.
+
+    Label and path-validation calls first consult the
+    :class:`~repro.reliability.FaultInjector` (sites ``"oracle.label"``
+    and ``"oracle.validate_path"``) and raise
+    :class:`~repro.exceptions.InjectedFault` when the site's draw fires —
+    *before* delegating, so a failed attempt never consumes the inner
+    oracle's state (e.g. a :class:`NoisyUser`'s rng stream).  That is
+    what makes retry-until-success produce the same answers, hence the
+    same final hypothesis, as the fault-free run.
+
+    ``delay_seconds`` optionally stalls answers whose ``…#delay`` site
+    fires, for exercising step deadlines; the sleep function is
+    injectable so tests need not actually wait.
+    """
+
+    def __init__(
+        self,
+        inner: SimulatedUser,
+        injector,
+        *,
+        delay_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.injector = injector
+        self.delay_seconds = delay_seconds
+        self._sleep = sleep
+        self.injected_failures = 0
+        self.injected_delays = 0
+
+    def _gate(self, site: str) -> None:
+        """Fault check, then the optional deterministic stall."""
+        if self.injector is None:
+            return
+        try:
+            self.injector.check(site)
+        except InjectedFault:
+            self.injected_failures += 1
+            raise
+        if self.delay_seconds > 0.0 and self.injector.fires(site + "#delay"):
+            self.injected_delays += 1
+            self._sleep(self.delay_seconds)
+
+    def label(self, node: Node) -> bool:
+        """The inner oracle's label, behind the ``oracle.label`` fault gate."""
+        self._gate("oracle.label")
+        return self.inner.label(node)
+
+    def wants_zoom(self, node: Node, neighborhood: Neighborhood) -> bool:
+        """Zoom decisions pass through unfaulted (they are UI, not answers)."""
+        return self.inner.wants_zoom(node, neighborhood)
+
+    def validate_path(self, node: Node, tree: PathPrefixTree) -> Optional[Word]:
+        """The inner validation, behind the ``oracle.validate_path`` gate."""
+        self._gate("oracle.validate_path")
+        return self.inner.validate_path(node, tree)
+
+    def satisfied_with(self, hypothesis: PathQuery) -> bool:
+        """Satisfaction checks delegate unfaulted (used by halt conditions)."""
+        return self.inner.satisfied_with(hypothesis)
+
+    def dedup_signature(self) -> Optional[tuple]:
+        """Always ``None``: a faulty oracle's session must never be shared."""
+        return None
+
+    def statistics(self) -> dict:
+        """Inner counters plus the injected failure/delay counts."""
+        stats = dict(self.inner.statistics())
+        stats["injected_failures"] = self.injected_failures
+        stats["injected_delays"] = self.injected_delays
+        return stats
+
+    def __getattr__(self, name: str):
+        # everything else (graph, goal, goal_answer, engine, …) reads
+        # through to the wrapped oracle
+        return getattr(self.inner, name)

@@ -81,6 +81,10 @@ class SessionResult:
     #: True when this result was adopted from an identical session's run
     #: (cross-session deduplication) instead of executing the loop itself
     deduped: bool = False
+    #: True when the supervisor quarantined the session (its oracle kept
+    #: failing); the result then carries the partial trace up to the last
+    #: completed interaction and is never shared through the dedup memo
+    quarantined: bool = False
 
     @property
     def interactions(self) -> int:
@@ -111,8 +115,8 @@ class InteractiveSession:
     Pass ``workspace=`` to make sharing explicit (a
     :class:`~repro.serving.manager.SessionManager` admits every session
     over its own workspace); without one the session uses the process
-    default workspace, which is what the old module-level registries now
-    delegate to, so single-session scripts behave exactly as before.
+    default workspace, so single-session scripts share caches exactly as
+    before.
 
     Per-session state is only the :class:`ExampleSet`, the current
     hypothesis and the interaction records.
@@ -268,6 +272,27 @@ class InteractiveSession:
             records=self.records,
             halted_by=self._halted_by,
             inconsistent=self._inconsistent,
+        )
+
+    def abort(self, reason: str = "aborted") -> SessionResult:
+        """Seal the session early with a partial-result trace.
+
+        Graceful degradation for supervised serving: when the
+        :class:`~repro.serving.manager.SessionManager` quarantines a
+        session whose oracle keeps failing, the session still returns
+        every interaction completed so far plus the latest hypothesis,
+        flagged ``quarantined`` so downstream consumers (and the dedup
+        memo) can tell it apart from a clean run.  Safe to call even on
+        an already-finished session (the reason then updates the trace).
+        """
+        self._finished = True
+        self._halted_by = reason
+        return SessionResult(
+            learned_query=self.hypothesis,
+            records=self.records,
+            halted_by=reason,
+            inconsistent=self._inconsistent,
+            quarantined=True,
         )
 
     # ------------------------------------------------------------------

@@ -18,13 +18,11 @@ from repro.learning.informativeness import (
     informative_nodes,
     pruned_nodes,
     pruning_fraction,
-    session_classifier,
 )
 from repro.learning.language_index import (
     CompatibilityOracle,
     LanguageIndex,
     PrefixIdArena,
-    language_index_for,
 )
 from repro.learning.propagation import PropagationResult, propagate_labels, propagate_to_fixpoint
 from repro.learning.learner import (
@@ -60,11 +58,9 @@ __all__ = [
     "informative_nodes",
     "pruned_nodes",
     "pruning_fraction",
-    "session_classifier",
     "CompatibilityOracle",
     "LanguageIndex",
     "PrefixIdArena",
-    "language_index_for",
     "PropagationResult",
     "propagate_labels",
     "propagate_to_fixpoint",

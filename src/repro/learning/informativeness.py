@@ -43,7 +43,6 @@ import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-import warnings
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.labeled_graph import LabeledGraph, Node
@@ -358,33 +357,6 @@ class SessionClassifier:
             f"<SessionClassifier bound={self.max_length} "
             f"{len(self._statuses)} nodes, cover={popcount(self._cover)} words>"
         )
-
-
-def session_classifier(
-    graph: LabeledGraph, examples: ExampleSet, *, max_length: int
-) -> SessionClassifier:
-    """The shared :class:`SessionClassifier` of ``(graph, examples, bound)``.
-
-    Every call site that classifies the same evolving example set — the
-    session loop, the proposal strategies, propagation, the halt check —
-    resolves to one classifier and therefore pays only the incremental
-    delta per interaction, exactly the way they share one
-    :class:`~repro.query.engine.QueryEngine` for evaluation.
-
-    .. deprecated:: 1.2
-        This is now a shim over
-        :meth:`repro.serving.workspace.GraphWorkspace.classifier` of the
-        process default workspace.  New code should hold a workspace
-        explicitly (the session loop threads its own classifier).
-    """
-    warnings.warn(
-        "repro.learning.informativeness.session_classifier() is "
-        "deprecated; hold a GraphWorkspace and use "
-        "workspace.classifier(graph, examples, max_length=bound)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _workspace_classifier(graph, examples, max_length=max_length)
 
 
 def _workspace_classifier(

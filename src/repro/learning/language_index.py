@@ -32,16 +32,15 @@ constant-factor bit arithmetic:
 Indexes are value snapshots in the same sense as
 :class:`repro.graph.labeled_graph.GraphLabelIndex`: they record the
 graph :attr:`~repro.graph.labeled_graph.LabeledGraph.version` they were
-built against and :func:`language_index_for` rebuilds them lazily when
-the graph mutates, so callers can never observe stale languages.
+built against and :meth:`repro.serving.workspace.GraphWorkspace.language_index`
+rebuilds them lazily when the graph mutates, so callers can never
+observe stale languages.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
-
-import warnings
 
 from repro.automata.dfa import DFA
 from repro.exceptions import NodeNotFoundError
@@ -53,7 +52,6 @@ __all__ = [
     "PrefixIdArena",
     "LanguageIndex",
     "CompatibilityOracle",
-    "language_index_for",
     "popcount",
     "iter_bits",
 ]
@@ -356,29 +354,6 @@ class LanguageIndex:
             f"<LanguageIndex v{self.version} bound={self.max_length} "
             f"{len(self.nodes)} nodes, {len(self.arena) - 1} words>"
         )
-
-
-def language_index_for(graph: LabeledGraph, max_length: int) -> LanguageIndex:
-    """The shared :class:`LanguageIndex` of ``graph`` at ``max_length``.
-
-    Built on first use and after every structural mutation (detected via
-    :attr:`LabeledGraph.version`); otherwise returned from cache, so every
-    subsystem of one process shares a single snapshot per bound.
-
-    .. deprecated:: 1.2
-        This is now a shim over
-        :meth:`repro.serving.workspace.GraphWorkspace.language_index` of
-        the process default workspace (which adds build-once locking and
-        accounting).  New code should hold a workspace explicitly.
-    """
-    warnings.warn(
-        "repro.learning.language_index.language_index_for() is "
-        "deprecated; hold a GraphWorkspace and use "
-        "workspace.language_index(graph, bound)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _workspace_index(graph, max_length)
 
 
 def _workspace_index(graph: LabeledGraph, max_length: int) -> LanguageIndex:

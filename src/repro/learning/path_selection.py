@@ -135,7 +135,7 @@ def select_path(
     the heuristic the paper uses to pre-highlight a path in Figure 3(c).
 
     ``cover_bits`` optionally passes a precomputed negative-cover bitset
-    (``language_index_for(graph, max_length).cover(...)``) so callers
+    (``workspace.language_index(graph, max_length).cover(...)``) so callers
     selecting words for many positive nodes — the learner's step (i) —
     derive the cover once instead of once per node.
 

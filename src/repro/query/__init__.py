@@ -1,10 +1,9 @@
 """Regular path queries: semantics, evaluation, and comparison."""
 
 from repro.query.rpq import PathQuery
-from repro.query.engine import QueryEngine, QueryPlan, compile_plan, shared_engine
+from repro.query.engine import QueryEngine, QueryPlan, compile_plan
 from repro.query.evaluation import (
     answer_signature,
-    evaluate,
     evaluate_many,
     selection_metrics,
     selects,
@@ -25,9 +24,7 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "compile_plan",
-    "shared_engine",
     "answer_signature",
-    "evaluate",
     "evaluate_many",
     "selection_metrics",
     "selects",

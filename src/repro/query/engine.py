@@ -35,15 +35,15 @@ as a disjoint union automaton), instead of one independent pass per
 query.
 
 The public helpers of :mod:`repro.query.evaluation` are thin wrappers
-over the process-wide :func:`shared_engine`, so existing call sites get
-the indexed + cached path for free; code that wants isolated caches (or
-cache statistics) instantiates its own :class:`QueryEngine`.
+over the engine of the process default
+:class:`~repro.serving.workspace.GraphWorkspace`, so free-function call
+sites get the indexed + cached path for free; code that wants isolated
+caches (or cache statistics) holds its own workspace/engine.
 """
 
 from __future__ import annotations
 
 import hashlib
-import warnings
 import weakref
 from collections import OrderedDict, deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
@@ -56,7 +56,7 @@ from repro.regex.ast import Regex
 
 QueryLike = Union[str, Regex, PathQuery, DFA]
 
-__all__ = ["QueryPlan", "QueryEngine", "compile_plan", "shared_engine"]
+__all__ = ["QueryPlan", "QueryEngine", "compile_plan"]
 
 
 class QueryPlan:
@@ -529,27 +529,6 @@ class QueryEngine:
                     seen.add(encoded)
                     queue.append((target_id, target_state))
         return False
-
-
-def shared_engine() -> QueryEngine:
-    """The process-wide :class:`QueryEngine` used by the module-level API.
-
-    .. deprecated:: 1.2
-        This is now a shim over the engine of
-        :func:`repro.serving.workspace.default_workspace`.  New code
-        should hold a :class:`~repro.serving.workspace.GraphWorkspace`
-        explicitly and use ``workspace.engine``.
-    """
-    warnings.warn(
-        "repro.query.engine.shared_engine() is deprecated; hold a "
-        "GraphWorkspace and use workspace.engine (e.g. "
-        "default_workspace().engine)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.serving.workspace import default_workspace
-
-    return default_workspace().engine
 
 
 def compile_plan(query: QueryLike) -> QueryPlan:

@@ -14,16 +14,17 @@ nodes in ``O(|G| · |A|)`` — the standard RPQ evaluation bound — instead of
 running a forward search per node.
 
 Since the engine refactor the functions in this module are thin wrappers
-over the process-wide :class:`~repro.query.engine.QueryEngine`
-(:func:`repro.query.engine.shared_engine`), which adds a label-indexed
-graph representation, compiled query plans, a shared-frontier batch
-evaluator and an answer cache keyed on ``(graph.version, fingerprint)``.
-The semantics documented here are unchanged.
+over the engine of the process default
+:class:`~repro.serving.workspace.GraphWorkspace`, which adds a
+label-indexed graph representation, compiled query plans, a
+shared-frontier batch evaluator and an answer cache keyed on
+``(graph.version, fingerprint)``.  The semantics documented here are
+unchanged.  Full answer sets are computed via
+``workspace.engine.evaluate(graph, query)`` on a workspace you hold.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
@@ -54,32 +55,6 @@ def _as_dfa(query: QueryLike) -> DFA:
     if isinstance(query, PathQuery):
         return query.dfa
     return PathQuery(query).dfa
-
-
-def evaluate(graph: LabeledGraph, query: QueryLike) -> FrozenSet[Node]:
-    """Return the set of nodes of ``graph`` selected by ``query``.
-
-    This is the core semantics used everywhere else (oracle answers,
-    consistency checks, learned-query quality metrics).  Answers are
-    cached per ``(graph.version, query fingerprint)`` by the shared
-    engine, so repeated evaluation of equivalent queries on an unchanged
-    graph is a dictionary lookup.
-
-    .. deprecated:: 1.2
-        Use :meth:`QueryEngine.evaluate
-        <repro.query.engine.QueryEngine.evaluate>` on an engine you hold
-        — typically ``workspace.engine`` of a
-        :class:`~repro.serving.workspace.GraphWorkspace` — instead of
-        this free function, which can only ever reach the process-wide
-        engine.
-    """
-    warnings.warn(
-        "repro.query.evaluation.evaluate() is deprecated; use "
-        "QueryEngine.evaluate (e.g. GraphWorkspace().engine.evaluate) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _workspace_engine().evaluate(graph, query)
 
 
 def selects(graph: LabeledGraph, query: QueryLike, node: Node) -> bool:

@@ -1,0 +1,196 @@
+"""Deterministic fault injection: seeded plans, per-site schedules.
+
+A :class:`FaultPlan` is pure configuration — a base seed plus per-site
+fault rates.  A :class:`FaultInjector` executes a plan: each named
+*site* gets its own ``random.Random`` stream seeded from
+``(seed, site)`` with the same ``seed * 1_000_003 + crc32(descriptor)``
+fold the experiment runner uses for unit seeds, so whether draw *k* at a
+site fires is a pure function of the plan — independent of thread
+interleaving at other sites, of process boundaries, and of how many
+other sites exist.
+
+Sites are dotted strings naming the seam being broken, e.g.
+``"oracle.label"``, ``"workspace.language_index"``,
+``"session.advance"``, ``"runner.unit:<id>#a<attempt>"``.  Including the
+attempt number in runner sites keeps worker-process schedules
+deterministic even though each attempt may land in a fresh process.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.exceptions import InjectedFault
+
+__all__ = ["FaultPlan", "FaultInjector", "null_injector"]
+
+_SEED_MODULUS = 2**31
+
+
+class FaultPlan:
+    """Seeded, serialisable description of which call sites fail how often.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; per-site streams derive from it so two plans with the
+        same seed and rates produce identical schedules everywhere.
+    default_rate:
+        Fault probability applied to any site without an explicit rate.
+        ``0.0`` (the default) means a site never fires unless listed in
+        ``rates`` — so an injector built from ``FaultPlan(seed=s)`` is
+        inert.
+    rates:
+        Mapping of site name → fault probability in ``[0, 1]``.  A site
+        name may also be a prefix ending in ``"*"`` (e.g.
+        ``"runner.unit*"``) matching every site it prefixes; exact
+        entries win over prefix entries.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        default_rate: float = 0.0,
+        rates: Optional[Mapping[str, float]] = None,
+    ):
+        self.seed = int(seed)
+        self.default_rate = float(default_rate)
+        self.rates: Dict[str, float] = dict(rates) if rates else {}
+        for site, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate for {site!r} must be in [0, 1]: {rate}")
+        if not 0.0 <= self.default_rate <= 1.0:
+            raise ValueError(f"default fault rate must be in [0, 1]: {default_rate}")
+
+    def sub_seed(self, site: str) -> int:
+        """Deterministic per-site seed, folded like experiment unit seeds."""
+        return (self.seed * 1_000_003 + zlib.crc32(site.encode("utf-8"))) % _SEED_MODULUS
+
+    def rate_for(self, site: str) -> float:
+        """Fault probability at ``site`` (exact entry, longest ``*`` prefix, default)."""
+        exact = self.rates.get(site)
+        if exact is not None:
+            return exact
+        best: Optional[float] = None
+        best_length = -1
+        for pattern, rate in self.rates.items():
+            if pattern.endswith("*") and site.startswith(pattern[:-1]):
+                if len(pattern) > best_length:
+                    best, best_length = rate, len(pattern)
+        return self.default_rate if best is None else best
+
+    def schedule(self, site: str, draws: int) -> List[bool]:
+        """The first ``draws`` fire/no-fire decisions at ``site``.
+
+        A pure function of the plan — used by the property tests to
+        assert cross-process identity without running an injector.
+        """
+        rate = self.rate_for(site)
+        rng = random.Random(self.sub_seed(site))
+        return [rng.random() < rate for _ in range(draws)]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (for shipping plans to worker processes)."""
+        return {"seed": self.seed, "default_rate": self.default_rate, "rates": dict(self.rates)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`as_dict` output."""
+        return cls(
+            payload["seed"],
+            default_rate=payload.get("default_rate", 0.0),
+            rates=payload.get("rates"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, default_rate={self.default_rate}, "
+            f"rates={self.rates!r})"
+        )
+
+
+class _SiteState:
+    """Per-site stream + counters (internal to :class:`FaultInjector`)."""
+
+    __slots__ = ("rng", "rate", "draws", "fired")
+
+    def __init__(self, rng: random.Random, rate: float):
+        self.rng = rng
+        self.rate = rate
+        self.draws = 0
+        self.fired = 0
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`: thread-safe per-site fault streams.
+
+    ``check(site)`` advances the site's seeded stream by one draw and
+    raises :class:`~repro.exceptions.InjectedFault` when the draw fires.
+    Each site's stream is independent, so concurrent sessions touching
+    different sites (or the same site in any order) cannot perturb each
+    other's schedules *per site*; a single site shared by concurrent
+    callers serialises its draws under the injector lock.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._sites: Dict[str, _SiteState] = {}
+
+    def _state(self, site: str) -> _SiteState:
+        state = self._sites.get(site)
+        if state is None:
+            state = self._sites[site] = _SiteState(
+                random.Random(self.plan.sub_seed(site)), self.plan.rate_for(site)
+            )
+        return state
+
+    def fires(self, site: str) -> bool:
+        """Advance ``site``'s stream one draw; return whether it fired."""
+        with self._lock:
+            state = self._state(site)
+            index = state.draws
+            state.draws = index + 1
+            fired = state.rng.random() < state.rate
+            if fired:
+                state.fired += 1
+            return fired
+
+    def check(self, site: str) -> None:
+        """Raise :class:`InjectedFault` when ``site``'s next draw fires."""
+        with self._lock:
+            state = self._state(site)
+            index = state.draws
+            state.draws = index + 1
+            if state.rng.random() < state.rate:
+                state.fired += 1
+                raise InjectedFault(site, index)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"draws": n, "fired": k}`` counters."""
+        with self._lock:
+            return {
+                site: {"draws": state.draws, "fired": state.fired}
+                for site, state in sorted(self._sites.items())
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            draws = sum(state.draws for state in self._sites.values())
+            fired = sum(state.fired for state in self._sites.values())
+        return f"<FaultInjector sites={len(self._sites)} draws={draws} fired={fired}>"
+
+
+def null_injector() -> Optional[FaultInjector]:
+    """The "faults off" injector: simply ``None``.
+
+    Call sites guard with ``if injector is not None`` so the disabled
+    path executes the exact pre-reliability instruction stream —
+    bit-identical replay with faults disabled is the contract, and the
+    cheapest implementation of "no injector" is no object at all.
+    """
+    return None

@@ -1,0 +1,145 @@
+"""Retry and deadline policy objects for supervised execution.
+
+:class:`RetryPolicy` is a frozen value object: how many attempts an
+operation gets, which exceptions are worth retrying, and how long to
+back off between attempts (exponential with a cap, plus seeded jitter so
+N sessions retrying the same hiccup do not stampede in lockstep — while
+staying replayable, because the jitter stream is seeded).
+
+:class:`Deadline` is the one sanctioned way to bound elapsed time: it is
+built on ``time.monotonic`` (wall-clock ``time.time()`` goes backwards
+under NTP slew; lint rule REP603 bans it in deadline logic) and takes an
+injectable clock so tests can drive it without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+from repro.exceptions import DeadlineExceededError, InjectedFault, OracleError
+
+__all__ = ["RetryPolicy", "Deadline"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (so ``1`` means "never
+        retry").  Must be ≥ 1 — every retry loop in this codebase is
+        bounded (lint rule REP604).
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_multiplier:
+        Growth factor per further retry.
+    backoff_cap:
+        Upper bound on any single delay.
+    jitter_fraction:
+        Each delay is scaled by ``1 ± U(0, jitter_fraction)`` drawn from
+        the caller-provided seeded rng; ``0`` disables jitter.
+    retryable:
+        Exception classes worth retrying.  Defaults to injected faults
+        and oracle errors; programming errors propagate immediately.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.001
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 0.05
+    jitter_fraction: float = 0.1
+    retryable: Tuple[Type[BaseException], ...] = field(
+        default=(InjectedFault, OracleError)
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_base < 0.0:
+            raise ValueError(f"backoff_base must be >= 0: {self.backoff_base}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if self.backoff_cap < 0.0:
+            raise ValueError(f"backoff_cap must be >= 0: {self.backoff_cap}")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(f"jitter_fraction must be in [0, 1]: {self.jitter_fraction}")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is worth another attempt under this policy."""
+        return isinstance(error, self.retryable)
+
+    def backoff_delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay in seconds before retry number ``attempt`` (1-based).
+
+        ``attempt=1`` is the delay after the first failure.  Jitter draws
+        come from ``rng`` (seeded by the caller); without an rng the
+        undithered exponential schedule is returned.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1: {attempt}")
+        delay = self.backoff_base * (self.backoff_multiplier ** (attempt - 1))
+        delay = min(delay, self.backoff_cap)
+        if rng is not None and self.jitter_fraction > 0.0:
+            delay *= 1.0 + rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return max(delay, 0.0)
+
+
+class Deadline:
+    """An elapsed-time budget anchored on ``time.monotonic``.
+
+    Parameters
+    ----------
+    budget_seconds:
+        Allowed elapsed seconds from construction; ``None`` means
+        unbounded (every query reports time remaining as infinite).
+    clock:
+        Monotonic clock to read; injectable so tests advance time
+        without sleeping.
+    """
+
+    __slots__ = ("budget", "_clock", "_started")
+
+    def __init__(
+        self,
+        budget_seconds: Optional[float],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if budget_seconds is not None and budget_seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0: {budget_seconds}")
+        self.budget = budget_seconds
+        self._clock = clock
+        self._started = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` when unbounded)."""
+        if self.budget is None:
+            return float("inf")
+        return self.budget - self.elapsed()
+
+    def expired(self) -> bool:
+        """Whether the budget has been spent."""
+        return self.budget is not None and self.elapsed() > self.budget
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.budget is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.budget:
+                raise DeadlineExceededError(elapsed, self.budget)
+
+    def __repr__(self) -> str:
+        if self.budget is None:
+            return f"<Deadline unbounded, {self.elapsed():.4f}s elapsed>"
+        return f"<Deadline {self.remaining():.4f}s of {self.budget:.4f}s remaining>"

@@ -1,0 +1,123 @@
+"""Supervision: circuit breaking and the per-session policy bundle.
+
+A :class:`SupervisionPolicy` bundles every knob the
+:class:`~repro.serving.manager.SessionManager` needs to drive sessions
+through faults: the per-step :class:`~repro.reliability.policy.RetryPolicy`,
+a per-step deadline, circuit-breaker thresholds, and the jitter seed.
+
+A :class:`CircuitBreaker` tracks one session's failure history.  It
+trips — quarantining the session — when either the *consecutive*-failure
+threshold is crossed (the oracle is persistently down) or the *total*
+failure budget is spent (the oracle flaps too often to be worth serving).
+Quarantine is graceful degradation: the manager retires the session with
+a partial-result trace instead of letting one bad client wedge the loop
+or poison the cross-session memo.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.reliability.policy import RetryPolicy
+
+__all__ = ["CircuitBreaker", "SupervisionPolicy"]
+
+
+class CircuitBreaker:
+    """Failure accounting for one supervised session.
+
+    Parameters
+    ----------
+    consecutive_limit:
+        Trip after this many failures in a row (a success resets the
+        streak).
+    total_limit:
+        Trip after this many failures overall, regardless of successes
+        in between; ``None`` disables the total budget.
+    """
+
+    __slots__ = ("consecutive_limit", "total_limit", "consecutive", "total", "tripped_by")
+
+    def __init__(self, consecutive_limit: int = 5, total_limit: Optional[int] = 20):
+        if consecutive_limit < 1:
+            raise ValueError(f"consecutive_limit must be >= 1: {consecutive_limit}")
+        if total_limit is not None and total_limit < 1:
+            raise ValueError(f"total_limit must be >= 1: {total_limit}")
+        self.consecutive_limit = consecutive_limit
+        self.total_limit = total_limit
+        self.consecutive = 0
+        self.total = 0
+        self.tripped_by: Optional[str] = None
+
+    def record_success(self) -> None:
+        """A step succeeded: the consecutive streak resets."""
+        self.consecutive = 0
+
+    def record_failure(self) -> None:
+        """A step failed (after exhausting its retries)."""
+        self.consecutive += 1
+        self.total += 1
+        if self.tripped_by is None:
+            if self.consecutive >= self.consecutive_limit:
+                self.tripped_by = (
+                    f"{self.consecutive} consecutive failures "
+                    f"(limit {self.consecutive_limit})"
+                )
+            elif self.total_limit is not None and self.total >= self.total_limit:
+                self.tripped_by = f"{self.total} total failures (limit {self.total_limit})"
+
+    @property
+    def tripped(self) -> bool:
+        """Whether the breaker is open (session must be quarantined)."""
+        return self.tripped_by is not None
+
+    def __repr__(self) -> str:
+        state = f"OPEN ({self.tripped_by})" if self.tripped else "closed"
+        return (
+            f"<CircuitBreaker {state}, {self.consecutive} consecutive / "
+            f"{self.total} total failures>"
+        )
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Every knob the session manager needs to drive sessions through faults.
+
+    Parameters
+    ----------
+    retry:
+        Per-step retry policy (attempts, backoff, retryable classes).
+    step_deadline_seconds:
+        Elapsed-time budget per ``session.advance()`` step measured on
+        ``time.monotonic``; an overrun counts as a step failure toward
+        the breaker.  ``None`` disables deadlines.
+    breaker_consecutive_limit / breaker_total_limit:
+        Thresholds for the per-session :class:`CircuitBreaker`.
+    jitter_seed:
+        Base seed for backoff jitter; each session derives its stream
+        from ``(jitter_seed, session_id)`` so retry timing is replayable
+        per session yet decorrelated across sessions.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    step_deadline_seconds: Optional[float] = None
+    breaker_consecutive_limit: int = 5
+    breaker_total_limit: Optional[int] = 20
+    jitter_seed: int = 0
+
+    def breaker(self) -> CircuitBreaker:
+        """A fresh breaker configured with this policy's thresholds."""
+        return CircuitBreaker(
+            consecutive_limit=self.breaker_consecutive_limit,
+            total_limit=self.breaker_total_limit,
+        )
+
+    def jitter_rng(self, session_id: str) -> random.Random:
+        """The session's seeded jitter stream (CRC32-folded like unit seeds)."""
+        seed = (self.jitter_seed * 1_000_003 + zlib.crc32(session_id.encode("utf-8"))) % (
+            2**31
+        )
+        return random.Random(seed)

@@ -21,6 +21,15 @@ return one — unseeded noisy users return ``None``), the strategy and
 halt condition must report deterministic signatures, and the example set
 must start empty.  Anything unknown disables dedup for that session —
 correctness first, savings second.
+
+Supervision (PR 8): pass ``supervision=SupervisionPolicy(...)`` to drive
+sessions through component failures — each ``advance()`` step gets a
+``time.monotonic`` deadline and a bounded retry budget with seeded-jitter
+backoff, and a per-session circuit breaker quarantines sessions whose
+oracle keeps failing.  A quarantined session retires gracefully with a
+partial-result trace (``SessionResult.quarantined``) that is never
+shared through the dedup memo.  Without a policy the driving path is the
+exact pre-supervision instruction stream — bit-identical replay.
 """
 
 from __future__ import annotations
@@ -32,6 +41,8 @@ from typing import Any, Dict, Hashable, Optional, Tuple
 from repro.exceptions import SessionNotFoundError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.interactive.session import InteractiveSession, SessionResult
+from repro.reliability.policy import Deadline
+from repro.reliability.supervisor import SupervisionPolicy
 from repro.serving.workspace import GraphWorkspace, default_workspace
 
 
@@ -116,6 +127,8 @@ class SessionManager:
         dedup: bool = True,
         max_concurrent: Optional[int] = None,
         checkpoint=None,
+        supervision: Optional[SupervisionPolicy] = None,
+        injector=None,
     ):
         self.workspace = workspace if workspace is not None else default_workspace()
         self.dedup = dedup
@@ -124,12 +137,21 @@ class SessionManager:
         self._max_concurrent = max_concurrent
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._checkpoint = checkpoint
+        #: optional SupervisionPolicy; None = unsupervised (bit-identical
+        #: to the pre-reliability driving path)
+        self.supervision = supervision
+        #: optional FaultInjector consulted before every supervised step
+        #: (site "manager.step:<session_id>")
+        self.injector = injector
         self._handles: Dict[str, SessionHandle] = {}
         # dedup key -> session_id of the in-flight representative
         self._representatives: Dict[Hashable, str] = {}
         self._admitted = 0
         self._completed = 0
         self._deduped = 0
+        self._quarantined = 0
+        self._step_retries = 0
+        self._deadline_overruns = 0
 
     # ------------------------------------------------------------------
     # admission / retirement
@@ -214,7 +236,10 @@ class SessionManager:
             result = await self._run(handle)
         finally:
             handle.done_event().set()
-        if key is not None:
+        if key is not None and not result.quarantined:
+            # a quarantined partial trace must never be shared: members
+            # of the dedup cluster would adopt a result that only
+            # reflects where *this* session's faults happened to land
             self.workspace.memo_put(("result",) + key[1:], result)
         return result
 
@@ -242,6 +267,8 @@ class SessionManager:
             return await self._step_to_completion(handle)
 
     async def _step_to_completion(self, handle: SessionHandle) -> SessionResult:
+        if self.supervision is not None:
+            return await self._step_supervised(handle)
         session = handle.session
         await self._yield_point()
         while session.advance():
@@ -254,15 +281,88 @@ class SessionManager:
         self._completed += 1
         return result
 
+    async def _step_supervised(self, handle: SessionHandle) -> SessionResult:
+        """Drive one session through faults: retry, deadline, breaker.
+
+        Each ``advance()`` attempt is gated by the manager's fault
+        injector (site ``manager.step:<id>``) and timed against the
+        policy's monotonic step deadline.  Retryable failures back off
+        (seeded jitter per session) and retry within the policy's
+        bounded budget; a deadline overrun is not retried — the step's
+        effect already happened — but counts against the breaker.  When
+        the breaker trips or a step's retry budget is spent, the session
+        is quarantined: sealed via ``session.abort()`` with its partial
+        trace.  Non-retryable errors propagate unchanged.
+        """
+        session = handle.session
+        policy = self.supervision
+        retry = policy.retry
+        breaker = policy.breaker()
+        jitter = policy.jitter_rng(handle.session_id)
+        fault_site = f"manager.step:{handle.session_id}"
+        await self._yield_point()
+        advancing = True
+        while advancing:
+            attempt = 0
+            while True:  # bounded: quarantines once attempt reaches retry.max_attempts
+                attempt += 1
+                deadline = Deadline(policy.step_deadline_seconds)
+                try:
+                    if self.injector is not None:
+                        self.injector.check(fault_site)
+                    advancing = session.advance()
+                except Exception as error:
+                    if not retry.is_retryable(error):
+                        raise
+                    breaker.record_failure()
+                    if breaker.tripped:
+                        return self._quarantine(handle, breaker.tripped_by)
+                    if attempt >= retry.max_attempts:
+                        return self._quarantine(
+                            handle,
+                            f"retry budget spent: {attempt} attempt(s), "
+                            f"last error {error!r}",
+                        )
+                    self._step_retries += 1
+                    await asyncio.sleep(retry.backoff_delay(attempt, jitter))
+                    continue
+                if deadline.expired():
+                    # the step completed but took too long; its effect on
+                    # the session stands (advance() is not replayable), so
+                    # charge the breaker instead of retrying
+                    self._deadline_overruns += 1
+                    breaker.record_failure()
+                    if breaker.tripped:
+                        return self._quarantine(handle, breaker.tripped_by)
+                else:
+                    breaker.record_success()
+                break
+            if advancing:
+                handle.steps_driven += 1
+                await self._yield_point()
+        result = session.finish()
+        handle.result = result
+        self._completed += 1
+        return result
+
+    def _quarantine(self, handle: SessionHandle, reason: str) -> SessionResult:
+        """Retire a session the breaker gave up on, keeping its partial trace."""
+        result = handle.session.abort(f"quarantined: {reason}")
+        handle.result = result
+        self._completed += 1
+        self._quarantined += 1
+        return result
+
     async def _follow(
         self, handle: SessionHandle, owner: Optional[SessionHandle]
     ) -> SessionResult:
         """Wait for the representative, then adopt its result."""
         if owner is not None:
             await owner.done_event().wait()
-            if owner.result is not None:
+            if owner.result is not None and not owner.result.quarantined:
                 return self._adopt(handle, owner.result)
-        # the representative was retired or failed: run independently
+        # the representative was retired, failed or quarantined: run
+        # independently
         if handle.dedup_key is not None:
             self._representatives.setdefault(handle.dedup_key, handle.session_id)
         result = await self._run(handle)
@@ -306,6 +406,9 @@ class SessionManager:
             "completed": self._completed,
             "deduped": self._deduped,
             "representatives": len(self._representatives),
+            "quarantined": self._quarantined,
+            "step_retries": self._step_retries,
+            "deadline_overruns": self._deadline_overruns,
         }
 
     def __repr__(self) -> str:

@@ -3,11 +3,12 @@
 PRs 1–5 made every per-session structure incremental and cached, but
 ownership stayed implicit: the query engine, the language indexes, the
 neighbourhood indexes and the informativeness classifiers all lived in
-module-level registries (``shared_engine()``, ``language_index_for()``,
-``neighborhood_index()``, ``session_classifier()``).  That is fine for one
-session; a server multiplexing many sessions over one graph needs an
-explicit handle it can size, invalidate and account for — and it needs
-*build-once* semantics when N cold sessions race on the same index.
+module-level registries.  That is fine for one session; a server
+multiplexing many sessions over one graph needs an explicit handle it
+can size, invalidate and account for — and it needs *build-once*
+semantics when N cold sessions race on the same index.  (The registries
+survived PRs 6–7 as deprecated shims; PR 8 retired them — every consumer
+now holds a workspace, or implicitly uses :func:`default_workspace`.)
 
 A workspace owns exactly the state that is **read-mostly and keyed on**
 ``(graph.version, …)``:
@@ -34,9 +35,18 @@ held across a build.  The global lock is only ever taken for dictionary
 bookkeeping; per-key locks are only taken while *not* holding the global
 lock — this ordering is what makes the scheme deadlock-free.
 
-The module-level registries survive as deprecated shims delegating to the
-process-wide :func:`default_workspace`, so existing single-session code
-keeps working unchanged (and keeps sharing state exactly as before).
+Failure safety: a factory that raises must poison **nothing**.  Every
+build path caches its result only after the constructor returns, releases
+its per-key lock on the way out (``with`` discipline), and discards the
+per-key lock entry on failure — so the next caller re-enters the cold
+path, retries the build, and succeeds if the fault was transient.  This
+is what lets the fault-injection harness (:mod:`repro.reliability`) break
+workspace builds mid-session without leaving the workspace wedged.
+
+An optional :class:`~repro.reliability.FaultInjector` can be attached
+(``injector=``) to exercise exactly that: each build path checks its
+named fault site before constructing.  Without an injector the checks
+vanish (``None`` guard), keeping the disabled path bit-identical.
 """
 
 from __future__ import annotations
@@ -77,6 +87,12 @@ class GraphWorkspace:
         accounting.
     max_memo_entries:
         Bound on retained cross-session dedup memo entries (LRU).
+    injector:
+        Optional :class:`~repro.reliability.FaultInjector`; when set,
+        build paths check their fault sites (``"workspace.language_index"``,
+        ``"workspace.neighborhoods"``, ``"workspace.classifier"``) before
+        constructing, so chaos tests can exercise the failure-safety
+        contract.  ``None`` (the default) leaves every path untouched.
     """
 
     def __init__(
@@ -85,9 +101,11 @@ class GraphWorkspace:
         engine: Optional[QueryEngine] = None,
         canonical: Optional[CanonicalFormCache] = None,
         max_memo_entries: int = 1024,
+        injector: Optional[Any] = None,
     ):
         self.engine = engine if engine is not None else QueryEngine()
         self.canonical = canonical if canonical is not None else shared_canonical_cache()
+        self.injector = injector
         # registry bookkeeping only — never held across an index build
         self._lock = threading.RLock()
         # key -> lock serialising the (rare, expensive) cold build of key
@@ -114,8 +132,27 @@ class GraphWorkspace:
         self._language_hits = 0
         self._neighborhood_builds = 0
         self._classifier_builds = 0
+        self._failed_builds = 0
         self._memo_hits = 0
         self._memo_misses = 0
+
+    def _check_fault(self, site: str) -> None:
+        """Fault-injection hook: no-op unless an injector is attached."""
+        if self.injector is not None:
+            self.injector.check(site)
+
+    def _record_failed_build(self, key: Hashable) -> None:
+        """Bookkeeping after a build raised: count it, drop the key's lock.
+
+        Dropping the ``_build_locks`` entry keeps the lock dict from
+        accumulating keys that never produced a value; the next caller
+        re-creates the lock on its own cold path.  Nothing else is
+        touched — by the failure-safety contract, a raising factory must
+        have cached nothing.
+        """
+        with self._lock:
+            self._failed_builds += 1
+            self._build_locks.pop(key, None)
 
     # ------------------------------------------------------------------
     # language indexes (build-once under per-key locks)
@@ -128,6 +165,9 @@ class GraphWorkspace:
         already exists, the smaller one is derived by restriction instead
         of re-walking the graph (the session's path-validation step asks
         for each neighbourhood radius below the session bound).
+
+        Failure-safe: if the build raises, the per-key lock is released,
+        nothing is cached, and the next caller retries the build.
         """
         with self._lock:
             index = self._current_language_index(graph, max_length)
@@ -149,13 +189,18 @@ class GraphWorkspace:
                     for bound, cached in self._language.get(graph, {}).items()
                     if bound > max_length and cached.version == graph.version
                 ]
-            if larger:
-                source = min(larger, key=lambda cached: cached.max_length)
-                index = source.restricted(max_length)
-                restricted = True
-            else:
-                index = LanguageIndex(graph, max_length)
-                restricted = False
+            try:
+                self._check_fault("workspace.language_index")
+                if larger:
+                    source = min(larger, key=lambda cached: cached.max_length)
+                    index = source.restricted(max_length)
+                    restricted = True
+                else:
+                    index = LanguageIndex(graph, max_length)
+                    restricted = False
+            except BaseException:
+                self._record_failed_build(key)
+                raise
             with self._lock:
                 per_graph = self._language.get(graph)
                 if per_graph is None:
@@ -188,14 +233,39 @@ class GraphWorkspace:
         The index is version-aware internally (stale BFS layers are
         dropped on access), so one instance per graph lives for the
         graph's whole lifetime.
+
+        The construction runs under a per-key build lock, *not* the
+        registry lock: :class:`NeighborhoodIndex` construction is cheap
+        (layers are lazy) but a raising factory held under the registry
+        lock would convoy every other workspace accessor behind the
+        failure.  Failure-safe like :meth:`language_index`.
         """
         with self._lock:
             index = self._neighborhoods.get(graph)
-            if index is None:
+            if index is not None:
+                return index
+            key = ("neighborhoods", id(graph))
+            build_lock = self._build_locks.get(key)
+            if build_lock is None:
+                build_lock = self._build_locks[key] = threading.Lock()
+        with build_lock:
+            with self._lock:
+                index = self._neighborhoods.get(graph)
+                if index is not None:
+                    return index
+            try:
+                self._check_fault("workspace.neighborhoods")
                 index = NeighborhoodIndex(graph)
+            except BaseException:
+                self._record_failed_build(key)
+                raise
+            with self._lock:
+                existing = self._neighborhoods.get(graph)
+                if existing is not None:
+                    return existing  # lost a race with another builder
                 self._neighborhoods[graph] = index
                 self._neighborhood_builds += 1
-            return index
+        return index
 
     # ------------------------------------------------------------------
     # informativeness classifiers
@@ -213,18 +283,25 @@ class GraphWorkspace:
         """
         with self._lock:
             entries = self._classifiers.get(examples)
-            if entries is None:
-                entries = self._classifiers.setdefault(examples, [])
-            for entry_graph, bound, classifier in entries:
-                if entry_graph is graph and bound == max_length:
-                    return classifier
+            if entries is not None:
+                for entry_graph, bound, classifier in entries:
+                    if entry_graph is graph and bound == max_length:
+                        return classifier
         # build outside the registry lock: the constructor builds the
-        # language index (guarded by its own per-key lock above)
-        classifier = SessionClassifier(
-            graph, examples, max_length=max_length, index_provider=self.language_index
-        )
+        # language index (guarded by its own per-key lock above).  The
+        # registry is only touched after the constructor returns, so a
+        # raising build leaves no entry behind — not even an empty list.
+        try:
+            self._check_fault("workspace.classifier")
+            classifier = SessionClassifier(
+                graph, examples, max_length=max_length, index_provider=self.language_index
+            )
+        except BaseException:
+            with self._lock:
+                self._failed_builds += 1
+            raise
         with self._lock:
-            entries = self._classifiers.setdefault(examples, entries)
+            entries = self._classifiers.setdefault(examples, [])
             for entry_graph, bound, existing in entries:
                 if entry_graph is graph and bound == max_length:
                     return existing  # lost the race: adopt the winner
@@ -329,6 +406,7 @@ class GraphWorkspace:
                 "language_index_entries": language_entries,
                 "neighborhood_index_builds": self._neighborhood_builds,
                 "classifier_builds": self._classifier_builds,
+                "failed_builds": self._failed_builds,
                 "memo_hits": self._memo_hits,
                 "memo_misses": self._memo_misses,
                 "memo_entries": len(self._memo),
@@ -346,7 +424,7 @@ class GraphWorkspace:
 
 
 # ----------------------------------------------------------------------
-# the process-wide default (what the deprecated module shims delegate to)
+# the process-wide default workspace
 # ----------------------------------------------------------------------
 _DEFAULT: Optional[GraphWorkspace] = None
 _DEFAULT_LOCK = threading.Lock()
@@ -355,11 +433,10 @@ _DEFAULT_LOCK = threading.Lock()
 def default_workspace() -> GraphWorkspace:
     """The process-wide :class:`GraphWorkspace`.
 
-    This is what the deprecated module-level registries
-    (``shared_engine()``, ``language_index_for()``,
-    ``neighborhood_index()``, ``session_classifier()``) delegate to, so
-    legacy call sites and workspace-aware call sites share one set of
-    caches by default.
+    The implicit sharing default: sessions, free functions and CLI
+    commands that are not handed an explicit workspace all resolve to
+    this one, so they share one set of caches per process.  Servers and
+    tests that need isolation construct their own workspace instead.
     """
     global _DEFAULT
     workspace = _DEFAULT

@@ -100,6 +100,7 @@ def generate_workload(
     if not labels:
         raise ValueError("graph has no edge labels; cannot generate a workload")
     rng = random.Random(seed)
+    engine = default_workspace().engine
     workload: List[WorkloadQuery] = []
     for family in families:
         produced = 0
@@ -112,7 +113,7 @@ def generate_workload(
                 continue
             seen.add(expression)
             query = PathQuery(expression)
-            answer = default_workspace().engine.evaluate(graph, query)
+            answer = engine.evaluate(graph, query)
             if require_nonempty and not answer:
                 continue
             if require_nontrivial and len(answer) == graph.node_count:

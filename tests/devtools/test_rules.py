@@ -118,44 +118,65 @@ class TestREP100Determinism:
 
 
 class TestREP200Workspace:
-    def test_shim_import_flagged(self):
+    def test_default_workspace_in_loop_flagged(self):
         pairs, _ = lint(
             """
-            from repro.query.engine import shared_engine
+            from repro.serving.workspace import default_workspace
+
+            def answers(graphs, query):
+                results = []
+                for graph in graphs:
+                    results.append(default_workspace().engine.evaluate(graph, query))
+                return results
             """
         )
-        assert ("REP201", 2) in pairs
+        assert ("REP201", 7) in pairs
 
-    def test_shim_call_flagged(self):
-        assert "REP202" in rules_of(
-            """
-            from repro.query.engine import shared_engine
-
-            def answer(graph, query):
-                return shared_engine().evaluate(graph, query)
-            """
-        )
-
-    def test_defining_module_is_exempt(self):
-        assert rules_of(
-            """
-            def shared_engine():
-                return _the_engine
-
-            def helper():
-                return shared_engine()
-            """,
-            path="src/repro/query/engine.py",
-        ) == []
-
-    def test_deprecated_evaluate_import_flagged(self):
+    def test_constructor_in_while_flagged(self):
         assert "REP201" in rules_of(
             """
-            from repro.query.evaluation import evaluate
+            from repro.serving import GraphWorkspace
+
+            def churn(jobs):
+                while jobs:
+                    job = jobs.pop()
+                    GraphWorkspace().engine.evaluate(job.graph, job.query)
             """
         )
 
-    def test_workspace_usage_is_clean(self):
+    def test_comprehension_element_flagged(self):
+        assert "REP201" in rules_of(
+            """
+            from repro.serving.workspace import default_workspace
+
+            def answers(graphs, query):
+                return [default_workspace().engine.evaluate(g, query) for g in graphs]
+            """
+        )
+
+    def test_hoisted_workspace_is_clean(self):
+        assert rules_of(
+            """
+            from repro.serving.workspace import default_workspace
+
+            def answers(graphs, query):
+                workspace = default_workspace()
+                return [workspace.engine.evaluate(g, query) for g in graphs]
+            """
+        ) == []
+
+    def test_first_comprehension_iterable_is_clean(self):
+        # the first generator's iterable evaluates exactly once
+        assert rules_of(
+            """
+            from repro.serving.workspace import default_workspace
+
+            def engines():
+                return [e for e in [default_workspace().engine]]
+            """
+        ) == []
+
+    def test_single_resolution_is_clean(self):
         assert rules_of(
             """
             from repro.serving.workspace import default_workspace
@@ -329,6 +350,139 @@ class TestREP500ApiHygiene:
                 pass
             """
         )
+
+
+class TestREP600Reliability:
+    def test_bare_except_flagged(self):
+        assert "REP601" in rules_of(
+            """
+            def fetch(url):
+                try:
+                    return open(url)
+                except:
+                    return None
+            """
+        )
+
+    def test_except_exception_pass_flagged(self):
+        assert "REP602" in rules_of(
+            """
+            def best_effort(job):
+                try:
+                    job.run()
+                except Exception:
+                    pass
+            """
+        )
+
+    def test_except_base_exception_ellipsis_flagged(self):
+        assert "REP602" in rules_of(
+            """
+            def best_effort(job):
+                try:
+                    job.run()
+                except BaseException:
+                    ...
+            """
+        )
+
+    def test_handled_exception_is_clean(self):
+        assert rules_of(
+            """
+            def fetch(job, log):
+                try:
+                    return job.run()
+                except Exception as error:
+                    log.append(error)
+                    raise
+            """
+        ) == []
+
+    def test_wall_clock_deadline_flagged(self):
+        assert "REP603" in rules_of(
+            """
+            import time
+
+            def wait(budget):
+                deadline = time.time() + budget
+                return deadline
+            """
+        )
+
+    def test_wall_clock_timeout_comparison_flagged(self):
+        assert "REP603" in rules_of(
+            """
+            import time
+
+            def expired(timeout_at):
+                return time.time() > timeout_at
+            """
+        )
+
+    def test_monotonic_deadline_is_clean(self):
+        assert rules_of(
+            """
+            import time
+
+            def wait(budget):
+                deadline = time.monotonic() + budget
+                return deadline
+            """
+        ) == []
+
+    def test_wall_clock_timestamping_is_clean(self):
+        # time.time() is fine when it is not deadline logic
+        assert rules_of(
+            """
+            import time
+
+            def stamp(row):
+                row['created_at'] = time.time()
+                return row
+            """
+        ) == []
+
+    def test_unbounded_retry_loop_flagged(self):
+        assert "REP604" in rules_of(
+            """
+            def stubborn(job):
+                while True:
+                    try:
+                        return job.run()
+                    except OSError:
+                        continue
+            """
+        )
+
+    def test_bounded_retry_loop_is_clean(self):
+        assert rules_of(
+            """
+            def bounded(job, attempts):
+                while True:
+                    attempts -= 1
+                    try:
+                        return job.run()
+                    except OSError:
+                        if attempts <= 0:
+                            raise
+                        continue
+            """
+        ) == []
+
+    def test_counter_bounded_while_is_clean(self):
+        assert rules_of(
+            """
+            def bounded(job, policy):
+                attempt = 0
+                while attempt < policy.max_attempts:
+                    attempt += 1
+                    try:
+                        return job.run()
+                    except OSError:
+                        continue
+                return None
+            """
+        ) == []
 
 
 class TestSelect:

@@ -6,8 +6,7 @@ import pytest
 
 from repro.graph.generators import random_graph
 from repro.graph.labeled_graph import LabeledGraph
-from repro.query.engine import QueryEngine, compile_plan, shared_engine
-from repro.query.evaluation import evaluate
+from repro.query.engine import QueryEngine, compile_plan
 from repro.query.rpq import PathQuery
 
 EXPRESSIONS = [
@@ -371,15 +370,6 @@ class TestBatchEvaluator:
 
 
 class TestSharedEngineWiring:
-    def test_module_level_evaluate_uses_shared_engine(self):
-        graph = LabeledGraph.from_edges([("a", "x", "b")])
-        with pytest.warns(DeprecationWarning, match="repro."):
-            before = shared_engine().stats()["answer_misses"]
-            evaluate(graph, "x")
-            evaluate(graph, "x")
-            stats = shared_engine().stats()
-        assert stats["answer_misses"] == before + 1
-
     def test_session_threads_one_engine(self):
         from repro.graph.datasets import motivating_example
         from repro.interactive.oracle import SimulatedUser

@@ -1,15 +1,13 @@
 """Unit tests for RPQ evaluation on graphs (the core semantics).
 
-The module-level :func:`repro.query.evaluation.evaluate` is deprecated;
-this file keeps exercising it on purpose — the semantics contract must
-hold through the shim — so every call goes through a wrapper asserting
-the deprecation warning fires.
+Every call goes through the default workspace's engine — the same path
+sessions and the CLI use since the module-level ``evaluate()`` shim was
+retired.
 """
 
 import pytest
 
 from repro.exceptions import NodeNotFoundError
-from repro.query import evaluation
 from repro.query.evaluation import (
     answer_signature,
     evaluate_many,
@@ -18,12 +16,12 @@ from repro.query.evaluation import (
     witness_path,
 )
 from repro.query.rpq import PathQuery
+from repro.serving.workspace import default_workspace
 
 
 def evaluate(graph, query):
-    """The deprecated module-level evaluate(), asserting it still warns."""
-    with pytest.warns(DeprecationWarning, match="repro.query.evaluation"):
-        return evaluation.evaluate(graph, query)
+    """Evaluate through the shared workspace engine (the supported path)."""
+    return default_workspace().engine.evaluate(graph, query)
 
 
 class TestEvaluateOnFigure1:

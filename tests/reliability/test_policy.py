@@ -1,0 +1,105 @@
+"""Tests for retry policies, backoff and monotonic deadlines."""
+
+import random
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    InjectedFault,
+    OracleError,
+    RetryBudgetExceededError,
+    SessionQuarantinedError,
+)
+from repro.reliability import Deadline, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults_are_bounded(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+        assert policy.backoff_cap >= policy.backoff_base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+
+    def test_injected_faults_and_oracle_errors_are_retryable(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(InjectedFault("a.site", 0))
+        assert policy.is_retryable(OracleError("flaky"))
+        assert not policy.is_retryable(ValueError("programming error"))
+        assert not policy.is_retryable(KeyboardInterrupt())
+
+    def test_backoff_grows_exponentially_to_the_cap(self):
+        policy = RetryPolicy(
+            backoff_base=0.01,
+            backoff_multiplier=2.0,
+            backoff_cap=0.05,
+            jitter_fraction=0.0,
+        )
+        delays = [policy.backoff_delay(attempt) for attempt in range(1, 6)]
+        assert delays[0] == pytest.approx(0.01)
+        assert delays[1] == pytest.approx(0.02)
+        assert delays[2] == pytest.approx(0.04)
+        assert delays[3] == pytest.approx(0.05)  # capped
+        assert delays[4] == pytest.approx(0.05)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(
+            backoff_base=0.01, backoff_multiplier=2.0, backoff_cap=1.0, jitter_fraction=0.5
+        )
+        delays_a = [policy.backoff_delay(2, random.Random(42)) for _ in range(5)]
+        delays_b = [policy.backoff_delay(2, random.Random(42)) for _ in range(5)]
+        assert delays_a == delays_b  # same rng seed, same jitter
+        for delay in delays_a:
+            assert 0.0 <= delay <= 0.02 * 1.5
+
+
+class TestDeadline:
+    def test_none_budget_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+        deadline.check()  # must not raise
+
+    def test_expiry_with_fake_clock(self):
+        now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: now[0])
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(1.0)
+        now[0] = 0.6
+        assert deadline.remaining() == pytest.approx(0.4)
+        now[0] = 1.2
+        assert deadline.expired()
+        assert deadline.remaining() < 0.0
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            deadline.check()
+        assert exc_info.value.elapsed == pytest.approx(1.2)
+        assert exc_info.value.budget == pytest.approx(1.0)
+
+    def test_elapsed_tracks_the_clock(self):
+        now = [5.0]
+        deadline = Deadline(10.0, clock=lambda: now[0])
+        now[0] = 7.5
+        assert deadline.elapsed() == pytest.approx(2.5)
+
+
+class TestReliabilityExceptions:
+    def test_retry_budget_error_carries_cause(self):
+        last = InjectedFault("a.site", 3)
+        error = RetryBudgetExceededError(4, last)
+        assert error.attempts == 4
+        assert error.last_error is last
+        assert "4" in str(error)
+
+    def test_session_quarantined_error_fields(self):
+        error = SessionQuarantinedError("s7", "breaker tripped")
+        assert error.session_id == "s7"
+        assert "breaker tripped" in str(error)

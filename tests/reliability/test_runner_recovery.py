@@ -1,0 +1,109 @@
+"""Experiment-runner fault tolerance: bounded retries and crash resume.
+
+Fault sites include the attempt number (``runner.unit:<id>#a<n>``), so
+whether attempt *n* of a unit crashes is a pure function of the fault
+plan — deterministic even when each attempt lands in a fresh worker
+process.
+"""
+
+import pytest
+
+from repro.exceptions import UnitExecutionError
+from repro.experiments.runner import ExperimentRunner, ResultStore, strip_timing
+from repro.reliability import FaultPlan, RetryPolicy
+
+CAMPAIGN = dict(suite="quick", experiments=["e1"], datasets=["figure-1"], seed=7)
+
+
+def plan_unit_ids():
+    return [unit.unit_id for unit in ExperimentRunner(**CAMPAIGN).plan()]
+
+
+def stripped(records):
+    return {unit_id: strip_timing(record["rows"]) for unit_id, record in records.items()}
+
+
+class TestBoundedRetry:
+    def test_first_attempt_crash_is_retried_inline(self):
+        baseline = ExperimentRunner(**CAMPAIGN).run()
+        victim = plan_unit_ids()[-1]
+        runner = ExperimentRunner(
+            **CAMPAIGN,
+            fault_plan=FaultPlan(1, rates={f"runner.unit:{victim}#a1": 1.0}),
+        )
+        result = runner.run()
+        assert result.retried_unit_ids == [victim]
+        assert stripped(result.records) == stripped(baseline.records)
+
+    def test_persistent_crash_exhausts_the_budget(self, tmp_path):
+        victim = plan_unit_ids()[-1]
+        store = ResultStore(tmp_path / "campaign")
+        runner = ExperimentRunner(
+            **CAMPAIGN,
+            store=store,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fault_plan=FaultPlan(1, rates={f"runner.unit:{victim}#a*": 1.0}),
+        )
+        with pytest.raises(UnitExecutionError) as exc_info:
+            runner.run()
+        assert exc_info.value.unit_id == victim
+        assert exc_info.value.attempts == 3
+        # every unit completed before the fatal one was streamed to disk
+        persisted = store.load_records()
+        assert victim not in persisted
+        assert len(persisted) == len(plan_unit_ids()) - 1
+
+    def test_pool_resubmits_crashed_units(self):
+        baseline = ExperimentRunner(**CAMPAIGN).run()
+        unit_ids = plan_unit_ids()
+        rates = {f"runner.unit:{unit_id}#a1": 1.0 for unit_id in unit_ids[:2]}
+        runner = ExperimentRunner(
+            **CAMPAIGN, workers=2, fault_plan=FaultPlan(1, rates=rates)
+        )
+        result = runner.run()
+        assert sorted(result.retried_unit_ids) == sorted(unit_ids[:2])
+        assert stripped(result.records) == stripped(baseline.records)
+
+    def test_no_fault_plan_payloads_are_unchanged(self):
+        runner = ExperimentRunner(**CAMPAIGN)
+        unit = runner.plan()[0]
+        assert runner._unit_payload(unit, 1) == unit.payload()
+
+
+class TestCrashResume:
+    def test_resume_after_mid_campaign_crash_loses_zero_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign")
+        baseline = ExperimentRunner(**CAMPAIGN, store=store).run()
+        total = len(baseline.units)
+        assert total >= 2
+
+        # kill the campaign "mid-write": keep the first rows plus a
+        # truncated trailing line
+        rows = store.rows_path.read_text().splitlines()
+        kept = rows[: total // 2]
+        store.rows_path.write_text(
+            "\n".join(kept) + "\n" + rows[total // 2][: len(rows[total // 2]) // 2]
+        )
+
+        resumed = ExperimentRunner(**CAMPAIGN, store=store).run(resume=True)
+        assert len(resumed.resumed_unit_ids) == len(kept)
+        assert len(resumed.executed_unit_ids) == total - len(kept)
+        assert set(resumed.records) == {unit.unit_id for unit in resumed.units}
+        assert stripped(resumed.records) == stripped(baseline.records)
+
+    def test_resume_after_faulty_run_completes_the_campaign(self, tmp_path):
+        victim = plan_unit_ids()[-1]
+        store = ResultStore(tmp_path / "campaign")
+        crashing = ExperimentRunner(
+            **CAMPAIGN,
+            store=store,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            fault_plan=FaultPlan(1, rates={f"runner.unit:{victim}#a*": 1.0}),
+        )
+        with pytest.raises(UnitExecutionError):
+            crashing.run()
+
+        # the faults "stop" (no plan); resume executes only the victim
+        recovered = ExperimentRunner(**CAMPAIGN, store=store).run(resume=True)
+        assert recovered.executed_unit_ids == [victim]
+        assert set(recovered.records) == set(plan_unit_ids())

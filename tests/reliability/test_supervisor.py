@@ -1,0 +1,63 @@
+"""Tests for circuit breaking and the supervision policy bundle."""
+
+import pytest
+
+from repro.reliability import SupervisionPolicy
+from repro.reliability.supervisor import CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_trips_on_consecutive_failures(self):
+        breaker = CircuitBreaker(consecutive_limit=3, total_limit=None)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.tripped
+        breaker.record_failure()
+        assert breaker.tripped
+        assert "consecutive" in breaker.tripped_by
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(consecutive_limit=3, total_limit=None)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert not breaker.tripped
+
+    def test_total_budget_trips_through_resets(self):
+        breaker = CircuitBreaker(consecutive_limit=100, total_limit=4)
+        for _ in range(3):
+            breaker.record_failure()
+            breaker.record_success()
+        assert not breaker.tripped
+        breaker.record_failure()
+        assert breaker.tripped
+        assert "total" in breaker.tripped_by
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(consecutive_limit=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(total_limit=0)
+
+
+class TestSupervisionPolicy:
+    def test_breaker_factory_uses_policy_thresholds(self):
+        policy = SupervisionPolicy(breaker_consecutive_limit=2, breaker_total_limit=7)
+        breaker = policy.breaker()
+        assert breaker.consecutive_limit == 2
+        assert breaker.total_limit == 7
+        assert policy.breaker() is not breaker  # one breaker per session
+
+    def test_jitter_rng_is_per_session_and_replayable(self):
+        policy = SupervisionPolicy(jitter_seed=13)
+        draws_a = [policy.jitter_rng("s1").random() for _ in range(3)]
+        draws_b = [policy.jitter_rng("s1").random() for _ in range(3)]
+        assert draws_a == draws_b
+        assert policy.jitter_rng("s1").random() != policy.jitter_rng("s2").random()
+
+    def test_policies_with_same_seed_agree(self):
+        assert (
+            SupervisionPolicy(jitter_seed=5).jitter_rng("s9").random()
+            == SupervisionPolicy(jitter_seed=5).jitter_rng("s9").random()
+        )

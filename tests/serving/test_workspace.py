@@ -138,22 +138,12 @@ class TestMemo:
 
 
 class TestDefaultWorkspace:
-    def test_shims_reach_the_default_workspace(self, tiny_graph):
+    def test_default_workspace_is_a_stable_singleton(self, tiny_graph):
         reset_default_workspace()
         try:
-            from repro.graph.neighborhood import neighborhood_index
-            from repro.learning.language_index import language_index_for
-            from repro.query.engine import shared_engine
-
             workspace = default_workspace()
-            with pytest.warns(DeprecationWarning, match="repro.query.engine"):
-                assert shared_engine() is workspace.engine
-            with pytest.warns(DeprecationWarning, match="repro.graph.neighborhood"):
-                assert neighborhood_index(tiny_graph) is workspace.neighborhoods(tiny_graph)
-            with pytest.warns(DeprecationWarning, match="repro.learning.language_index"):
-                assert language_index_for(tiny_graph, 3) is workspace.language_index(
-                    tiny_graph, 3
-                )
+            assert default_workspace() is workspace
+            assert workspace.engine.evaluate(tiny_graph, "x . y") == frozenset({"a"})
         finally:
             reset_default_workspace()
 
@@ -161,12 +151,3 @@ class TestDefaultWorkspace:
         assert GraphWorkspace().engine is not GraphWorkspace().engine
         engine = QueryEngine()
         assert GraphWorkspace(engine=engine).engine is engine
-
-
-class TestDeprecatedEvaluateShim:
-    def test_warns_and_matches_engine(self, tiny_graph):
-        from repro.query.evaluation import evaluate
-
-        with pytest.warns(DeprecationWarning):
-            answer = evaluate(tiny_graph, "x . y")
-        assert answer == default_workspace().engine.evaluate(tiny_graph, "x . y")

@@ -1,7 +1,5 @@
 """Tests for the top-level public API surface."""
 
-import pytest
-
 import repro
 from repro import (
     ExampleSet,
@@ -12,7 +10,6 @@ from repro import (
     PathQueryLearner,
     SessionManager,
     SimulatedUser,
-    evaluate,
     learn_query,
 )
 
@@ -21,8 +18,6 @@ EXPECTED_EXPORTS = {
     "LabeledGraph",
     "PathQuery",
     "QueryEngine",
-    "shared_engine",
-    "evaluate",
     "PathQueryLearner",
     "learn_query",
     "ExampleSet",
@@ -34,6 +29,10 @@ EXPECTED_EXPORTS = {
     "SessionManager",
     "SessionHandle",
     "default_workspace",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "SupervisionPolicy",
     "__version__",
 }
 
@@ -55,11 +54,12 @@ class TestTopLevelExports:
         manager = SessionManager(workspace)
         assert manager.workspace is workspace
 
-    def test_evaluate_shim_warns(self):
-        graph = LabeledGraph("mine")
-        graph.add_edge("home", "bus", "work")
-        with pytest.warns(DeprecationWarning):
-            assert evaluate(graph, "bus") == {"home"}
+    def test_reliability_primitives_exported(self):
+        plan = repro.FaultPlan(7, default_rate=0.5)
+        injector = repro.FaultInjector(plan)
+        assert [injector.fires("site") for _ in range(8)] == list(plan.schedule("site", 8))
+        assert repro.RetryPolicy().max_attempts >= 1
+        assert repro.SupervisionPolicy().breaker() is not repro.SupervisionPolicy().breaker()
 
     def test_quickstart_snippet_from_docstring(self):
         """The snippet in the package docstring must actually work."""
