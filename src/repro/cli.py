@@ -164,11 +164,14 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import ExperimentRunner, ResultStore
+    from repro.experiments.runner import DEFAULT_EXPERIMENTS, ExperimentRunner, ResultStore
 
+    experiments = list(args.experiments if args.experiments else DEFAULT_EXPERIMENTS)
+    if args.churn and "churn" not in experiments:
+        experiments.append("churn")
     runner = ExperimentRunner(
         suite=args.suite,
-        experiments=args.experiments,
+        experiments=experiments,
         datasets=args.datasets,
         seed=args.seed,
         per_family=args.per_family,
@@ -422,7 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     datasets_parser = subparsers.add_parser("datasets", help="list the built-in datasets")
     datasets_parser.set_defaults(handler=_cmd_datasets)
 
-    from repro.experiments.runner import EXPERIMENTS
+    from repro.experiments.runner import DEFAULT_EXPERIMENTS, EXPERIMENTS
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -430,8 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--suite", choices=("quick", "standard"), default="quick")
     bench_parser.add_argument(
-        "--experiments", nargs="+", choices=EXPERIMENTS, default=list(EXPERIMENTS),
-        help="subset of experiments to run (default: all)",
+        "--experiments", nargs="+", choices=EXPERIMENTS, default=None,
+        help="subset of experiments to run (default: all but the churn family)",
+    )
+    bench_parser.add_argument(
+        "--churn", action="store_true",
+        help="include the streaming churn family (sliding-window edge streams)",
     )
     bench_parser.add_argument(
         "--datasets", nargs="+", default=None,

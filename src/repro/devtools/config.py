@@ -69,6 +69,7 @@ class LintConfig:
         "LanguageIndex",
         "SessionClassifier",
         "restricted",
+        "refreshed",
         "classify_all_scratch",
     )
     #: emit REP002 for suppressions that matched nothing

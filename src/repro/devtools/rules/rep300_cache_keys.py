@@ -7,7 +7,7 @@ marker next to the value and check it on read (the ``_GraphCache``
 idiom).  A memo whose key mentions neither is exactly the bug class
 PRs 1/3/5 spent commits hunting: stale answers served after a mutation.
 
-Sub-rule:
+Sub-rules:
 
 * ``REP301`` — a ``self.<attr>`` initialised to a dict-like container
   whose name looks memo-ish (configurable pattern, default
@@ -16,6 +16,17 @@ Sub-rule:
   (configurable, default ``version``, ``fingerprint``, ``digest``,
   ``signature``, ``plan_id``, ``crc``, ``sha``) in its key *or* stored
   value expression.
+* ``REP302`` — a class that *snapshots* a version counter into an
+  instance attribute (``self.<...version...> = <expr mentioning a
+  version>``) is a version-keyed cache, and since the delta-journal PR
+  every such structure must be reachable by
+  :meth:`GraphWorkspace.refresh
+  <repro.serving.workspace.GraphWorkspace.refresh>` — it declares which
+  invalidation path owns it via a ``__workspace_hook__`` class attribute
+  naming a hook registered in
+  :data:`repro.serving.invalidation.WORKSPACE_HOOKS` — or it carries a
+  justified suppression explaining why staleness cannot leak (pure value
+  snapshots that fail loudly on access, for instance).
 
 The rule is deliberately heuristic: it looks at the identifiers
 appearing in key/value expressions, not at data flow.  Memos whose keys
@@ -166,6 +177,59 @@ class _ClassMemoAudit(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _mentions_version(node: ast.expr) -> bool:
+    """Does ``node`` reference a version-ish identifier (not a constant)?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and "version" in child.attr.lower():
+            return True
+        if isinstance(child, ast.Name) and "version" in child.id.lower():
+            return True
+    return False
+
+
+def _declared_hook(class_node: ast.ClassDef) -> bool:
+    """Does the class body assign a string to ``__workspace_hook__``?"""
+    for statement in class_node.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__workspace_hook__":
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return True
+    return False
+
+
+def _version_snapshots(class_node: ast.ClassDef) -> Iterator[ast.stmt]:
+    """Statements of the form ``self.<...version...> = <version expr>``."""
+    seen: Set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            attr = _self_attr(target)
+            if (
+                attr
+                and "version" in attr.lower()
+                and attr not in seen
+                and _mentions_version(value)
+            ):
+                seen.add(attr)
+                yield node
+
+
 @rule("REP300", "cache-key discipline: memos must witness version/fingerprint")
 def check_cache_keys(ctx: FileContext, config: LintConfig) -> Iterator[Diagnostic]:
     """Flag memo attributes with no version/fingerprint evidence."""
@@ -175,6 +239,30 @@ def check_cache_keys(ctx: FileContext, config: LintConfig) -> Iterator[Diagnosti
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.ClassDef):
             continue
+        # REP302: version snapshots must declare their invalidation hook
+        if not _declared_hook(node):
+            for snapshot in _version_snapshots(node):
+                attr = ""
+                if isinstance(snapshot, ast.Assign):
+                    attr = next(
+                        (a for a in map(_self_attr, snapshot.targets) if a), ""
+                    )
+                elif isinstance(snapshot, ast.AnnAssign):
+                    attr = _self_attr(snapshot.target)
+                diagnostics.append(
+                    Diagnostic(
+                        ctx.path,
+                        getattr(snapshot, "lineno", 1),
+                        getattr(snapshot, "col_offset", 0) + 1,
+                        "REP302",
+                        f"{node.name}.{attr} snapshots a graph/structure "
+                        "version but the class declares no __workspace_hook__; "
+                        "register the invalidation path that refreshes it "
+                        "(repro.serving.invalidation.WORKSPACE_HOOKS) or "
+                        "suppress with the reason staleness cannot leak",
+                        symbol=attr,
+                    )
+                )
         audit = _ClassMemoAudit(memo_pattern, markers)
         audit.visit(node)
         for attr, init_node in sorted(audit.found.items()):

@@ -71,6 +71,7 @@ TABLE_TITLES: Dict[str, str] = {
     "e4": "E4 — path validation vs no validation",
     "e5": "E5 — learner cost vs sample size",
     "scenarios": "Demonstration scenarios — Section 3 comparison",
+    "churn": "Churn — warm-tick refresh under sliding-window edge streams",
 }
 
 #: Per-experiment unit budgets, shared between the ``run_e*`` defaults
@@ -82,6 +83,13 @@ E3_DEFAULTS: Dict[str, int] = {"edge_factor": 3, "alphabet_size": 4, "max_path_l
 E4_DEFAULTS: Dict[str, int] = {"max_interactions": 40, "max_path_length": 4}
 E5_DEFAULTS: Dict[str, int] = {"word_length": 5, "alphabet_size": 3}
 SCENARIO_DEFAULTS: Dict[str, int] = {"max_interactions": 40, "max_path_length": 4}
+CHURN_DEFAULTS: Dict[str, int] = {
+    "window": 60,
+    "churn": 4,
+    "tick_count": 12,
+    "alphabet_size": 4,
+    "max_path_length": 3,
+}
 
 
 def _coerce_query(goal: QueryLike) -> PathQuery:
@@ -486,6 +494,115 @@ def run_e5_learner_cost(
                 word_length=word_length,
                 alphabet_size=alphabet_size,
                 seed=derive_unit_seed(seed, "e5", size),
+            )
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Churn — warm-tick refresh latency under sliding-window streams
+# ----------------------------------------------------------------------
+def churn_unit_row(
+    node_count: int,
+    *,
+    window: int = CHURN_DEFAULTS["window"],
+    churn: int = CHURN_DEFAULTS["churn"],
+    tick_count: int = CHURN_DEFAULTS["tick_count"],
+    alphabet_size: int = CHURN_DEFAULTS["alphabet_size"],
+    max_path_length: int = CHURN_DEFAULTS["max_path_length"],
+    seed: int = 47,
+    workspace: Optional[GraphWorkspace] = None,
+) -> Row:
+    """One churn cell: warm-tick refresh on one sliding-window stream.
+
+    Every tick applies one atomic edge delta, refreshes the workspace
+    through the delta journal and re-touches each cache layer (language
+    index, answer cache, neighbourhood ball).  The timing columns vary
+    run-to-run as usual; the counter columns are deterministic — the
+    stream is seeded, so how many entries each layer retains per tick is
+    part of the unit's identity.
+    """
+    from repro.workloads.churn import ChurnStream
+
+    alphabet = [chr(ord("a") + index) for index in range(alphabet_size)]
+    stream = ChurnStream(
+        node_count,
+        alphabet,
+        window=window,
+        churn=churn,
+        tick_count=tick_count,
+        seed=seed,
+        name=f"churn-{node_count}",
+    )
+    graph = stream.initial_graph()
+    # a fresh workspace: churn mutates the graph, so sharing the default
+    # workspace would poison other experiments' caches
+    workspace = workspace if workspace is not None else GraphWorkspace()
+    queries = (
+        alphabet[0],
+        f"({alphabet[0]} + {alphabet[1]})* . {alphabet[2]}",
+        f"{alphabet[1]} . {alphabet[2]}",
+    )
+    center = stream.nodes[0]
+    workspace.language_index(graph, max_path_length)
+    for query in queries:
+        workspace.engine.evaluate(graph, query)
+    workspace.neighborhoods(graph).neighborhood(center, 2)
+    durations: List[float] = []
+    totals: Dict[str, int] = {}
+    for tick in stream.ticks():
+        started = time.perf_counter()
+        tick.apply(graph)
+        counters = workspace.refresh(graph)
+        workspace.language_index(graph, max_path_length)
+        for query in queries:
+            workspace.engine.evaluate(graph, query)
+        workspace.neighborhoods(graph).neighborhood(center, 2)
+        durations.append(time.perf_counter() - started)
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    row: Row = {
+        "nodes": node_count,
+        "window": window,
+        "churn": churn,
+        "ticks": tick_count,
+        "language_refreshed": totals.get("language_indexes_refreshed", 0),
+        "language_dropped": totals.get("language_indexes_dropped", 0),
+        "answers_retained": totals.get("answers_retained", 0),
+        "answers_dropped": totals.get("answers_dropped", 0),
+        "neighborhood_kept": totals.get("neighborhood_states_kept", 0),
+        "mean_seconds": round(mean(durations), 4) if durations else 0.0,
+    }
+    row.update(latency_summary(durations))
+    return row
+
+
+def run_churn(
+    *,
+    node_counts: Sequence[int] = (60, 120),
+    window: int = CHURN_DEFAULTS["window"],
+    churn: int = CHURN_DEFAULTS["churn"],
+    tick_count: int = CHURN_DEFAULTS["tick_count"],
+    alphabet_size: int = CHURN_DEFAULTS["alphabet_size"],
+    max_path_length: int = CHURN_DEFAULTS["max_path_length"],
+    seed: int = 47,
+) -> ResultTable:
+    """Churn family: per-tick refresh cost across graph sizes.
+
+    ``seed`` is a base seed; each size derives its own unit seed with the
+    same derivation the parallel runner uses.
+    """
+    table = ResultTable(TABLE_TITLES["churn"])
+    for node_count in node_counts:
+        table.add(
+            **churn_unit_row(
+                node_count,
+                window=window,
+                churn=churn,
+                tick_count=tick_count,
+                alphabet_size=alphabet_size,
+                max_path_length=max_path_length,
+                seed=derive_unit_seed(seed, "churn", node_count),
             )
         )
     return table

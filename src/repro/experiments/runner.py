@@ -70,7 +70,12 @@ from repro.workloads.generator import WorkloadCase, quick_suite, standard_suite
 PathLike = Union[str, Path]
 
 #: Every experiment the runner knows how to expand, in canonical order.
-EXPERIMENTS: Sequence[str] = ("e1", "e2", "e3", "e4", "e5", "scenarios")
+EXPERIMENTS: Sequence[str] = ("e1", "e2", "e3", "e4", "e5", "scenarios", "churn")
+
+#: The default selection: everything but the streaming churn family,
+#: which is opt-in (CLI ``--churn``) so existing plan ids — and the
+#: resumable stores keyed on them — are unchanged by its introduction.
+DEFAULT_EXPERIMENTS: Sequence[str] = EXPERIMENTS[:-1]
 
 #: Columns that measure wall-clock time and therefore differ run-to-run.
 TIMING_COLUMNS = frozenset(
@@ -88,6 +93,12 @@ E3_NODE_COUNTS: Dict[str, Sequence[int]] = {
 
 #: E5 sample sizes (same for both suites, as in the serial harness).
 E5_SAMPLE_SIZES: Sequence[int] = (5, 10, 20, 40)
+
+#: Churn graph sizes per suite (dataset-independent, like E3).
+CHURN_NODE_COUNTS: Dict[str, Sequence[int]] = {
+    "quick": (60, 120),
+    "standard": (60, 120, 240),
+}
 
 
 def canonical_json(payload: object) -> str:
@@ -225,6 +236,20 @@ def _execute_scenarios(params: Mapping[str, object]) -> List[Row]:
     )
 
 
+def _execute_churn(params: Mapping[str, object]) -> List[Row]:
+    return [
+        harness.churn_unit_row(
+            params["nodes"],
+            window=params["window"],
+            churn=params["churn"],
+            tick_count=params["tick_count"],
+            alphabet_size=params["alphabet_size"],
+            max_path_length=params["max_path_length"],
+            seed=params["seed"],
+        )
+    ]
+
+
 _EXECUTORS: Dict[str, Callable[[Mapping[str, object]], List[Row]]] = {
     "e1": _execute_e1,
     "e2": _execute_e2,
@@ -232,6 +257,7 @@ _EXECUTORS: Dict[str, Callable[[Mapping[str, object]], List[Row]]] = {
     "e4": _execute_e4,
     "e5": _execute_e5,
     "scenarios": _execute_scenarios,
+    "churn": _execute_churn,
 }
 
 
@@ -265,13 +291,14 @@ def execute_payload(payload: Mapping[str, object]) -> dict:
 def build_plan(
     *,
     suite: str = "quick",
-    experiments: Sequence[str] = EXPERIMENTS,
+    experiments: Sequence[str] = DEFAULT_EXPERIMENTS,
     datasets: Optional[Sequence[str]] = None,
     seed: int = 11,
     per_family: int = 2,
     e1_strategies: Sequence[str] = harness.E1_STRATEGIES,
     e3_node_counts: Optional[Sequence[int]] = None,
     e5_sample_sizes: Sequence[int] = E5_SAMPLE_SIZES,
+    churn_node_counts: Optional[Sequence[int]] = None,
 ) -> List[RunUnit]:
     """Expand a suite into the flat, content-hashed unit list.
 
@@ -302,7 +329,7 @@ def build_plan(
     if datasets is not None:
         wanted = set(datasets)
         cases = [case for case in cases if case.dataset in wanted]
-    case_experiments = [name for name in experiments if name not in ("e3", "e5")]
+    case_experiments = [name for name in experiments if name not in ("e3", "e5", "churn")]
     if case_experiments and not cases:
         raise ExperimentError(
             f"no workload cases for experiments {case_experiments}: the {suite!r} suite "
@@ -375,6 +402,17 @@ def build_plan(
                     seed=harness.derive_unit_seed(seed, "scenarios", case.dataset, case.goal.expression),
                 )
                 units.append(RunUnit("scenarios", f"scenarios {case.dataset} {case.goal.expression}", params))
+        elif experiment == "churn":
+            node_counts = (
+                churn_node_counts if churn_node_counts is not None else CHURN_NODE_COUNTS[suite]
+            )
+            for node_count in node_counts:
+                params = dict(
+                    nodes=node_count,
+                    **harness.CHURN_DEFAULTS,
+                    seed=harness.derive_unit_seed(seed, "churn", node_count),
+                )
+                units.append(RunUnit("churn", f"churn sliding-{node_count}", params))
     return units
 
 
@@ -498,7 +536,7 @@ class RunResult:
         Keys match :func:`repro.experiments.harness.run_everything`:
         ``e1_detail``/``e1_summary``, ``e2_detail``/``e2_summary``,
         ``e3``, ``e4_detail``/``e4_summary``, ``e5``,
-        ``scenarios_detail``/``scenarios_summary``.
+        ``scenarios_detail``/``scenarios_summary``, ``churn``.
         """
         present = []
         for experiment in EXPERIMENTS:
@@ -533,13 +571,14 @@ class ExperimentRunner:
         self,
         *,
         suite: str = "quick",
-        experiments: Sequence[str] = EXPERIMENTS,
+        experiments: Sequence[str] = DEFAULT_EXPERIMENTS,
         datasets: Optional[Sequence[str]] = None,
         seed: int = 11,
         per_family: int = 2,
         e1_strategies: Sequence[str] = harness.E1_STRATEGIES,
         e3_node_counts: Optional[Sequence[int]] = None,
         e5_sample_sizes: Sequence[int] = E5_SAMPLE_SIZES,
+        churn_node_counts: Optional[Sequence[int]] = None,
         workers: int = 1,
         store: Optional[ResultStore] = None,
         retry_policy: Optional[RetryPolicy] = None,
@@ -560,6 +599,7 @@ class ExperimentRunner:
             e1_strategies=e1_strategies,
             e3_node_counts=e3_node_counts,
             e5_sample_sizes=e5_sample_sizes,
+            churn_node_counts=churn_node_counts,
         )
         self.experiments = [name for name in EXPERIMENTS if any(u.experiment == name for u in self.units)]
 

@@ -15,9 +15,11 @@ product-automaton evaluation, informativeness computation).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import DuplicateNodeError, EdgeNotFoundError, NodeNotFoundError
+from repro.graph.delta import GraphDelta
 
 Node = Hashable
 Label = str
@@ -41,7 +43,23 @@ class LabeledGraph:
     :class:`repro.query.engine.QueryEngine` — snapshot the version they
     were built against and rebuild lazily when it moves, so callers never
     observe stale answers after mutating a graph.
+
+    Alongside the counter the graph keeps a bounded **delta journal**: a
+    :class:`~repro.graph.delta.GraphDelta` per version step recording the
+    edges/nodes the step added and removed.  :meth:`deltas_since` replays
+    the journal so caches can invalidate *only* what a delta can reach —
+    see :meth:`repro.serving.workspace.GraphWorkspace.refresh`.  The
+    journal holds the last ``journal_limit`` steps (``0`` disables it);
+    batches larger than ``journal_edge_limit`` are recorded opaquely —
+    both cases make :meth:`deltas_since` return ``None`` and consumers
+    fall back to whole-drop rebuilds, so the journal is purely an
+    optimisation, never a correctness requirement.
     """
+
+    #: journal window: how many version steps :meth:`deltas_since` can bridge
+    JOURNAL_LIMIT = 32
+    #: per-delta size cap: larger batches are recorded opaquely
+    JOURNAL_EDGE_LIMIT = 4096
 
     __slots__ = (
         "_succ",
@@ -51,11 +69,19 @@ class LabeledGraph:
         "_edge_count",
         "_version",
         "_label_index",
+        "_journal",
+        "_journal_edge_limit",
         "name",
         "__weakref__",
     )
 
-    def __init__(self, name: str = "graph"):
+    def __init__(
+        self,
+        name: str = "graph",
+        *,
+        journal_limit: Optional[int] = None,
+        journal_edge_limit: Optional[int] = None,
+    ):
         #: forward adjacency: node -> label -> set of successors
         self._succ: Dict[Node, Dict[Label, Set[Node]]] = {}
         #: backward adjacency: node -> label -> set of predecessors
@@ -65,6 +91,11 @@ class LabeledGraph:
         self._edge_count = 0
         self._version = 0
         self._label_index: Optional["GraphLabelIndex"] = None
+        limit = self.JOURNAL_LIMIT if journal_limit is None else max(0, int(journal_limit))
+        self._journal: Deque[GraphDelta] = deque(maxlen=limit)
+        self._journal_edge_limit = (
+            self.JOURNAL_EDGE_LIMIT if journal_edge_limit is None else max(0, int(journal_edge_limit))
+        )
         self.name = name
 
     @property
@@ -77,6 +108,79 @@ class LabeledGraph:
         on it remain valid.
         """
         return self._version
+
+    # ------------------------------------------------------------------
+    # delta journal
+    # ------------------------------------------------------------------
+    @property
+    def journal_limit(self) -> int:
+        """How many version steps the journal retains (0 = disabled)."""
+        return self._journal.maxlen or 0
+
+    @property
+    def journal_edge_limit(self) -> int:
+        """Per-delta element cap; larger batches are recorded opaquely."""
+        return self._journal_edge_limit
+
+    def _record_delta(
+        self,
+        old_version: int,
+        *,
+        edges_added: Tuple[Edge, ...] = (),
+        edges_removed: Tuple[Edge, ...] = (),
+        nodes_added: Tuple[Node, ...] = (),
+        nodes_removed: Tuple[Node, ...] = (),
+        opaque: bool = False,
+    ) -> GraphDelta:
+        """Append one journal record for the bump ``old_version`` → now."""
+        if not opaque:
+            size = (
+                len(edges_added)
+                + len(edges_removed)
+                + len(nodes_added)
+                + len(nodes_removed)
+            )
+            opaque = size > self._journal_edge_limit
+        if opaque:
+            delta = GraphDelta(old_version, self._version, opaque=True)
+        else:
+            delta = GraphDelta(
+                old_version,
+                self._version,
+                edges_added=edges_added,
+                edges_removed=edges_removed,
+                nodes_added=nodes_added,
+                nodes_removed=nodes_removed,
+            )
+        self._journal.append(delta)
+        return delta
+
+    def deltas_since(self, version: int) -> Optional[Tuple[GraphDelta, ...]]:
+        """The contiguous delta chain from ``version`` to :attr:`version`.
+
+        Returns ``()`` when ``version`` is already current, and ``None``
+        when the journal cannot bridge the gap — the window was exceeded,
+        the journal is disabled, an oversized batch in the range was
+        recorded opaquely, or ``version`` never belonged to this graph.
+        A ``None`` answer is the consumer's cue to fall back to a
+        whole-drop rebuild.
+        """
+        current = self._version
+        if version == current:
+            return ()
+        if version > current:
+            return None
+        collected: List[GraphDelta] = []
+        for delta in reversed(self._journal):
+            if delta.new_version <= version:
+                break
+            if delta.opaque:
+                return None
+            collected.append(delta)
+        if not collected or collected[-1].old_version != version:
+            return None
+        collected.reverse()
+        return tuple(collected)
 
     # ------------------------------------------------------------------
     # construction
@@ -96,7 +200,9 @@ class LabeledGraph:
             return node
         self._succ[node] = {}
         self._pred[node] = {}
+        old_version = self._version
         self._version += 1
+        self._record_delta(old_version, nodes_added=(node,))
         if attrs:
             self._node_attrs[node] = dict(attrs)
         return node
@@ -121,7 +227,9 @@ class LabeledGraph:
         self._pred[target].setdefault(label, set()).add(source)
         self._labels[label] = self._labels.get(label, 0) + 1
         self._edge_count += 1
+        old_version = self._version
         self._version += 1
+        self._record_delta(old_version, edges_added=((source, label, target),))
         return (source, label, target)
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
@@ -142,19 +250,55 @@ class LabeledGraph:
         """
         succ = self._succ
         pred = self._pred
-        labels = self._labels
-        added = 0
+        collect = self._journal.maxlen != 0
+        new_nodes: Optional[List[Node]] = [] if collect else None
         changed = False
         for node in nodes:
             if node not in succ:
                 succ[node] = {}
                 pred[node] = {}
                 changed = True
+                if new_nodes is not None:
+                    new_nodes.append(node)
+        added, new_edges, created = self._add_edge_batch(edges, collect)
+        if added or changed:
+            old_version = self._version
+            self._version += 1
+            if collect:
+                if created:
+                    new_nodes.extend(created)
+                self._record_delta(
+                    old_version,
+                    edges_added=tuple(new_edges) if new_edges is not None else (),
+                    nodes_added=tuple(new_nodes),
+                    opaque=new_edges is None,
+                )
+        return added
+
+    def _add_edge_batch(
+        self, edges: Iterable[Edge], collect: bool
+    ) -> Tuple[int, Optional[List[Edge]], List[Node]]:
+        """Insert edges without bumping :attr:`version` (journal-aware core).
+
+        Returns ``(added, new_edges, new_nodes)``; ``new_edges`` is
+        ``None`` either when ``collect`` is false or when the batch
+        overflowed :attr:`journal_edge_limit` (the caller then records an
+        opaque delta).  ``new_nodes`` lists endpoints created implicitly.
+        """
+        succ = self._succ
+        pred = self._pred
+        labels = self._labels
+        limit = self._journal_edge_limit
+        added = 0
+        new_edges: Optional[List[Edge]] = [] if collect else None
+        new_nodes: List[Node] = []
         for source, label, target in edges:
             by_label = succ.get(source)
             if by_label is None:
                 by_label = succ[source] = {}
                 pred[source] = {}
+                if collect:
+                    new_nodes.append(source)
             targets = by_label.get(label)
             if targets is None:
                 targets = by_label[label] = set()
@@ -164,6 +308,8 @@ class LabeledGraph:
             if target not in succ:
                 succ[target] = {}
                 pred[target] = {}
+                if collect:
+                    new_nodes.append(target)
             by_label_pred = pred[target]
             sources = by_label_pred.get(label)
             if sources is None:
@@ -172,10 +318,14 @@ class LabeledGraph:
                 sources.add(source)
             labels[label] = labels.get(label, 0) + 1
             added += 1
-        if added or changed:
+            if new_edges is not None:
+                if added > limit:
+                    new_edges = None  # oversized batch: record opaquely
+                else:
+                    new_edges.append((source, label, target))
+        if added:
             self._edge_count += added
-            self._version += 1
-        return added
+        return added, new_edges, new_nodes
 
     def remove_edge(self, source: Node, label: Label, target: Node) -> None:
         """Remove an edge; raise :class:`EdgeNotFoundError` if absent."""
@@ -194,7 +344,9 @@ class LabeledGraph:
         if self._labels[label] == 0:
             del self._labels[label]
         self._edge_count -= 1
+        old_version = self._version
         self._version += 1
+        self._record_delta(old_version, edges_removed=((source, label, target),))
 
     def remove_edges_bulk(self, edges: Iterable[Edge]) -> int:
         """Remove many edges in one pass — the mirror of :meth:`add_edges_bulk`.
@@ -206,10 +358,34 @@ class LabeledGraph:
 
         Returns the number of edges that were actually removed.
         """
+        collect = self._journal.maxlen != 0
+        removed, gone = self._remove_edge_batch(edges, collect)
+        if removed:
+            old_version = self._version
+            self._version += 1
+            if collect:
+                self._record_delta(
+                    old_version,
+                    edges_removed=tuple(gone) if gone is not None else (),
+                    opaque=gone is None,
+                )
+        return removed
+
+    def _remove_edge_batch(
+        self, edges: Iterable[Edge], collect: bool
+    ) -> Tuple[int, Optional[List[Edge]]]:
+        """Remove edges without bumping :attr:`version` (journal-aware core).
+
+        Returns ``(removed, gone)``; ``gone`` is ``None`` either when
+        ``collect`` is false or when the batch overflowed
+        :attr:`journal_edge_limit` (opaque delta).
+        """
         succ = self._succ
         pred = self._pred
         labels = self._labels
+        limit = self._journal_edge_limit
         removed = 0
+        gone: Optional[List[Edge]] = [] if collect else None
         for source, label, target in edges:
             by_label = succ.get(source)
             if by_label is None:
@@ -228,19 +404,17 @@ class LabeledGraph:
             if labels[label] == 0:
                 del labels[label]
             removed += 1
+            if gone is not None:
+                if removed > limit:
+                    gone = None  # oversized batch: record opaquely
+                else:
+                    gone.append((source, label, target))
         if removed:
             self._edge_count -= removed
-            self._version += 1
-        return removed
+        return removed, gone
 
-    def remove_node(self, node: Node) -> None:
-        """Remove ``node`` and every incident edge.
-
-        Incident edges go through :meth:`remove_edges_bulk`, so the whole
-        removal costs **one** version bump (plus one for the node itself),
-        not one per incident edge.
-        """
-        self._require(node)
+    def _incident_edges(self, node: Node) -> List[Edge]:
+        """Every edge touching ``node`` (self-loops listed once)."""
         incident = [
             (node, label, target)
             for label, targets in self._succ[node].items()
@@ -253,11 +427,104 @@ class LabeledGraph:
             # self-loops already appear in the successor sweep
             if source != node
         )
-        self.remove_edges_bulk(incident)
+        return incident
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge, atomically.
+
+        The node and all its incident edges disappear under **one**
+        version bump (and one journal delta), so derived caches are
+        invalidated a single time for the whole removal.
+        """
+        self._require(node)
+        collect = self._journal.maxlen != 0
+        _, gone = self._remove_edge_batch(self._incident_edges(node), collect)
         del self._succ[node]
         del self._pred[node]
         self._node_attrs.pop(node, None)
+        old_version = self._version
         self._version += 1
+        if collect:
+            self._record_delta(
+                old_version,
+                edges_removed=tuple(gone) if gone is not None else (),
+                nodes_removed=(node,),
+                opaque=gone is None,
+            )
+
+    def apply_delta(
+        self,
+        *,
+        add_edges: Iterable[Edge] = (),
+        remove_edges: Iterable[Edge] = (),
+        add_nodes: Iterable[Node] = (),
+        remove_nodes: Iterable[Node] = (),
+    ) -> GraphDelta:
+        """Apply one mixed add/remove batch under a **single** version bump.
+
+        The streaming mutation primitive: a sliding-window tick retires
+        old edges and admits new ones in one atomic step, so every
+        derived cache is invalidated exactly once — and, via the journal,
+        only where the batch can reach.
+
+        Application order: edge removals, node removals (incident edges
+        folded into the recorded delta), node additions, edge additions.
+        Removals of absent elements are skipped silently (bulk
+        semantics); re-added elements are no-ops.
+
+        Returns the :class:`GraphDelta` describing what actually changed
+        (with ``old_version == new_version`` when nothing did).  The
+        returned delta reports precise contents even when the journal
+        recorded the step opaquely or is disabled.
+        """
+        succ = self._succ
+        pred = self._pred
+        removed_count, edges_gone = self._remove_edge_batch(remove_edges, True)
+        nodes_removed: List[Node] = []
+        for node in remove_nodes:
+            if node not in succ:
+                continue
+            _, incident_gone = self._remove_edge_batch(self._incident_edges(node), True)
+            if edges_gone is not None:
+                if incident_gone is None:
+                    edges_gone = None
+                else:
+                    edges_gone.extend(incident_gone)
+            del succ[node]
+            del pred[node]
+            self._node_attrs.pop(node, None)
+            nodes_removed.append(node)
+        nodes_added: List[Node] = []
+        for node in add_nodes:
+            if node not in succ:
+                succ[node] = {}
+                pred[node] = {}
+                nodes_added.append(node)
+        added_count, edges_new, created = self._add_edge_batch(add_edges, True)
+        nodes_added.extend(created)
+        if not (removed_count or added_count or nodes_removed or nodes_added):
+            return GraphDelta(self._version, self._version)
+        old_version = self._version
+        self._version += 1
+        delta = GraphDelta(
+            old_version,
+            self._version,
+            edges_added=tuple(edges_new) if edges_new is not None else (),
+            edges_removed=tuple(edges_gone) if edges_gone is not None else (),
+            nodes_added=tuple(nodes_added),
+            nodes_removed=tuple(nodes_removed),
+            opaque=edges_new is None or edges_gone is None,
+        )
+        if self._journal.maxlen != 0:
+            self._record_delta(
+                old_version,
+                edges_added=delta.edges_added,
+                edges_removed=delta.edges_removed,
+                nodes_added=delta.nodes_added,
+                nodes_removed=delta.nodes_removed,
+                opaque=delta.opaque,
+            )
+        return delta
 
     # ------------------------------------------------------------------
     # inspection
@@ -396,7 +663,12 @@ class LabeledGraph:
         """
         index = self._label_index
         if index is None or index.version != self._version:
-            index = GraphLabelIndex(self)
+            refreshed = None
+            if index is not None:
+                deltas = self.deltas_since(index.version)
+                if deltas:
+                    refreshed = index._refreshed(self, deltas)
+            index = refreshed if refreshed is not None else GraphLabelIndex(self)
             self._label_index = index
         return index
 
@@ -414,7 +686,11 @@ class LabeledGraph:
 
     def copy(self, name: Optional[str] = None) -> "LabeledGraph":
         """Return an independent copy of the graph."""
-        clone = LabeledGraph(name or self.name)
+        clone = LabeledGraph(
+            name or self.name,
+            journal_limit=self.journal_limit,
+            journal_edge_limit=self._journal_edge_limit,
+        )
         clone._succ = self._copy_adjacency(self._succ)
         clone._pred = self._copy_adjacency(self._pred)
         clone._node_attrs = {node: dict(attrs) for node, attrs in self._node_attrs.items()}
@@ -512,11 +788,18 @@ class GraphLabelIndex:
     ``indices[indptr[v]:indptr[v + 1]]``: zero allocation, integer ids.
 
     Instances are value snapshots: they record the :attr:`version` of the
-    graph they were built from and are discarded by
-    :meth:`LabeledGraph.label_index` once the graph mutates.
+    graph they were built from and are replaced by
+    :meth:`LabeledGraph.label_index` once the graph mutates.  When the
+    delta journal can bridge the gap and only edges changed, the
+    replacement reuses the CSR pairs of every untouched label
+    (see :meth:`_refreshed`) instead of rebuilding the whole snapshot.
     """
 
     __slots__ = ("version", "nodes", "node_ids", "node_count", "_rev", "_fwd", "_graph")
+
+    #: owned by the graph itself; LabeledGraph.label_index() performs the
+    #: delta refresh, so no workspace registration is needed beyond this.
+    __workspace_hook__ = "graph.label_index"
 
     def __init__(self, graph: "LabeledGraph"):
         self.version: int = graph.version
@@ -587,3 +870,46 @@ class GraphLabelIndex:
     def out_pairs(self, node_id: int) -> Tuple[Tuple[Label, int], ...]:
         """Outgoing ``(label, target_id)`` pairs of ``node_id``."""
         return self._forward()[node_id]
+
+    def _refreshed(
+        self, graph: "LabeledGraph", deltas: Tuple["GraphDelta", ...]
+    ) -> Optional["GraphLabelIndex"]:
+        """A snapshot at ``graph.version`` reusing untouched-label CSRs.
+
+        Node ids are positional, so any delta that changed the node set
+        forces a full rebuild (returns ``None``).  Otherwise only the
+        labels named by the deltas get their reverse CSR rebuilt; every
+        other ``(indptr, indices)`` pair is shared by identity with this
+        (now superseded) snapshot — sharing is safe because CSR pairs are
+        never mutated after construction.
+        """
+        touched: Set[Label] = set()
+        for delta in deltas:
+            if delta.nodes_changed:
+                return None
+            touched.update(delta.labels_touched)
+        fresh = object.__new__(GraphLabelIndex)
+        fresh.version = graph.version
+        fresh.nodes = self.nodes
+        fresh.node_ids = self.node_ids
+        fresh.node_count = self.node_count
+        rev = dict(self._rev)
+        node_ids = self.node_ids
+        pred = graph._pred
+        for label in touched:
+            rev.pop(label, None)
+            if label not in graph._labels:
+                continue
+            indptr: List[int] = [0]
+            indices: List[int] = []
+            for node in self.nodes:
+                sources = pred[node].get(label)
+                if sources:
+                    indices.extend([node_ids[source] for source in sources])
+                indptr.append(len(indices))
+            rev[label] = (indptr, indices)
+        fresh._rev = rev
+        # forward adjacency is edge-dependent in full; rebuild lazily
+        fresh._fwd = None
+        fresh._graph = graph
+        return fresh

@@ -91,6 +91,7 @@ class Neighborhood:
         self._layers = layers
         self._directed = directed
         self._source: Optional[LabeledGraph] = source
+        # repro-lint: disable=REP302 -- value snapshot, not a cache: staleness is surfaced by _check_fresh() on access and fragments are re-extracted, never refreshed in place
         self._source_version = source_version
         self._distances: Optional[Dict[Node, int]] = None
         self._node_set: Optional[FrozenSet[Node]] = None
@@ -314,11 +315,15 @@ class NeighborhoodIndex:
     * :meth:`eccentricity_bound` and every later extraction around the
       same centre share one BFS.
 
-    The index holds the graph weakly: it dies with the graph, and a
-    structural mutation (version bump) simply drops all cached states.
-    Layer states are kept in a bounded LRU (like the engine's plan
-    cache), so a long session proposing many distinct centres cannot
-    retain O(n) BFS state per centre indefinitely.
+    The index holds the graph weakly: it dies with the graph.  On a
+    structural mutation (version bump) it consults the graph's delta
+    journal and drops **only** the layer structures whose explored region
+    contains a touched node (see :meth:`refresh`); when the journal
+    cannot bridge the gap it falls back to dropping everything, exactly
+    the pre-journal behaviour.  Layer states are kept in a bounded LRU
+    (like the engine's plan cache), so a long session proposing many
+    distinct centres cannot retain O(n) BFS state per centre
+    indefinitely.
     """
 
     #: retained (center, directed) layer structures; a session's zoom
@@ -327,6 +332,10 @@ class NeighborhoodIndex:
     MAX_STATES = 64
 
     __slots__ = ("_graph_ref", "_version", "_states", "__weakref__")
+
+    #: delta-refreshed (or cleared) via refresh(), which both _state()
+    #: and GraphWorkspace.refresh()/invalidate() drive.
+    __workspace_hook__ = "workspace.neighborhoods"
 
     def __init__(self, graph: LabeledGraph):
         self._graph_ref = weakref.ref(graph)
@@ -344,12 +353,72 @@ class NeighborhoodIndex:
         """True when this index was built for ``graph`` (and it is alive)."""
         return self._graph_ref() is graph
 
+    def refresh(self, graph: LabeledGraph) -> Tuple[int, int]:
+        """Catch up with ``graph``, dropping only delta-reachable states.
+
+        A cached layer structure is still exact after a mutation when no
+        touched node (changed-edge endpoint, added or removed node) lies
+        in its explored region: every path of length ≤ explored depth
+        runs entirely through explored nodes, so a change with both
+        endpoints outside cannot alter any recorded distance, layer or
+        boundary.  When :meth:`LabeledGraph.deltas_since
+        <repro.graph.labeled_graph.LabeledGraph.deltas_since>` cannot
+        bridge the gap, every state is dropped (the pre-journal
+        behaviour).
+
+        Returns ``(kept, dropped)``.
+        """
+        if graph.version == self._version:
+            return (len(self._states), 0)
+        deltas = graph.deltas_since(self._version)
+        self._version = graph.version
+        states = self._states
+        if deltas is None:
+            dropped = len(states)
+            states.clear()
+            return (0, dropped)
+        touched = set()
+        for delta in deltas:
+            touched.update(delta.touched_nodes)
+        kept = 0
+        dropped = 0
+        for key in list(states):
+            if touched.isdisjoint(states[key].distances):
+                kept += 1
+            else:
+                del states[key]
+                dropped += 1
+        return (kept, dropped)
+
+    def cached_ball(
+        self, center: Node, radius: int, *, version: int
+    ) -> Optional[FrozenSet[Node]]:
+        """The undirected radius-``radius`` ball around ``center``, if cached.
+
+        Only answers from a layer structure built at exactly ``version``
+        (the caller's own snapshot version) that already covers
+        ``radius`` (or exhausted its component); returns ``None``
+        otherwise instead of running any BFS.  Used by
+        :meth:`LanguageIndex.refreshed
+        <repro.learning.language_index.LanguageIndex.refreshed>` to seed
+        affected-node sets from work a session already paid for.
+        """
+        if version != self._version:
+            return None
+        state = self._states.get((center, False))
+        if state is None:
+            return None
+        if not state.exhausted and len(state.layers) - 1 < radius:
+            return None
+        return frozenset(
+            node for layer in state.layers[: radius + 1] for node in layer
+        )
+
     def _state(self, graph: LabeledGraph, center: Node, directed: bool) -> _BfsState:
         if center not in graph:
             raise NodeNotFoundError(center)
         if graph.version != self._version:
-            self._states.clear()
-            self._version = graph.version
+            self.refresh(graph)
         key = (center, directed)
         state = self._states.get(key)
         if state is None:

@@ -170,6 +170,9 @@ class LanguageIndex:
         "_length_masks",
     )
 
+    #: delta-refreshed (or dropped) by GraphWorkspace.refresh()/invalidate()
+    __workspace_hook__ = "workspace.language_index"
+
     def __init__(self, graph: LabeledGraph, max_length: int):
         self.version: int = graph.version
         self.max_length: int = max_length
@@ -349,11 +352,161 @@ class LanguageIndex:
         view._length_masks = parent_masks[: max_length + 1]
         return view
 
+    # ------------------------------------------------------------------
+    # delta refresh
+    # ------------------------------------------------------------------
+    def refreshed(
+        self,
+        graph: LabeledGraph,
+        deltas: Tuple,
+        *,
+        neighborhoods=None,
+    ) -> Optional["LanguageIndex"]:
+        """An index at ``graph.version`` rescoring only delta-reachable nodes.
+
+        A node's bounded language can change only if the node reaches the
+        source of a changed edge within ``max_length - 1`` forward hops —
+        so only nodes in the backward BFS cone of the delta seeds (or,
+        when ``neighborhoods`` has one cached at this index's version, in
+        the undirected ball around a seed, a sound superset) get their
+        frontier walk redone; every other node's bitset is carried over
+        verbatim.  The shared :class:`PrefixIdArena` is append-only, so
+        word ids stay stable and views of this index remain valid.
+
+        Returns ``None`` when a delta changed the node set (languages and
+        spellers are positional bitsets over the node table) or was
+        recorded opaquely — the caller then rebuilds from scratch.
+        """
+        if graph.version == self.version:
+            return self
+        if not deltas:
+            return None
+        seeds: Set[Node] = set()
+        for delta in deltas:
+            if delta.nodes_changed or delta.opaque:
+                return None
+            for source, _, _ in delta.edges_added:
+                seeds.add(source)
+            for source, _, _ in delta.edges_removed:
+                seeds.add(source)
+        affected = _affected_nodes(
+            graph,
+            seeds,
+            self.max_length,
+            neighborhoods=neighborhoods,
+            version_before=self.version,
+        )
+        fresh = object.__new__(LanguageIndex)
+        fresh.version = graph.version
+        fresh.max_length = self.max_length
+        fresh.arena = self.arena  # append-only: existing word ids stay valid
+        fresh.nodes = self.nodes
+        fresh.node_positions = self.node_positions
+        languages = dict(self._languages)
+        spellers = dict(self._spellers)
+        fresh._languages = languages
+        fresh._spellers = spellers
+        fresh._length_masks = None
+        arena = fresh.arena
+        node_positions = fresh.node_positions
+        max_length = self.max_length
+        for node in affected:
+            position = node_positions.get(node)
+            if position is None:
+                continue
+            node_bit = 1 << position
+            language = 0
+            frontier: Dict[int, Set[Node]] = {0: {node}}
+            for _ in range(max_length):
+                next_frontier: Dict[int, Set[Node]] = {}
+                for word_id, ends in frontier.items():
+                    for end in ends:
+                        for label, target in graph.out_edges(end):
+                            extended = arena.extend(word_id, label)
+                            bucket = next_frontier.get(extended)
+                            if bucket is None:
+                                next_frontier[extended] = {target}
+                            else:
+                                bucket.add(target)
+                if not next_frontier:
+                    break
+                for word_id in next_frontier:
+                    language |= 1 << word_id
+                frontier = next_frontier
+            old_language = languages[node]
+            for word_id in iter_bits(language & ~old_language):
+                spellers[word_id] = spellers.get(word_id, 0) | node_bit
+            for word_id in iter_bits(old_language & ~language):
+                remaining = spellers.get(word_id, 0) & ~node_bit
+                if remaining:
+                    spellers[word_id] = remaining
+                else:
+                    spellers.pop(word_id, None)
+            languages[node] = language
+        return fresh
+
     def __repr__(self) -> str:
         return (
             f"<LanguageIndex v{self.version} bound={self.max_length} "
             f"{len(self.nodes)} nodes, {len(self.arena) - 1} words>"
         )
+
+
+def _affected_nodes(
+    graph: LabeledGraph,
+    seeds: Set[Node],
+    max_length: int,
+    *,
+    neighborhoods=None,
+    version_before: Optional[int] = None,
+) -> Set[Node]:
+    """Every node whose bounded language a change at ``seeds`` can touch.
+
+    Soundness: take any node ``u`` whose language differs between the old
+    and new snapshots, and a witness word's path.  The path's *first*
+    changed edge has some seed ``s`` as source, and the prefix ``u → s``
+    uses only unchanged edges — edges present in both snapshots — of
+    length ≤ ``max_length - 1``.  Hence ``u`` lies in the backward BFS
+    cone of ``s`` on the new graph *and* in the undirected radius ball of
+    ``s`` on the old graph; either containment yields a superset of the
+    truly affected nodes.  Cached balls (from a
+    :class:`~repro.graph.neighborhood.NeighborhoodIndex` still at
+    ``version_before``) are preferred; remaining seeds share one
+    multi-source backward BFS.
+    """
+    radius = max_length - 1
+    affected: Set[Node] = set()
+    pending: List[Node] = []
+    for seed in seeds:
+        if seed not in graph:
+            continue
+        ball = None
+        if neighborhoods is not None and version_before is not None:
+            ball = neighborhoods.cached_ball(seed, radius, version=version_before)
+        if ball is not None:
+            affected.add(seed)
+            affected.update(ball)
+        else:
+            pending.append(seed)
+    if pending:
+        # the BFS keeps its own visited set: a node already absorbed from
+        # a ball must still be *explored* when reached from another seed
+        visited: Set[Node] = set(pending)
+        frontier: List[Node] = pending
+        pred = graph._pred
+        for _ in range(radius):
+            if not frontier:
+                break
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for sources in pred[node].values():
+                    for source in sources:
+                        if source not in visited:
+                            visited.add(source)
+                            next_frontier.append(source)
+            frontier = next_frontier
+        affected |= visited
+    return affected
 
 
 def _workspace_index(graph: LabeledGraph, max_length: int) -> LanguageIndex:

@@ -22,10 +22,17 @@ instance (cached on the object), once per DFA object (weak cache) and
 once per expression string (bounded cache).
 
 **Answer cache** — evaluated answer sets are memoised per graph under the
-key ``(graph.version, plan.fingerprint)``.  Any structural mutation of
-the graph bumps its version and thereby invalidates every cached answer;
-dropping the graph garbage-collects its cache (the engine holds graphs
-weakly).
+key ``(graph.version, plan.fingerprint)``.  A structural mutation bumps
+the graph's version; when the graph's delta journal can bridge the gap
+(see :meth:`LabeledGraph.deltas_since
+<repro.graph.labeled_graph.LabeledGraph.deltas_since>`), the engine
+*upgrades* the cache instead of dropping it — an answer survives when
+its plan's alphabet is disjoint from every touched label and, if the
+plan accepts the empty word, the node set did not change (an RPQ answer
+can only move when an edge carrying one of its labels moves, or — for
+empty-word-accepting plans — when nodes appear or disappear).  Opaque or
+out-of-window deltas fall back to the historical whole-drop.  Dropping
+the graph garbage-collects its cache (the engine holds graphs weakly).
 
 On top of these the engine offers a *shared-frontier batch evaluator*:
 :meth:`QueryEngine.evaluate_many` compiles a whole candidate set,
@@ -164,13 +171,23 @@ def _canonical_trim(dfa: DFA) -> Optional[DFA]:
 
 
 class _GraphCache:
-    """Per-graph answer cache: valid for exactly one graph version."""
+    """Per-graph answer cache: built for exactly one graph version.
 
-    __slots__ = ("version", "answers")
+    ``meta`` remembers, per fingerprint, the plan facts needed to decide
+    delta retention without the plan object: its alphabet and whether it
+    accepts the empty word.
+    """
+
+    __slots__ = ("version", "answers", "meta")
+
+    #: upgraded/dropped through QueryEngine.refresh(), which
+    #: GraphWorkspace.refresh()/invalidate() drive per graph.
+    __workspace_hook__ = "engine.answers"
 
     def __init__(self, version: int):
         self.version = version
         self.answers: Dict[str, FrozenSet[Node]] = {}
+        self.meta: Dict[str, Tuple[FrozenSet[str], bool]] = {}
 
 
 class QueryEngine:
@@ -216,6 +233,9 @@ class QueryEngine:
         self._plan_hits = 0
         self._plan_misses = 0
         self._batch_passes = 0
+        self._answers_retained = 0
+        self._answers_dropped = 0
+        self._delta_refreshes = 0
 
     # ------------------------------------------------------------------
     # plan compilation
@@ -306,7 +326,7 @@ class QueryEngine:
             index = graph.label_index()
             for plan, answer in zip(missing, self._batch_backward(index, missing)):
                 answers[plan.fingerprint] = answer
-                self._remember(cache, plan.fingerprint, answer)
+                self._remember(cache, plan, answer)
 
         return [answers[plan.fingerprint] for plan in plans]
 
@@ -327,7 +347,10 @@ class QueryEngine:
         cached_plan = self._peek_plan(query)
         if cached_plan is not None:
             cache = self._answer_caches.get(graph)
-            if cache is not None and cache.version == graph.version:
+            if cache is not None:
+                if cache.version != graph.version:
+                    # delta-upgrade (or drop) before consulting the entry
+                    cache = self._graph_cache(graph)
                 answer = cache.answers.get(cached_plan.fingerprint)
                 if answer is not None:
                     self._answer_hits += 1
@@ -378,6 +401,33 @@ class QueryEngine:
         else:
             self._answer_caches.pop(graph, None)
 
+    def refresh(self, graph: Optional[LabeledGraph] = None) -> Dict[str, int]:
+        """Delta-upgrade stale answer caches instead of waiting for a miss.
+
+        For ``graph`` (or every tracked graph when ``None``): if its cache
+        is stale and the graph's delta journal can bridge the gap, retain
+        every answer whose plan the deltas cannot have changed and drop
+        the rest; when the journal cannot bridge (window exceeded, opaque
+        step, disabled journal), fall back to the whole-drop the
+        pre-journal engine always performed.
+
+        Returns the counters for this call:
+        ``{"answers_retained", "answers_dropped", "delta_refreshes"}``.
+        """
+        retained_before = self._answers_retained
+        dropped_before = self._answers_dropped
+        refreshes_before = self._delta_refreshes
+        targets = (graph,) if graph is not None else tuple(self._answer_caches)
+        for target in targets:
+            cache = self._answer_caches.get(target)
+            if cache is not None and cache.version != target.version:
+                self._answer_caches[target] = self._upgrade_cache(target, cache)
+        return {
+            "answers_retained": self._answers_retained - retained_before,
+            "answers_dropped": self._answers_dropped - dropped_before,
+            "delta_refreshes": self._delta_refreshes - refreshes_before,
+        }
+
     def stats(self) -> Dict[str, int]:
         """Cache counters: answer/plan hits and misses, batch passes."""
         return {
@@ -386,6 +436,9 @@ class QueryEngine:
             "plan_hits": self._plan_hits,
             "plan_misses": self._plan_misses,
             "batch_passes": self._batch_passes,
+            "answers_retained": self._answers_retained,
+            "answers_dropped": self._answers_dropped,
+            "delta_refreshes": self._delta_refreshes,
         }
 
     # ------------------------------------------------------------------
@@ -393,15 +446,51 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _graph_cache(self, graph: LabeledGraph) -> _GraphCache:
         cache = self._answer_caches.get(graph)
-        if cache is None or cache.version != graph.version:
+        if cache is None:
             cache = _GraphCache(graph.version)
+            self._answer_caches[graph] = cache
+        elif cache.version != graph.version:
+            cache = self._upgrade_cache(graph, cache)
             self._answer_caches[graph] = cache
         return cache
 
-    def _remember(self, cache: _GraphCache, fingerprint: str, answer: FrozenSet[Node]) -> None:
+    def _upgrade_cache(self, graph: LabeledGraph, cache: _GraphCache) -> _GraphCache:
+        """A cache at ``graph.version`` keeping every answer the journal
+        proves untouched (empty when the journal cannot bridge)."""
+        deltas = graph.deltas_since(cache.version)
+        if deltas == ():  # already current (raced by a concurrent upgrade)
+            return cache
+        fresh = _GraphCache(graph.version)
+        if deltas is None:
+            self._answers_dropped += len(cache.answers)
+            return fresh
+        touched: set = set()
+        nodes_changed = False
+        for delta in deltas:
+            touched.update(delta.labels_touched)
+            nodes_changed = nodes_changed or delta.nodes_changed
+        for fingerprint, answer in cache.answers.items():
+            meta = cache.meta.get(fingerprint)
+            if (
+                meta is None
+                or not meta[0].isdisjoint(touched)
+                or (meta[1] and nodes_changed)
+            ):
+                self._answers_dropped += 1
+                continue
+            fresh.answers[fingerprint] = answer
+            fresh.meta[fingerprint] = meta
+            self._answers_retained += 1
+        self._delta_refreshes += 1
+        return fresh
+
+    def _remember(self, cache: _GraphCache, plan: QueryPlan, answer: FrozenSet[Node]) -> None:
         if len(cache.answers) >= self._max_answers:
-            cache.answers.pop(next(iter(cache.answers)))
-        cache.answers[fingerprint] = answer
+            evicted = next(iter(cache.answers))
+            cache.answers.pop(evicted)
+            cache.meta.pop(evicted, None)
+        cache.answers[plan.fingerprint] = answer
+        cache.meta[plan.fingerprint] = (plan.alphabet, plan.accepts_empty_word)
 
     def _peek_plan(self, query: QueryLike) -> Optional[QueryPlan]:
         """Return the plan of ``query`` only if it is already compiled."""

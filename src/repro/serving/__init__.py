@@ -4,9 +4,13 @@
   owner of every read-mostly cache keyed on ``(graph.version, …)``;
 * :mod:`repro.serving.manager` — :class:`SessionManager`, the async
   front end admitting / driving / retiring interactive sessions over one
-  workspace with cross-session deduplication.
+  workspace with cross-session deduplication;
+* :mod:`repro.serving.invalidation` — the registry of workspace
+  invalidation hooks version-snapshotting structures declare
+  (``__workspace_hook__``), enforced by lint rule REP302.
 """
 
+from repro.serving.invalidation import WORKSPACE_HOOKS, hook_names
 from repro.serving.manager import SessionHandle, SessionManager, session_dedup_key
 from repro.serving.workspace import (
     GraphWorkspace,
@@ -16,6 +20,8 @@ from repro.serving.workspace import (
 
 __all__ = [
     "GraphWorkspace",
+    "WORKSPACE_HOOKS",
+    "hook_names",
     "SessionHandle",
     "SessionManager",
     "default_workspace",

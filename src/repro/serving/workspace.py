@@ -129,6 +129,7 @@ class GraphWorkspace:
         # counters surfaced by stats(); the serving tests assert on them
         self._language_builds = 0
         self._language_restrictions = 0
+        self._language_refreshes = 0
         self._language_hits = 0
         self._neighborhood_builds = 0
         self._classifier_builds = 0
@@ -184,20 +185,34 @@ class GraphWorkspace:
                 if index is not None:
                     self._language_hits += 1
                     return index
+                per_graph_entries = self._language.get(graph, {})
                 larger = [
                     cached
-                    for bound, cached in self._language.get(graph, {}).items()
+                    for bound, cached in per_graph_entries.items()
                     if bound > max_length and cached.version == graph.version
                 ]
+                stale = per_graph_entries.get(max_length)
+                neighborhoods = self._neighborhoods.get(graph)
             try:
                 self._check_fault("workspace.language_index")
-                if larger:
+                index = None
+                kind = "build"
+                if stale is not None:
+                    # try the delta journal first: rescoring the nodes a
+                    # delta can reach is far cheaper than a full walk
+                    deltas = graph.deltas_since(stale.version)
+                    if deltas:
+                        index = stale.refreshed(
+                            graph, deltas, neighborhoods=neighborhoods
+                        )
+                        if index is not None:
+                            kind = "refresh"
+                if index is None and larger:
                     source = min(larger, key=lambda cached: cached.max_length)
                     index = source.restricted(max_length)
-                    restricted = True
-                else:
+                    kind = "restrict"
+                if index is None:
                     index = LanguageIndex(graph, max_length)
-                    restricted = False
             except BaseException:
                 self._record_failed_build(key)
                 raise
@@ -206,7 +221,9 @@ class GraphWorkspace:
                 if per_graph is None:
                     per_graph = self._language.setdefault(graph, {})
                 per_graph[max_length] = index
-                if restricted:
+                if kind == "refresh":
+                    self._language_refreshes += 1
+                elif kind == "restrict":
                     self._language_restrictions += 1
                 else:
                     self._language_builds += 1
@@ -372,7 +389,9 @@ class GraphWorkspace:
         Returns counters of what was dropped (the serving tests pin
         these).  Invalidation is a memory-hygiene operation, not a
         correctness requirement: all registries are version-checked on
-        access anyway.
+        access anyway.  See :meth:`refresh` for the delta-aware
+        alternative that upgrades entries in place instead of dropping
+        them.
         """
         dropped = {"language_indexes": 0, "fingerprints": 0}
         with self._lock:
@@ -395,6 +414,107 @@ class GraphWorkspace:
                 self.engine.invalidate(target)
         return dropped
 
+    def refresh(self, graph: Optional[LabeledGraph] = None) -> Dict[str, int]:
+        """Upgrade stale entries in place via the graph's delta journal.
+
+        The streaming counterpart of :meth:`invalidate`: where
+        ``invalidate`` *drops* entries built against older versions,
+        ``refresh`` consults :meth:`LabeledGraph.deltas_since
+        <repro.graph.labeled_graph.LabeledGraph.deltas_since>` and
+
+        * **rescopes** each stale :class:`LanguageIndex` to the
+          delta-reachable nodes (:meth:`LanguageIndex.refreshed
+          <repro.learning.language_index.LanguageIndex.refreshed>`),
+          seeding affected sets from cached neighbourhood balls,
+        * **retains** every engine answer whose plan the deltas cannot
+          have changed (:meth:`QueryEngine.refresh
+          <repro.query.engine.QueryEngine.refresh>`),
+        * **keeps** every neighbourhood layer structure disjoint from the
+          touched nodes (:meth:`NeighborhoodIndex.refresh
+          <repro.graph.neighborhood.NeighborhoodIndex.refresh>`), and
+        * drops the stale content fingerprint (content changed by
+          definition).
+
+        When the journal cannot bridge the gap — window exceeded, opaque
+        batch, or a disabled journal — every layer falls back to the
+        whole-drop ``invalidate`` has always performed, so ``refresh`` is
+        never less correct than ``invalidate``, only warmer.  With a
+        ``graph``, only that graph's entries are touched; without one,
+        every registered graph is refreshed.
+
+        Returns counters of what was refreshed, retained and dropped.
+        """
+        counters = {
+            "language_indexes_refreshed": 0,
+            "language_indexes_dropped": 0,
+            "fingerprints_dropped": 0,
+            "answers_retained": 0,
+            "answers_dropped": 0,
+            "neighborhood_states_kept": 0,
+            "neighborhood_states_dropped": 0,
+        }
+        if graph is not None:
+            targets = [graph]
+        else:
+            with self._lock:
+                seen: Dict[int, LabeledGraph] = {}
+                for registry in (self._language, self._neighborhoods, self._fingerprints):
+                    for target in registry.keys():
+                        seen[id(target)] = target
+                targets = list(seen.values())
+        for target in targets:
+            self._refresh_graph(target, counters)
+        return counters
+
+    def _refresh_graph(self, target: LabeledGraph, counters: Dict[str, int]) -> None:
+        """Refresh every structure of one graph (counters updated in place)."""
+        with self._lock:
+            per_graph = self._language.get(target)
+            stale = (
+                [
+                    (bound, index)
+                    for bound, index in per_graph.items()
+                    if index.version != target.version
+                ]
+                if per_graph is not None
+                else []
+            )
+            neighborhoods = self._neighborhoods.get(target)
+        # language upgrades happen before neighborhoods.refresh() — each
+        # index seeds its affected set from balls cached at its own base
+        # version — and outside the registry lock (never hold it across a
+        # build); the identity re-check below makes losing a race benign.
+        for bound, index in stale:
+            deltas = target.deltas_since(index.version)
+            fresh = (
+                index.refreshed(target, deltas, neighborhoods=neighborhoods)
+                if deltas
+                else None
+            )
+            with self._lock:
+                registry = self._language.get(target)
+                if registry is None or registry.get(bound) is not index:
+                    continue  # replaced or dropped by a concurrent caller
+                if fresh is None:
+                    del registry[bound]
+                    counters["language_indexes_dropped"] += 1
+                else:
+                    registry[bound] = fresh
+                    counters["language_indexes_refreshed"] += 1
+                    self._language_refreshes += 1
+        with self._lock:
+            cached = self._fingerprints.get(target)
+            if cached is not None and cached[0] != target.version:
+                del self._fingerprints[target]
+                counters["fingerprints_dropped"] += 1
+        engine_counters = self.engine.refresh(target)
+        counters["answers_retained"] += engine_counters["answers_retained"]
+        counters["answers_dropped"] += engine_counters["answers_dropped"]
+        if neighborhoods is not None:
+            kept, dropped = neighborhoods.refresh(target)
+            counters["neighborhood_states_kept"] += kept
+            counters["neighborhood_states_dropped"] += dropped
+
     def stats(self) -> Dict[str, Any]:
         """Build / hit counters for every registry this workspace owns."""
         with self._lock:
@@ -402,6 +522,7 @@ class GraphWorkspace:
             return {
                 "language_index_builds": self._language_builds,
                 "language_index_restrictions": self._language_restrictions,
+                "language_index_refreshes": self._language_refreshes,
                 "language_index_hits": self._language_hits,
                 "language_index_entries": language_entries,
                 "neighborhood_index_builds": self._neighborhood_builds,

@@ -1,4 +1,4 @@
-"""Workload generation: goal queries and (dataset, query) experiment cases."""
+"""Workload generation: goal queries, experiment cases and churn streams."""
 
 from repro.workloads.queries import (
     QUERY_FAMILIES,
@@ -6,6 +6,7 @@ from repro.workloads.queries import (
     figure1_goal_query,
     generate_workload,
 )
+from repro.workloads.churn import CHURN_DEFAULTS, ChurnStream, ChurnTick
 from repro.workloads.generator import WorkloadCase, quick_suite, standard_suite
 
 __all__ = [
@@ -13,6 +14,9 @@ __all__ = [
     "WorkloadQuery",
     "figure1_goal_query",
     "generate_workload",
+    "CHURN_DEFAULTS",
+    "ChurnStream",
+    "ChurnTick",
     "WorkloadCase",
     "quick_suite",
     "standard_suite",

@@ -221,16 +221,66 @@ class TestREP300CacheKeys:
         ) == []
 
     def test_class_revision_marker_is_clean(self):
-        # the _GraphCache idiom: revision stored beside the dict
+        # the _GraphCache idiom: revision stored beside the dict,
+        # registered with a workspace invalidation hook
         assert rules_of(
             """
             class GraphCache:
+                __workspace_hook__ = "engine.answers"
+
                 def __init__(self, version):
                     self.version = version
                     self.answers = {}
 
                 def get(self, key):
                     return self.answers.get(key)
+            """
+        ) == []
+
+    def test_version_snapshot_without_hook_flagged(self):
+        pairs, diagnostics = lint(
+            """
+            class Index:
+                def __init__(self, graph):
+                    self.version = graph.version
+                    self.table = self._build(graph)
+            """
+        )
+        assert [rule for rule, _ in pairs] == ["REP302"]
+        assert diagnostics[0].symbol == "version"
+
+    def test_version_snapshot_with_hook_is_clean(self):
+        assert rules_of(
+            """
+            class Index:
+                __workspace_hook__ = "workspace.language_index"
+
+                def __init__(self, graph):
+                    self.version = graph.version
+                    self.table = self._build(graph)
+            """
+        ) == []
+
+    def test_version_constant_initialiser_not_flagged(self):
+        # a counter the class owns (self._version = 0) is not a snapshot
+        assert rules_of(
+            """
+            class Graph:
+                def __init__(self):
+                    self._version = 0
+
+                def mutate(self):
+                    self._version += 1
+            """
+        ) == []
+
+    def test_version_snapshot_suppressible(self):
+        assert rules_of(
+            """
+            class Fragment:
+                def __init__(self, source_version):
+                    # repro-lint: disable=REP302 -- value snapshot, checked on access
+                    self._source_version = source_version
             """
         ) == []
 

@@ -76,6 +76,19 @@ class TestPlan:
         canonical = build_plan(**PLAN_KWARGS)
         assert [unit.unit_id for unit in shuffled] == [unit.unit_id for unit in canonical]
 
+    def test_churn_is_opt_in(self):
+        # the default selection must not include churn: its introduction
+        # cannot change existing plan ids (and the stores keyed on them)
+        default = build_plan(suite="quick")
+        assert not any(unit.experiment == "churn" for unit in default)
+
+    def test_churn_plan_expands_per_node_count(self):
+        units = build_plan(suite="quick", experiments=("churn",), churn_node_counts=(30, 50))
+        assert [unit.label for unit in units] == ["churn sliding-30", "churn sliding-50"]
+        for unit in units:
+            assert unit.params["window"] > 0
+            json.dumps(unit.payload())  # plain parameters only
+
 
 class TestDeterminism:
     def test_parallel_rows_identical_to_serial(self):
@@ -96,6 +109,18 @@ class TestDeterminism:
         assert set(tables) == {"e1_detail", "e1_summary", "e4_detail", "e4_summary", "e5"}
         strategies = {row["strategy"] for row in tables["e1_summary"]}
         assert strategies == {"static", "most-informative"}
+
+    def test_churn_rows_deterministic_and_tabled(self):
+        kwargs = dict(
+            suite="quick", experiments=("churn",), churn_node_counts=(30,)
+        )
+        first = ExperimentRunner(**kwargs).run()
+        second = ExperimentRunner(**kwargs).run()
+        assert strip_timing(first.rows("churn")) == strip_timing(second.rows("churn"))
+        (row,) = first.rows("churn")
+        assert row["nodes"] == 30
+        assert row["language_refreshed"] + row["language_dropped"] == row["ticks"]
+        assert set(first.tables) == {"churn"}
 
 
 class TestResume:

@@ -210,14 +210,14 @@ class TestRemoveEdgesBulk:
         assert bulk._labels == one_by_one._labels
         assert bulk.edge_count == one_by_one.edge_count
 
-    def test_remove_node_bumps_version_twice_total(self):
-        # one bump for the incident-edge batch, one for the node itself
+    def test_remove_node_bumps_version_once_total(self):
+        # the node and all incident edges disappear under a single bump
         graph = LabeledGraph.from_edges(
             [("a", "x", "b"), ("b", "y", "c"), ("c", "z", "b"), ("b", "w", "b")]
         )
         before = graph.version
         graph.remove_node("b")
-        assert graph.version == before + 2
+        assert graph.version == before + 1
         assert "b" not in graph
         assert graph.edge_count == 0
         assert all("b" not in targets for by_label in graph._succ.values() for targets in by_label.values())

@@ -192,6 +192,29 @@ class TestBench:
         assert "plan" in capsys.readouterr().err
         assert main(self._argv(tmp_path, "--seed", "99", "--fresh")) == 0
 
+    def test_bench_churn_selector(self, tmp_path, capsys):
+        argv = [
+            "bench",
+            "--suite", "quick",
+            "--experiments", "churn",
+            "--results-dir", str(tmp_path),
+            "--run", "churn-test",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Churn" in output
+        assert (tmp_path / "churn-test" / "tables" / "churn.txt").exists()
+
+    def test_bench_churn_flag_appends_family(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--run", "churn-flag", "--churn")) == 0
+        output = capsys.readouterr().out
+        manifest = json.loads(
+            (tmp_path / "churn-flag" / "manifest.json").read_text()
+        )
+        assert "churn" in manifest["experiments"]
+        assert "e4" in manifest["experiments"]
+        assert "Churn" in output
+
 
 class TestLint:
     def test_lint_clean_file_exits_zero(self, tmp_path, capsys):

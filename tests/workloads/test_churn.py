@@ -1,0 +1,119 @@
+"""The churn workload family: seeded sliding-window edge streams."""
+
+import pytest
+
+from repro.workloads.churn import CHURN_DEFAULTS, ChurnStream
+
+ALPHABET = ("a", "b", "c")
+
+
+def make_stream(**overrides):
+    params = dict(
+        node_count=20,
+        alphabet=ALPHABET,
+        window=16,
+        churn=3,
+        tick_count=6,
+        seed=9,
+    )
+    params.update(overrides)
+    return ChurnStream(**params)
+
+
+class TestDeterminism:
+    def test_equal_parameters_equal_stream(self):
+        one, two = make_stream(), make_stream()
+        assert one.initial_edges == two.initial_edges
+        assert tuple(one.ticks()) == tuple(two.ticks())
+
+    def test_different_seed_different_stream(self):
+        assert make_stream(seed=9).initial_edges != make_stream(seed=10).initial_edges
+
+    def test_name_is_part_of_the_seed(self):
+        assert (
+            make_stream(name="left").initial_edges
+            != make_stream(name="right").initial_edges
+        )
+
+
+class TestWindowInvariants:
+    def test_window_size_is_constant(self):
+        stream = make_stream()
+        graph = stream.initial_graph()
+        assert graph.edge_count == stream.window
+        for tick in stream.ticks():
+            tick.apply(graph)
+            assert graph.edge_count == stream.window
+
+    def test_each_tick_is_one_version_bump(self):
+        stream = make_stream()
+        graph = stream.initial_graph()
+        before = graph.version
+        stream.replay(graph)
+        assert graph.version == before + stream.tick_count
+
+    def test_node_universe_never_changes(self):
+        stream = make_stream()
+        graph = stream.initial_graph()
+        nodes = set(graph.nodes())
+        stream.replay(graph)
+        assert set(graph.nodes()) == nodes
+        for tick in stream.ticks():
+            assert all(
+                source in nodes and target in nodes
+                for source, _, target in tick.admit
+            )
+
+    def test_final_edges_matches_replay(self):
+        stream = make_stream()
+        graph = stream.initial_graph()
+        stream.replay(graph)
+        assert set(graph.edges()) == stream.final_edges()
+
+    def test_retired_edges_are_the_oldest(self):
+        stream = make_stream()
+        first_tick = next(stream.ticks())
+        assert first_tick.retire == stream.initial_edges[: stream.churn]
+
+    def test_no_duplicate_live_edges(self):
+        stream = make_stream(tick_count=20)
+        live = list(stream.initial_edges)
+        for tick in stream.ticks():
+            live = live[stream.churn :] + list(tick.admit)
+            assert len(live) == len(set(live))
+
+
+class TestBaselineKnob:
+    def test_journal_limit_zero_builds_the_baseline(self):
+        stream = make_stream()
+        baseline = stream.initial_graph(journal_limit=0)
+        before = baseline.version
+        next(stream.ticks()).apply(baseline)
+        assert baseline.deltas_since(before) is None  # nothing to bridge
+
+    def test_default_graph_journals_ticks(self):
+        stream = make_stream()
+        graph = stream.initial_graph()
+        before = graph.version
+        next(stream.ticks()).apply(graph)
+        (delta,) = graph.deltas_since(before)
+        assert len(delta.edges_added) == stream.churn
+        assert len(delta.edges_removed) == stream.churn
+        assert not delta.nodes_changed
+
+
+class TestValidation:
+    def test_rejects_zero_churn(self):
+        with pytest.raises(ValueError):
+            make_stream(churn=0)
+
+    def test_rejects_churn_above_window(self):
+        with pytest.raises(ValueError):
+            make_stream(churn=17)
+
+    def test_rejects_window_above_triple_space(self):
+        with pytest.raises(ValueError):
+            ChurnStream(2, ("a",), window=5, churn=1, tick_count=1)
+
+    def test_defaults_are_exported(self):
+        assert set(CHURN_DEFAULTS) == {"window", "churn", "tick_count"}
