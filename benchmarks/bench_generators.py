@@ -129,11 +129,11 @@ def _seed_extract_neighborhood(graph, center, radius, *, directed=False):
     frontier = {center}
     for step in range(1, radius + 1):
         next_frontier = set()
-        for node in frontier:
+        for node in sorted(frontier, key=str):
             neighbors = set(graph.successors(node))
             if not directed:
                 neighbors |= graph.predecessors(node)
-            for other in neighbors:
+            for other in sorted(neighbors, key=str):
                 if other not in distances:
                     distances[other] = step
                     next_frontier.add(other)

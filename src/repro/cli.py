@@ -322,7 +322,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.devtools import LintConfig, lint_paths, project_config, render_json, render_text
+    from repro.devtools import (
+        LintConfig,
+        error_count,
+        lint_paths,
+        project_config,
+        render_json,
+        render_text,
+    )
 
     config = (
         LintConfig.from_file(args.config) if args.config else project_config()
@@ -331,7 +338,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         config.select = tuple(
             code.strip() for item in args.select for code in item.split(",") if code.strip()
         )
-    diagnostics = lint_paths(args.paths, config=config)
+    paths = list(args.paths)
+    if args.include_tests and not any(
+        str(path).rstrip("/").endswith("tests") for path in paths
+    ):
+        paths.append("tests")
+    diagnostics = lint_paths(
+        paths,
+        config=config,
+        semantic=not args.no_semantic,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     report = render_json(diagnostics)
     if args.output:
         Path(args.output).write_text(report + "\n")
@@ -339,7 +356,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(report)
     else:
         print(render_text(diagnostics))
-    return 1 if diagnostics else 0
+    return 1 if error_count(diagnostics) else 0
 
 
 def _latency_report(result) -> dict:
@@ -510,6 +527,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--output", default=None,
         help="also write the JSON report to this file (the CI artifact)",
+    )
+    lint_parser.add_argument(
+        "--include-tests", action="store_true",
+        help="also lint tests/ (findings there are warn-only: reported, "
+        "never exit-code-failing)",
+    )
+    lint_parser.add_argument(
+        "--no-semantic", action="store_true",
+        help="skip the interprocedural pass (REP110/REP310/REP70x)",
+    )
+    lint_parser.add_argument(
+        "--cache-dir", default=".repro-lint-cache",
+        help="content-hash cache for per-module semantic summaries "
+        "(default: .repro-lint-cache)",
+    )
+    lint_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the semantic summary cache for this run",
     )
     lint_parser.set_defaults(handler=_cmd_lint)
 

@@ -24,8 +24,17 @@ from repro.devtools.diagnostics import (
     family_of,
     scan_suppressions,
 )
-from repro.devtools.registry import FileContext, RuleInfo, registered_rules, rule
+from repro.devtools.registry import (
+    FileContext,
+    RuleInfo,
+    SemanticRuleInfo,
+    registered_rules,
+    registered_semantic_rules,
+    rule,
+    semantic_rule,
+)
 from repro.devtools.runner import (
+    error_count,
     iter_python_files,
     lint_paths,
     lint_source,
@@ -39,16 +48,20 @@ __all__ = [
     "FileContext",
     "LintConfig",
     "RuleInfo",
+    "SemanticRuleInfo",
     "Suppression",
     "apply_suppressions",
+    "error_count",
     "family_of",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "project_config",
     "registered_rules",
+    "registered_semantic_rules",
     "render_json",
     "render_text",
     "rule",
     "scan_suppressions",
+    "semantic_rule",
 ]

@@ -30,7 +30,8 @@ from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.devtools.diagnostics import Diagnostic, family_of
 
-#: every implemented rule family, in report order
+#: every implemented rule family, in report order (REP700 is the
+#: interprocedural concurrency family of the semantic pass)
 ALL_FAMILIES: Tuple[str, ...] = (
     "REP100",
     "REP200",
@@ -38,6 +39,7 @@ ALL_FAMILIES: Tuple[str, ...] = (
     "REP400",
     "REP500",
     "REP600",
+    "REP700",
 )
 
 
@@ -61,9 +63,9 @@ class LintConfig:
         "crc",
         "sha",
     )
-    #: attribute names that are registry locks (REP400): must never be
-    #: held across a build call
-    guard_lock_names: Tuple[str, ...] = ("_lock",)
+    #: attribute names that are registry locks (REP400/REP702): must
+    #: never be held across a build call, even transitively
+    guard_lock_names: Tuple[str, ...] = ("_lock", "_DEFAULT_LOCK")
     #: callables whose invocation counts as "a build" under REP400
     build_calls: Tuple[str, ...] = (
         "LanguageIndex",
@@ -74,10 +76,38 @@ class LintConfig:
     )
     #: emit REP002 for suppressions that matched nothing
     report_unused_suppressions: bool = True
+    # -- semantic-pass knobs -------------------------------------------
+    #: regex fragment naming lock-like identifiers (lock-graph labels)
+    lock_name_pattern: str = r"lock"
+    #: regex fragment naming fingerprint-like bindings (REP110 sinks)
+    fingerprint_name_pattern: str = r"fingerprint|digest|signature"
+    #: regex fragment naming result-store receivers (REP110 sinks)
+    result_store_pattern: str = r"store"
+    #: call-graph hop budget for REP110 taint propagation
+    taint_max_hops: int = 3
+    #: ``Class.method`` roots REP310 reachability starts from
+    invalidation_roots: Tuple[str, ...] = (
+        "GraphWorkspace.refresh",
+        "GraphWorkspace.invalidate",
+    )
+    #: diagnostics under these path prefixes are downgraded to warnings
+    #: (the ``--include-tests`` warn-only mode)
+    warn_path_prefixes: Tuple[str, ...] = ("tests/",)
 
     def enabled(self, family: str) -> bool:
         """Whether rule ``family`` runs at all."""
         return family in self.select
+
+    def extraction_knobs(self):
+        """The semantic-extraction knobs (part of the cache key)."""
+        from repro.devtools.semantic.model import ExtractionKnobs
+
+        return ExtractionKnobs(
+            memo_name_pattern=self.memo_name_pattern,
+            lock_name_pattern=self.lock_name_pattern,
+            fingerprint_name_pattern=self.fingerprint_name_pattern,
+            result_store_pattern=self.result_store_pattern,
+        )
 
     def is_allowed(self, diagnostic: Diagnostic) -> bool:
         """Whether ``diagnostic`` is covered by an allowlist entry."""
@@ -114,6 +144,26 @@ class LintConfig:
                 overlay.get(
                     "report_unused_suppressions", self.report_unused_suppressions
                 )
+            ),
+            lock_name_pattern=str(
+                overlay.get("lock_name_pattern", self.lock_name_pattern)
+            ),
+            fingerprint_name_pattern=str(
+                overlay.get(
+                    "fingerprint_name_pattern", self.fingerprint_name_pattern
+                )
+            ),
+            result_store_pattern=str(
+                overlay.get("result_store_pattern", self.result_store_pattern)
+            ),
+            taint_max_hops=int(
+                overlay.get("taint_max_hops", self.taint_max_hops)  # type: ignore[arg-type]
+            ),
+            invalidation_roots=tuple(
+                overlay.get("invalidation_roots", self.invalidation_roots)  # type: ignore[arg-type]
+            ),
+            warn_path_prefixes=tuple(
+                overlay.get("warn_path_prefixes", self.warn_path_prefixes)  # type: ignore[arg-type]
             ),
         )
 

@@ -61,13 +61,20 @@ class Diagnostic:
     #: rule-specific token the config allowlist matches against
     #: (a call expression, an attribute name, a function name, …)
     symbol: str = ""
+    #: "error" gates the exit code; "warning" (the ``--include-tests``
+    #: mode for ``tests/``) reports without failing the run
+    severity: str = "error"
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
 
     def render(self) -> str:
         """The one-line human rendering: ``path:line:col: RULE message``."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        tag = " [warn]" if self.severity == "warning" else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id}{tag} {self.message}"
+        )
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (the ``--format=json`` row)."""
@@ -77,6 +84,7 @@ class Diagnostic:
             "col": self.col,
             "rule": self.rule_id,
             "family": family_of(self.rule_id),
+            "severity": self.severity,
             "message": self.message,
             "symbol": self.symbol,
         }

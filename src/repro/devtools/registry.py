@@ -73,3 +73,53 @@ def registered_rules() -> Tuple[RuleInfo, ...]:
     from repro.devtools import rules  # noqa: F401  -- registration import
 
     return tuple(RULES[family] for family in sorted(RULES))
+
+
+# ----------------------------------------------------------------------
+# semantic (whole-program) rules
+# ----------------------------------------------------------------------
+# A semantic rule sees the linked ProjectModel instead of one file:
+# ``(ProjectModel, LintConfig) -> Iterable[Diagnostic]``, registered
+# per rule id (not per family — the interprocedural checks are distinct
+# algorithms, unlike the syntactic families' shared single walk).
+
+SemanticRuleFunc = Callable[[object, LintConfig], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class SemanticRuleInfo:
+    """Registry record for one whole-program rule."""
+
+    rule_id: str
+    family: str
+    title: str
+    check: SemanticRuleFunc
+
+
+SEMANTIC_RULES: Dict[str, SemanticRuleInfo] = {}
+
+
+def semantic_rule(
+    rule_id: str, family: str, title: str
+) -> Callable[[SemanticRuleFunc], SemanticRuleFunc]:
+    """Register ``fn`` as the checker of semantic rule ``rule_id``."""
+
+    def decorator(fn: SemanticRuleFunc) -> SemanticRuleFunc:
+        if rule_id in SEMANTIC_RULES:
+            raise ValueError(f"semantic rule {rule_id} registered twice")
+        SEMANTIC_RULES[rule_id] = SemanticRuleInfo(rule_id, family, title, fn)
+        return fn
+
+    return decorator
+
+
+def registered_semantic_rules() -> Tuple[SemanticRuleInfo, ...]:
+    """Every registered semantic rule, in rule-id order (importing the
+    rule modules populates the registry)."""
+    from repro.devtools.semantic import (  # noqa: F401  -- registration imports
+        rules_concurrency,
+        rules_invalidation,
+        rules_taint,
+    )
+
+    return tuple(SEMANTIC_RULES[rule_id] for rule_id in sorted(SEMANTIC_RULES))

@@ -1,0 +1,108 @@
+"""Content-hash cache for per-module semantic summaries.
+
+Extraction is a pure function of ``(source, path, knobs)``, so the
+cache is content-addressed: the entry file name *is* the SHA-256 of the
+schema version, the extraction knobs and the source text.  Any edit to
+the file, bump of :data:`~repro.devtools.semantic.model.SCHEMA_VERSION`
+or change of an extraction knob changes the key, so stale entries are
+unreachable by construction — there is no invalidation logic to get
+wrong, old entries are merely garbage (and :meth:`SummaryCache.prune`
+sweeps them).
+
+The cache directory (``.repro-lint-cache/`` by default, gitignored) is
+safe to delete at any time; a cold run just re-extracts.  Corrupt or
+truncated entries deserialise to a cache miss, never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Set
+
+from repro.devtools.semantic.model import (
+    ExtractionKnobs,
+    ModuleSummary,
+    summary_from_payload,
+    summary_to_payload,
+)
+
+
+def summary_key(source: str, path: str, knobs: ExtractionKnobs) -> str:
+    """The content hash addressing one module's summary."""
+    digest = hashlib.sha256()
+    for part in knobs.digest_parts():
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(path.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class SummaryCache:
+    """Directory of ``<sha256>.json`` summary files."""
+
+    def __init__(self, directory: "Path | str"):
+        self.directory = Path(directory)
+        self._touched: Set[str] = set()
+
+    def load(
+        self, source: str, path: str, knobs: ExtractionKnobs
+    ) -> Optional[ModuleSummary]:
+        """The cached summary for this exact content, or ``None``."""
+        key = summary_key(source, path, knobs)
+        entry = self.directory / f"{key}.json"
+        try:
+            payload = json.loads(entry.read_text())
+            summary = summary_from_payload(payload["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self._touched.add(entry.name)
+        return summary
+
+    def store(
+        self,
+        source: str,
+        path: str,
+        knobs: ExtractionKnobs,
+        summary: ModuleSummary,
+    ) -> None:
+        """Persist ``summary`` under its content hash (best effort: a
+        read-only or full disk degrades to an always-cold cache)."""
+        key = summary_key(source, path, knobs)
+        entry = self.directory / f"{key}.json"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            entry.write_text(
+                json.dumps(
+                    {"summary": summary_to_payload(summary)},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        except OSError:
+            return
+        self._touched.add(entry.name)
+
+    def prune(self) -> int:
+        """Delete entries not touched by this run; returns the count.
+
+        Called after a full-tree lint so the directory tracks the
+        current tree instead of accumulating one entry per historical
+        edit.
+        """
+        removed = 0
+        try:
+            entries = list(self.directory.glob("*.json"))
+        except OSError:
+            return 0
+        for entry in entries:
+            if entry.name not in self._touched:
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed

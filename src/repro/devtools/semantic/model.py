@@ -1,0 +1,276 @@
+"""Data model of the semantic pass: per-module summaries, JSON-stable.
+
+The semantic layer splits cleanly in two:
+
+* **extraction** (:mod:`repro.devtools.semantic.extract`) — a pure
+  function of one module's source producing a :class:`ModuleSummary`:
+  every function's call sites (with the locks lexically held at each),
+  lock acquisitions, awaits, entropy sources/sinks and the local
+  dataflow that connects them, plus the module's classes, imports and
+  ``__workspace_hook__`` declarations.  Because extraction sees one file
+  at a time and nothing else, summaries are cacheable by content hash
+  (:mod:`repro.devtools.semantic.cache`).
+* **resolution** (:mod:`repro.devtools.semantic.callgraph`) — links the
+  summaries into a project-wide call graph and computes the transitive
+  closures the interprocedural rules consume (locks a call may acquire,
+  builds it may reach, entropy a return value may carry).  Resolution is
+  cheap (no parsing) and re-runs on every lint.
+
+Everything here is a frozen dataclass of primitives and tuples so the
+summaries round-trip losslessly through JSON (``to_dict``/``from_dict``)
+— the property the content-hash cache and the byte-identical-report
+guarantee both rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Tuple
+
+#: bump when extraction output changes shape or meaning; stale cache
+#: entries written by an older analyzer are ignored, never misread
+SCHEMA_VERSION = 2
+
+#: an unresolved reference to a call: (kind, name, receiver) where kind
+#: is "name" (bare call), "self" (``self.m()``), "attr" (method call on
+#: an opaque receiver) or "module" (``alias.f()`` with ``alias`` an
+#: imported module)
+CallRef = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class ArgDep:
+    """What one positional argument of a call derives from, locally."""
+
+    position: int
+    #: the argument expression contains a direct entropy source
+    tainted: bool = False
+    #: line of the local entropy source feeding it (0: none recorded)
+    taint_line: int = 0
+    #: calls whose return value feeds the argument expression
+    dep_calls: Tuple[CallRef, ...] = ()
+    #: caller parameter indices feeding the argument expression
+    dep_params: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    kind: str  # "name" | "self" | "attr" | "module"
+    name: str
+    receiver: str  # module alias for kind="module", else ""
+    line: int
+    col: int
+    #: lock labels lexically held (``with``-stack) at the call
+    locks_held: Tuple[str, ...] = ()
+    #: argument dependencies worth recording (taint/call/param deps only)
+    arg_deps: Tuple[ArgDep, ...] = ()
+    awaited: bool = False
+
+    @property
+    def ref(self) -> CallRef:
+        return (self.kind, self.name, self.receiver)
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One lock acquisition (``with <lock>:``) inside a function body."""
+
+    name: str
+    #: lock labels already held when this one is acquired
+    held: Tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class AwaitEvent:
+    """One ``await`` expression and the lock labels held around it."""
+
+    held: Tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Sink:
+    """One entropy-sensitive position: memo key, fingerprint, result row."""
+
+    kind: str  # "memo-key" | "fingerprint" | "result-row"
+    detail: str  # the memo attribute / fingerprint name / store receiver
+    line: int
+    col: int
+    #: the sink expression contains a direct entropy source
+    tainted: bool = False
+    taint_line: int = 0
+    #: calls whose return value feeds the sink expression
+    dep_calls: Tuple[CallRef, ...] = ()
+    #: function parameters feeding the sink expression
+    dep_params: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the semantic rules need to know about one function."""
+
+    module: str
+    qualname: str  # "pkg.mod::Class.method" / "pkg.mod::func"
+    name: str
+    class_name: str  # "" for module-level functions
+    line: int
+    col: int
+    is_async: bool
+    params: Tuple[str, ...]
+    calls: Tuple[CallSite, ...] = ()
+    acquisitions: Tuple[LockEvent, ...] = ()
+    awaits: Tuple[AwaitEvent, ...] = ()
+    #: a direct entropy source flows into this function's return value
+    entropy_return: bool = False
+    entropy_line: int = 0
+    #: calls whose return value feeds this function's return value
+    return_dep_calls: Tuple[CallRef, ...] = ()
+    #: parameters that flow through into the return value
+    return_dep_params: Tuple[int, ...] = ()
+    sinks: Tuple[Sink, ...] = ()
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """The cacheable per-module analysis result."""
+
+    module: str  # dotted module name derived from the relpath
+    path: str  # repo-root-relative posix path (diagnostic anchor)
+    functions: Tuple[FunctionSummary, ...] = ()
+    #: (class name, tuple of method names) per class defined here
+    classes: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    #: (class name, hook string, line, col) per ``__workspace_hook__``
+    hooks: Tuple[Tuple[str, str, int, int], ...] = ()
+    #: keys of a module-level ``WORKSPACE_HOOKS`` dict literal, if any
+    registry_keys: Tuple[str, ...] = ()
+    #: ``import x.y as z`` → (z, "x.y")
+    import_modules: Tuple[Tuple[str, str], ...] = ()
+    #: ``from m import f as g`` → (g, "m", "f")
+    import_objects: Tuple[Tuple[str, str, str], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+# Summaries are encoded *positionally*: a dataclass becomes
+# ``["\x00TypeName", field0, field1, ...]`` in declared-field order, a
+# tuple becomes a plain list.  The NUL sigil keeps the type tag out of
+# the space of real string values (identifiers and dotted names never
+# contain NUL), and dropping per-field keys roughly halves both the
+# entry size and the decode time — the cache-load path is what the
+# warm-lint speed guarantee rests on.
+
+_TYPES: Dict[str, Any] = {}
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _register_types() -> Dict[str, Any]:
+    if not _TYPES:
+        for cls in (ArgDep, CallSite, LockEvent, AwaitEvent, Sink, FunctionSummary, ModuleSummary):
+            _TYPES[cls.__name__] = cls
+            _FIELD_NAMES[cls] = tuple(f.name for f in fields(cls))
+    return _TYPES
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_to_jsonable(item) for item in value]
+    if hasattr(value, "__dataclass_fields__"):
+        _register_types()
+        return [
+            "\x00" + type(value).__name__,
+            *(
+                _to_jsonable(getattr(value, name))
+                for name in _FIELD_NAMES[type(value)]
+            ),
+        ]
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, list):
+        if not value:
+            return ()
+        head = value[0]
+        if isinstance(head, str) and head.startswith("\x00"):
+            cls = _register_types()[head[1:]]
+            # frozen-dataclass __init__ pays one object.__setattr__ per
+            # field; on the cache-load hot path we build the instance
+            # directly (the summaries are plain value objects)
+            instance = object.__new__(cls)
+            instance.__dict__.update(
+                zip(_FIELD_NAMES[cls], (_from_jsonable(item) for item in value[1:]))
+            )
+            return instance
+        return tuple(_from_jsonable(item) for item in value)
+    return value
+
+
+def summary_to_payload(summary: ModuleSummary) -> Any:
+    """JSON-serialisable (positional) form of a :class:`ModuleSummary`."""
+    return _to_jsonable(summary)
+
+
+def summary_from_payload(payload: Any) -> ModuleSummary:
+    """Inverse of :func:`summary_to_payload`."""
+    restored = _from_jsonable(payload)
+    if not isinstance(restored, ModuleSummary):
+        raise ValueError("payload does not encode a ModuleSummary")
+    return restored
+
+
+@dataclass
+class ExtractionKnobs:
+    """The config knobs extraction depends on (part of the cache key).
+
+    Resolution-only knobs (build-call names, guard locks, hop bounds,
+    invalidation roots) are deliberately absent: changing them re-runs
+    resolution but never invalidates cached extraction.
+    """
+
+    memo_name_pattern: str = r"cache|memo|plans|answers|entries"
+    lock_name_pattern: str = r"lock"
+    fingerprint_name_pattern: str = r"fingerprint|digest|signature"
+    result_store_pattern: str = r"store"
+
+    def digest_parts(self) -> Tuple[str, ...]:
+        return (
+            str(SCHEMA_VERSION),
+            self.memo_name_pattern,
+            self.lock_name_pattern,
+            self.fingerprint_name_pattern,
+            self.result_store_pattern,
+        )
+
+
+@dataclass
+class ProjectModel:
+    """The resolved whole-program view handed to semantic rules."""
+
+    #: relpath -> summary, in sorted-path order
+    modules: Dict[str, ModuleSummary] = field(default_factory=dict)
+    #: qualname -> summary
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: (module, function name) -> qualname (module-level defs)
+    module_functions: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: method name -> sorted qualnames across every class
+    methods_by_name: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: class name -> {method name -> qualname} (merged across modules)
+    class_methods: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: class name -> defining module (first seen wins, sorted order)
+    class_modules: Dict[str, str] = field(default_factory=dict)
+    #: union of every module's WORKSPACE_HOOKS keys
+    registry_keys: frozenset = frozenset()
+    #: True when some linted module defines WORKSPACE_HOOKS at all
+    has_registry: bool = False
+    #: dotted module name -> repo-relative path (diagnostic anchoring)
+    module_paths: Dict[str, str] = field(default_factory=dict)
+
+    def modules_path(self, module: str) -> str:
+        """The relpath of ``module`` (falls back to the dotted name)."""
+        return self.module_paths.get(module, module)

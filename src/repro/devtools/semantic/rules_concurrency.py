@@ -1,0 +1,315 @@
+"""REP700 — interprocedural concurrency invariants.
+
+* **REP701** lock-order cycle: the project-wide lock-acquisition graph
+  (label ``A`` → label ``B`` when some execution path acquires ``B``
+  while holding ``A``, directly or through calls) contains a cycle over
+  two or more labels.  Two threads traversing such a cycle from
+  different ends deadlock.  Single-label self-edges are dropped: lock
+  identity is tracked by *name*, and the repo's registry locks are
+  reentrant ``RLock``s, so ``_lock`` → ``_lock`` is the documented
+  reentrancy idiom rather than a self-deadlock the analysis could
+  actually prove.
+* **REP702** registry lock held across a build, transitively: REP401
+  already flags a build call lexically inside ``with self._lock:``;
+  this closes the interprocedural hole where the lock-holding function
+  calls a helper and the helper does the building.
+* **REP703** event-loop starvation: an ``await`` (or a synchronous
+  ``asyncio.run``/``run_until_complete`` bridge) reachable while a
+  ``threading`` lock is held.  The awaiting coroutine parks holding the
+  lock; any thread then contending that lock blocks for an arbitrary
+  number of scheduler turns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import semantic_rule
+from repro.devtools.semantic.callgraph import resolve
+from repro.devtools.semantic.model import FunctionSummary, ProjectModel
+
+#: provenance of one lock-graph edge: (path, line, col, human explanation)
+_Edge = Tuple[str, int, int, str]
+
+
+def _may_acquire(model: ProjectModel) -> Dict[str, Set[str]]:
+    """Fixpoint: lock labels each function may acquire, transitively."""
+    acquire: Dict[str, Set[str]] = {
+        qualname: {event.name for event in function.acquisitions}
+        for qualname, function in model.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(model.functions):
+            function = model.functions[qualname]
+            mine = acquire[qualname]
+            before = len(mine)
+            for call in function.calls:
+                for callee in resolve(model, function, call.ref):
+                    mine |= acquire.get(callee, set())
+            if len(mine) != before:
+                changed = True
+    return acquire
+
+
+def _lock_edges(
+    model: ProjectModel, acquire: Dict[str, Set[str]]
+) -> Dict[Tuple[str, str], _Edge]:
+    """The lock-order graph with first-witness provenance per edge."""
+    edges: Dict[Tuple[str, str], _Edge] = {}
+
+    def record(held: str, taken: str, witness: _Edge) -> None:
+        if held == taken:
+            return  # reentrant re-acquisition, not an ordering edge
+        edges.setdefault((held, taken), witness)
+
+    for qualname in sorted(model.functions):
+        function = model.functions[qualname]
+        path = model.modules_path(function.module)
+        for event in function.acquisitions:
+            for held in event.held:
+                record(
+                    held,
+                    event.name,
+                    (path, event.line, event.col,
+                     f"{function.qualname} acquires {event.name} while holding {held}"),
+                )
+        for call in function.calls:
+            if not call.locks_held:
+                continue
+            for callee in resolve(model, function, call.ref):
+                for taken in sorted(acquire.get(callee, ())):
+                    for held in call.locks_held:
+                        record(
+                            held,
+                            taken,
+                            (path, call.line, call.col,
+                             f"{function.qualname} holds {held} while calling "
+                             f"{callee}, which may acquire {taken}"),
+                        )
+    return edges
+
+
+def _cycles(edges: Iterable[Tuple[str, str]]) -> List[Tuple[str, ...]]:
+    """Strongly connected components with ≥2 labels (Tarjan, iterative
+    over sorted adjacency, so output order is deterministic)."""
+    graph: Dict[str, List[str]] = {}
+    for source, target in edges:
+        graph.setdefault(source, []).append(target)
+        graph.setdefault(target, [])
+    for source in graph:
+        graph[source].sort()
+
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[Tuple[str, ...]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph[successor])))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(tuple(sorted(component)))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+@semantic_rule("REP701", "REP700", "lock-order cycle across functions")
+def check_lock_order(
+    model: ProjectModel, config: LintConfig
+) -> Iterable[Diagnostic]:
+    acquire = _may_acquire(model)
+    edges = _lock_edges(model, acquire)
+    for component in _cycles(edges.keys()):
+        members = set(component)
+        witnesses = sorted(
+            (pair, provenance)
+            for pair, provenance in edges.items()
+            if pair[0] in members and pair[1] in members
+        )
+        if not witnesses:
+            continue
+        (first_pair, (path, line, col, _)) = witnesses[0]
+        detail = "; ".join(
+            f"{held}->{taken} ({w_path}:{w_line}: {why})"
+            for (held, taken), (w_path, w_line, _c, why) in witnesses
+        )
+        yield Diagnostic(
+            path,
+            line,
+            col,
+            "REP701",
+            f"lock-order cycle over {{{', '.join(component)}}}: {detail}",
+            symbol="->".join(component),
+        )
+
+
+def _may_build(
+    model: ProjectModel, build_calls: Tuple[str, ...]
+) -> Dict[str, Set[str]]:
+    """Fixpoint: build-call names each function may reach, transitively."""
+    builds: Dict[str, Set[str]] = {
+        qualname: {
+            call.name for call in function.calls if call.name in build_calls
+        }
+        for qualname, function in model.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(model.functions):
+            function = model.functions[qualname]
+            mine = builds[qualname]
+            before = len(mine)
+            for call in function.calls:
+                for callee in resolve(model, function, call.ref):
+                    mine |= builds.get(callee, set())
+            if len(mine) != before:
+                changed = True
+    return builds
+
+
+@semantic_rule("REP702", "REP700", "registry lock held across a build, transitively")
+def check_lock_across_build(
+    model: ProjectModel, config: LintConfig
+) -> Iterable[Diagnostic]:
+    builds = _may_build(model, config.build_calls)
+    for qualname in sorted(model.functions):
+        function = model.functions[qualname]
+        path = model.modules_path(function.module)
+        for call in function.calls:
+            guards = [
+                name for name in call.locks_held if name in config.guard_lock_names
+            ]
+            if not guards or call.name in config.build_calls:
+                continue  # the direct case is REP401's (lexical) finding
+            reached: Set[str] = set()
+            for callee in resolve(model, function, call.ref):
+                reached |= builds.get(callee, set())
+            if reached:
+                yield Diagnostic(
+                    path,
+                    call.line,
+                    call.col,
+                    "REP702",
+                    f"{guards[0]} is held across a call to {call.name}(), "
+                    f"which may run build(s) {', '.join(sorted(reached))}; "
+                    "release the registry lock before building "
+                    "(double-checked pattern)",
+                    symbol=call.name,
+                )
+
+
+def _is_bridge_call(ref: Tuple[str, str, str]) -> bool:
+    """A call that synchronously drives the event loop."""
+    kind, name, receiver = ref
+    if kind == "module" and receiver == "asyncio" and name == "run":
+        return True
+    return name in {"run_until_complete", "run_forever"}
+
+
+def _executes_await(model: ProjectModel) -> Set[str]:
+    """Functions whose *synchronous* invocation may drive an ``await``:
+    they bridge into the event loop (``asyncio.run`` and friends) or
+    call something that does.  Plain ``async def`` bodies are excluded —
+    calling them only builds a coroutine; the execution happens at the
+    caller's ``await``, which REP703 checks at that site."""
+    bridges: Set[str] = set()
+    for qualname, function in model.functions.items():
+        for call in function.calls:
+            if _is_bridge_call(call.ref):
+                bridges.add(qualname)
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(model.functions):
+            if qualname in bridges:
+                continue
+            function = model.functions[qualname]
+            for call in function.calls:
+                if any(
+                    callee in bridges
+                    for callee in resolve(model, function, call.ref)
+                ):
+                    bridges.add(qualname)
+                    changed = True
+                    break
+    return bridges
+
+
+@semantic_rule("REP703", "REP700", "await reachable while a threading lock is held")
+def check_await_under_lock(
+    model: ProjectModel, config: LintConfig
+) -> Iterable[Diagnostic]:
+    bridges = _executes_await(model)
+    for qualname in sorted(model.functions):
+        function = model.functions[qualname]
+        path = model.modules_path(function.module)
+        for event in function.awaits:
+            if event.held:
+                yield Diagnostic(
+                    path,
+                    event.line,
+                    event.col,
+                    "REP703",
+                    f"await while holding threading lock(s) "
+                    f"{', '.join(event.held)} parks the coroutine with the "
+                    "lock held; restructure so the lock is released before "
+                    "suspension (or use asyncio.Lock)",
+                    symbol=event.held[0],
+                )
+        for call in function.calls:
+            if not call.locks_held or call.awaited:
+                continue  # awaited calls are covered by the await event
+            if _is_bridge_call(call.ref) or any(
+                callee in bridges for callee in resolve(model, function, call.ref)
+            ):
+                yield Diagnostic(
+                    path,
+                    call.line,
+                    call.col,
+                    "REP703",
+                    f"call to {call.name}() drives the event loop while "
+                    f"threading lock(s) {', '.join(call.locks_held)} are "
+                    "held; every await inside runs with the lock held",
+                    symbol=call.name,
+                )

@@ -514,6 +514,12 @@ class GraphWorkspace:
             kept, dropped = neighborhoods.refresh(target)
             counters["neighborhood_states_kept"] += kept
             counters["neighborhood_states_dropped"] += dropped
+        # Warm the graph-owned label index while we are already paying
+        # for a refresh: label_index() delta-upgrades (or rebuilds) on
+        # version mismatch, so the next engine evaluation finds it hot
+        # instead of rebuilding on the serving path.  This is also the
+        # workspace-side driver of hook 'graph.label_index' (REP310).
+        target.label_index()
 
     def stats(self) -> Dict[str, Any]:
         """Build / hit counters for every registry this workspace owns."""

@@ -111,9 +111,9 @@ def test_rpni_consistency_invariant(positives, negatives):
     if not negatives:
         negatives = set()
     learned = rpni(positives, negatives)
-    for word in positives:
+    for word in sorted(positives):
         assert learned.accepts(word)
-    for word in negatives:
+    for word in sorted(negatives):
         assert not learned.accepts(word)
 
 

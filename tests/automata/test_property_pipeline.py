@@ -47,9 +47,9 @@ def test_pipeline_language_equivalent_end_to_end(positives, negatives):
     assert equivalent(minimal, rebuilt)
     assert equivalent(learned, rebuilt)
     # the end of the chain still separates the original samples
-    for word in positives:
+    for word in sorted(positives):
         assert rebuilt.accepts(word)
-    for word in negatives:
+    for word in sorted(negatives):
         assert not rebuilt.accepts(word)
 
 
@@ -79,9 +79,9 @@ def test_pipeline_on_seeded_random_samples(seed):
     learned, minimal, expression, rebuilt = _pipeline(sorted(positives), sorted(negatives))
     assert equivalent(learned, rebuilt), expression
     assert is_minimal(minimal)
-    for word in positives:
+    for word in sorted(positives):
         assert rebuilt.accepts(word)
-    for word in negatives:
+    for word in sorted(negatives):
         assert not rebuilt.accepts(word)
 
 

@@ -1,0 +1,23 @@
+"""Fixture: the same shapes keyed on stable identity instead of time.
+
+The memo key is a ``(version, name)`` pair derived from the inputs and
+the published row carries a content fingerprint — every value that
+reaches a sink is a pure function of the graph, so reruns reproduce
+byte-identical state and REP110 stays silent.
+"""
+
+from store import publish
+
+
+class ResultCache:
+    def __init__(self):
+        self._entries = {}
+
+    def record(self, graph, name, payload):
+        token = (graph.version, name)
+        self._entries[token] = payload
+        return token
+
+
+def run(store, graph, payload):
+    publish(store, graph.version, payload)

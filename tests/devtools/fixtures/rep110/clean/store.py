@@ -1,0 +1,5 @@
+"""Fixture: the result-store sink fed only deterministic values."""
+
+
+def publish(store, version, payload):
+    store.append({"version": version, "payload": payload})

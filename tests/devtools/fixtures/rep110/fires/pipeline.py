@@ -1,0 +1,29 @@
+"""Fixture: entropy reaching identity-bearing sinks through calls.
+
+``record`` keys its memo on a value that is ``time.time()`` one hop
+away; ``run`` passes a ``perf_counter`` reading into ``store.publish``,
+which appends it to a result store a module away.  Each flow is
+invisible to per-file linting — the source and the sink never share a
+function.
+"""
+
+import time
+
+from store import publish
+
+
+class ResultCache:
+    def __init__(self):
+        self._entries = {}
+
+    def record(self, payload):
+        token = self._stamp()
+        self._entries[token] = payload
+        return token
+
+    def _stamp(self):
+        return time.time()
+
+
+def run(store, payload):
+    publish(store, time.perf_counter(), payload)

@@ -1,0 +1,5 @@
+"""Fixture: the result-store sink side of the cross-module taint."""
+
+
+def publish(store, seconds, payload):
+    store.append({"seconds": seconds, "payload": payload})

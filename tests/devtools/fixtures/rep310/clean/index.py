@@ -1,0 +1,9 @@
+"""Fixture: a registered hook class actually driven by refresh."""
+
+
+class LabelIndex:
+    __workspace_hook__ = "graph.label_index"
+
+    def __init__(self, graph):
+        self.version = graph.version
+        self.table = {}

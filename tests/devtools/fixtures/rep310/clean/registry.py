@@ -1,0 +1,5 @@
+"""Fixture: the hook registry of the non-firing variant."""
+
+WORKSPACE_HOOKS = {
+    "graph.label_index": "driven by GraphWorkspace.refresh via LabelIndex",
+}

@@ -1,0 +1,17 @@
+"""Fixture: the refresh path constructs the hook class, wiring it in."""
+
+from index import LabelIndex
+
+
+class GraphWorkspace:
+    def __init__(self):
+        self._indexes = {}
+
+    def refresh(self, graph):
+        fresh = LabelIndex(graph)
+        self._indexes[graph] = fresh
+        return fresh.version
+
+    def invalidate(self, graph):
+        self._indexes.pop(graph, None)
+        return None

@@ -1,0 +1,11 @@
+"""Fixture: a registered hook whose class nobody drives (silent
+staleness: the cache exists, the paperwork is in order, no refresh path
+ever touches it)."""
+
+
+class LabelIndex:
+    __workspace_hook__ = "graph.label_index"
+
+    def __init__(self, graph):
+        self.version = graph.version
+        self.table = {}

@@ -1,0 +1,9 @@
+"""Fixture: a hook name that was never registered (typo'd or retired)."""
+
+
+class OrphanCache:
+    __workspace_hook__ = "engine.cache"
+
+    def __init__(self, graph):
+        self.version = graph.version
+        self.answers = {}

@@ -1,0 +1,10 @@
+"""Fixture: the hook registry of the firing variant.
+
+``graph.label_index`` is registered but no refresh path ever reaches
+the class declaring it; ``engine.cache`` (see ``orphan.py``) is
+declared without being registered at all.
+"""
+
+WORKSPACE_HOOKS = {
+    "graph.label_index": "supposedly driven by GraphWorkspace.refresh",
+}

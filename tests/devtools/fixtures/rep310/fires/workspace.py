@@ -1,0 +1,13 @@
+"""Fixture: refresh/invalidate paths that drive neither hook class."""
+
+
+class GraphWorkspace:
+    def __init__(self):
+        self._fingerprints = {}
+
+    def refresh(self, graph):
+        return graph.version
+
+    def invalidate(self, graph):
+        self._fingerprints.pop(graph, None)
+        return None

@@ -1,0 +1,30 @@
+"""Fixture: the same two paths with one consistent lock order.
+
+Both ``promote`` and ``demote`` take ``_index_lock`` before
+``_store_lock`` (the second transitively, via ``_commit``), so the lock
+graph is acyclic and REP701 stays silent.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._index_lock = threading.Lock()
+        self._store_lock = threading.Lock()
+        self.active = {}
+
+    def promote(self, key):
+        with self._index_lock:
+            return self._commit(key)
+
+    def _commit(self, key):
+        with self._store_lock:
+            self.active[key] = True
+            return key
+
+    def demote(self, key):
+        with self._index_lock:
+            with self._store_lock:
+                self.active.pop(key, None)
+                return key

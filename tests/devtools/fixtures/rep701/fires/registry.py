@@ -1,0 +1,30 @@
+"""Fixture: lock-order cycle split across two call paths.
+
+``promote`` takes ``_index_lock`` then (via ``_commit``) ``_store_lock``;
+``demote`` nests them the other way round.  Neither function is wrong in
+isolation — only the project-wide lock graph sees the cycle.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._index_lock = threading.Lock()
+        self._store_lock = threading.Lock()
+        self.active = {}
+
+    def promote(self, key):
+        with self._index_lock:
+            return self._commit(key)
+
+    def _commit(self, key):
+        with self._store_lock:
+            self.active[key] = True
+            return key
+
+    def demote(self, key):
+        with self._store_lock:
+            with self._index_lock:
+                self.active.pop(key, None)
+                return key

@@ -1,0 +1,37 @@
+"""Fixture: the double-checked idiom — build outside the registry lock.
+
+The lock guards only the lookup and the publication; the build itself
+runs unlocked, and the second lookup makes losing a race benign.  This
+is the shape ``GraphWorkspace.language_index`` ships with.
+"""
+
+import threading
+
+
+class LanguageIndex:
+    def __init__(self, graph, bound):
+        self.graph = graph
+        self.bound = bound
+
+
+class Workspace:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._indexes = {}
+
+    def language_index(self, graph, bound):
+        key = (id(graph), bound)
+        with self._lock:
+            entry = self._indexes.get(key)
+        if entry is not None:
+            return entry
+        built = self._build(graph, bound)
+        with self._lock:
+            entry = self._indexes.get(key)
+            if entry is None:
+                self._indexes[key] = built
+                entry = built
+            return entry
+
+    def _build(self, graph, bound):
+        return LanguageIndex(graph, bound)

@@ -1,0 +1,32 @@
+"""Fixture: registry lock held across a build, one call away.
+
+``language_index`` never names ``LanguageIndex`` inside the ``with``
+block — the lexical REP401 cannot see the problem — but the helper it
+calls under ``_lock`` performs the build, so every concurrent reader
+stalls behind one build.  REP702 follows the call edge.
+"""
+
+import threading
+
+
+class LanguageIndex:
+    def __init__(self, graph, bound):
+        self.graph = graph
+        self.bound = bound
+
+
+class Workspace:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._indexes = {}
+
+    def language_index(self, graph, bound):
+        with self._lock:
+            entry = self._indexes.get((id(graph), bound))
+            if entry is None:
+                entry = self._build(graph, bound)
+                self._indexes[(id(graph), bound)] = entry
+            return entry
+
+    def _build(self, graph, bound):
+        return LanguageIndex(graph, bound)

@@ -1,0 +1,19 @@
+"""Fixture: the lock protects only the dictionary, never a suspension.
+
+The await happens before the lock is taken; the critical section is a
+plain in-memory update, so no coroutine ever parks holding it.
+"""
+
+import threading
+
+
+class SessionManager:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self._sessions = {}
+
+    async def drive(self, key, job):
+        result = await job.run()
+        with self._state_lock:
+            self._sessions[key] = result
+        return result

@@ -1,0 +1,26 @@
+"""Fixture: event-loop suspension while a threading lock is held.
+
+``drive`` awaits with ``_state_lock`` held — the coroutine parks and
+every thread contending the lock waits for the scheduler.  ``flush``
+shows the synchronous variant: driving a loop to completion under the
+same lock.
+"""
+
+import asyncio
+import threading
+
+
+class SessionManager:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self._sessions = {}
+
+    async def drive(self, key, job):
+        with self._state_lock:
+            result = await job.run()
+            self._sessions[key] = result
+        return result
+
+    def flush(self, loop, pending):
+        with self._state_lock:
+            return loop.run_until_complete(asyncio.gather(*pending))

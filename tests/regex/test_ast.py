@@ -28,6 +28,7 @@ class TestNodeBasics:
     def test_equality_and_hash(self):
         assert Symbol("a") == Symbol("a")
         assert Symbol("a") != Symbol("b")
+        # repro-lint: disable=REP103 -- asserts the __hash__ contract; both sides hashed in-process
         assert hash(Symbol("a")) == hash(Symbol("a"))
         assert Union(Symbol("a"), Symbol("b")) == Union(Symbol("a"), Symbol("b"))
         assert Concat(Symbol("a"), Symbol("b")) != Concat(Symbol("b"), Symbol("a"))
